@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark runs its experiment exactly once
+(``benchmark.pedantic(rounds=1)``) against a session-wide measurement
+cache, prints the reproduced table/series, and archives it under
+``benchmarks/output/`` so paper-vs-measured comparisons (EXPERIMENTS.md)
+can be refreshed from the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.report import Report
+from repro.harness.runner import MeasurementCache, RunSettings
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def cache() -> MeasurementCache:
+    """One measurement cache for the whole benchmark session.
+
+    Figure 10 reuses Figure 9's runs and Figure 11 reuses both, exactly as
+    the paper derives its summary figures from the per-query results.
+    """
+    return MeasurementCache(runs=RunSettings(probes=3000, warmup=600))
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Print a report and archive it under benchmarks/output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    def _record(report: Report, name: str) -> Report:
+        text = report.format()
+        print("\n" + text)
+        with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        return report
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

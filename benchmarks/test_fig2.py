@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 2 (query-time and index-time breakdowns)."""
+
+from benchmarks.conftest import run_once
+from repro.harness.fig2 import run_fig2a, run_fig2b
+
+
+def test_fig2a(benchmark, record):
+    report = run_once(benchmark, run_fig2a)
+    record(report, "fig2a")
+    fractions = report.column("index")
+    # Paper: indexing is 14-94% of query execution.
+    assert 0.10 <= min(fractions)
+    assert max(fractions) >= 0.85
+    tpch = [row[2] for row in report.rows if row[0] == "tpch"]
+    tpcds = [row[2] for row in report.rows if row[0] == "tpcds"]
+    assert 0.30 < sum(tpch) / len(tpch) < 0.42      # paper avg: 0.35
+    assert 0.40 < sum(tpcds) / len(tpcds) < 0.50    # paper avg: 0.45
+
+
+def test_fig2b(benchmark, record):
+    report = run_once(benchmark, run_fig2b)
+    record(report, "fig2b")
+    walks = report.column("walk")
+    # Paper: walk dominates (70% avg, up to 97%); hash can reach 68%.
+    assert 0.55 < sum(walks) / len(walks) < 0.85
+    assert max(walks) > 0.90
+    assert max(report.column("hash")) > 0.5

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 4 (the bottleneck analysis)."""
+
+from benchmarks.conftest import run_once
+from repro.harness.fig4 import run_fig4a, run_fig4b, run_fig4c
+from repro.model.analytical import AnalyticalModel, max_walkers_by_mshrs
+
+
+def test_fig4a(benchmark, record):
+    report = run_once(benchmark, run_fig4a)
+    record(report, "fig4a")
+    model = AnalyticalModel()
+    # Paper: 1 port bottlenecks >6 walkers at low miss; 2 ports carry 10.
+    assert model.mem_ops_per_cycle(0.0, 7) > 1.0
+    assert model.mem_ops_per_cycle(0.0, 6) <= 1.0
+    assert all(value <= 2.0 for value in report.column("10_walkers"))
+
+
+def test_fig4b(benchmark, record):
+    report = run_once(benchmark, run_fig4b)
+    record(report, "fig4b")
+    # Paper: 8-10 MSHRs cap the design at four or five walkers.
+    assert max_walkers_by_mshrs() in (4, 5)
+    misses = report.column("outstanding_misses")
+    assert misses == sorted(misses)  # linear growth
+
+
+def test_fig4c(benchmark, record):
+    report = run_once(benchmark, run_fig4c)
+    record(report, "fig4c")
+    values = dict(zip(report.column("llc_miss_ratio"),
+                      report.column("walkers_per_mc")))
+    # Paper: ~8 walkers/MC at low miss ratios, dropping to ~4.
+    assert 6.5 < values[0.1] < 9.5
+    assert 3.5 < values[1.0] < 5.5

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (dispatcher-to-walker balance)."""
+
+from benchmarks.conftest import run_once
+from repro.harness.fig5 import run_fig5
+from repro.model.analytical import AnalyticalModel
+
+
+def test_fig5(benchmark, record):
+    report = run_once(benchmark, run_fig5)
+    record(report, "fig5")
+    model = AnalyticalModel()
+    # Paper: one dispatcher feeds four walkers except for shallow buckets
+    # at low LLC miss ratios.
+    assert model.walker_utilization(0.5, 4, 2) >= 0.8
+    assert model.walker_utilization(0.0, 4, 1) < 0.5
+    # Utilization rises with both bucket depth and miss ratio everywhere.
+    for walkers_column in ("2_walkers", "4_walkers", "8_walkers"):
+        for depth in (1, 2, 3):
+            series = [row for row in report.rows if row[0] == depth]
+            index = list(report.columns).index(walkers_column)
+            values = [row[index] for row in series]
+            assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))

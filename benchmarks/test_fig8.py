@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 8 (Widx on the hash-join kernel)."""
+
+from benchmarks.conftest import run_once
+from repro.harness.fig8 import run_fig8a, run_fig8b
+from repro.harness.runner import geomean
+
+
+def test_fig8a(benchmark, record, cache):
+    report = run_once(benchmark, run_fig8a, cache)
+    record(report, "fig8a")
+    total = lambda size, walkers: report.rows[
+        [i for i, r in enumerate(report.rows)
+         if r[0] == size and r[1] == walkers][0]][-1]
+    # Memory time (and so total) grows with index size at every walker count.
+    for walkers in (1, 2, 4):
+        assert total("Small", walkers) < total("Medium", walkers) \
+            < total("Large", walkers)
+    # Walkers cut cycles near-linearly (paper: linear reduction in Mem).
+    for size in ("Small", "Medium", "Large"):
+        assert 1.6 < total(size, 1) / total(size, 2) < 2.4
+        assert 2.8 < total(size, 1) / total(size, 4) < 4.8
+    # TLB cycles appear only for the Large (DRAM/TLB-stressing) index.
+    tlb_small = report.cell("size", "Small", "tlb")
+    assert tlb_small < 0.01
+    large_rows = [r for r in report.rows if r[0] == "Large"]
+    assert any(r[4] > 0.01 for r in large_rows)
+
+
+def test_fig8b(benchmark, record, cache):
+    report = run_once(benchmark, run_fig8b, cache)
+    record(report, "fig8b")
+    one_walker = report.column("1_walkers")
+    four_walkers = report.column("4_walkers")
+    # Paper: one walker is roughly baseline speed (geomean ~1.04x)...
+    assert 0.7 < geomean(one_walker) < 1.3
+    # ...and four walkers reach 2-4x (up to 4x on Large).
+    assert all(2.0 < s < 4.8 for s in four_walkers)
+    assert 2.5 < geomean(four_walkers) < 4.2

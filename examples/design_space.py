@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Exploring the Widx design space.
+
+Part 1 evaluates the paper's Section 3.2 analytical model (Figures 4-5):
+what limits walker count, and how many walkers one dispatcher can feed.
+
+Part 2 measures the Figure 3 design progression end-to-end on the Medium
+kernel: one coupled unit -> parallel coupled walkers -> private decoupled
+hashing units -> the shared dispatcher that is Widx.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import DEFAULT_CONFIG, build_kernel_workload, offload_probe
+from repro.model import AnalyticalModel, max_walkers_by_mshrs
+
+
+def analytical_part() -> None:
+    model = AnalyticalModel()
+    print("=== Analytical bottleneck model (Section 3.2) ===")
+    print(f"hash one key: {model.hash_cycles():.1f} cycles; "
+          f"walk one node: {model.walk_cycles(0.0):.0f} (LLC-resident) to "
+          f"{model.walk_cycles(1.0):.0f} (DRAM) cycles")
+    print(f"MSHR budget supports {max_walkers_by_mshrs(model)} walkers "
+          f"(Equation 3)")
+    print("L1 pressure at miss ratio 0 (Equation 2): "
+          + ", ".join(f"{n}w={model.mem_ops_per_cycle(0.0, n):.2f}"
+                      for n in (2, 4, 6, 8, 10))
+          + " mem-ops/cycle (2 ports available)")
+    print("walkers per memory controller (Equation 5): "
+          + ", ".join(f"miss={m:.1f}: {model.walkers_per_mc(m):.1f}"
+                      for m in (0.1, 0.5, 1.0)))
+    print("walker utilization with one dispatcher (Equation 6, 4 walkers):")
+    for depth in (1, 2, 3):
+        series = ", ".join(
+            f"miss={m:.1f}: {model.walker_utilization(m, 4, depth):.2f}"
+            for m in (0.0, 0.3, 0.6, 1.0))
+        print(f"  {depth} node(s)/bucket: {series}")
+
+
+def measured_part() -> None:
+    print("\n=== Measured design progression (Figure 3a -> 3d) ===")
+    index, probe_keys = build_kernel_workload("Medium", probe_count=2_000)
+    points = [
+        ("3a  single coupled unit", "coupled", 1),
+        ("3b  4 coupled walkers", "coupled", 4),
+        ("3c  4 walkers + private hashing", "private", 4),
+        ("3d  4 walkers + shared dispatcher (Widx)", "shared", 4),
+    ]
+    baseline = None
+    for name, mode, walkers in points:
+        config = DEFAULT_CONFIG.with_widx(mode=mode, num_walkers=walkers)
+        outcome = offload_probe(index, probe_keys, config=config)
+        if baseline is None:
+            baseline = outcome.cycles_per_tuple
+        print(f"  {name:<45} {outcome.cycles_per_tuple:7.1f} c/tuple  "
+              f"({baseline / outcome.cycles_per_tuple:4.2f}x, "
+              f"{config.widx.num_units} units)")
+
+
+if __name__ == "__main__":
+    analytical_part()
+    measured_part()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so editable installs must use the classic `setup.py develop` path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Widx reproduction: accelerating index traversals for in-memory databases.
+
+A full-system reproduction of Kocberber et al., *Meet the Walkers* (MICRO
+2013), in simulation:
+
+* :mod:`repro.db` — a mini column-store engine with simulated-memory hash
+  indexes (the MonetDB stand-in);
+* :mod:`repro.mem` — the Table 2 memory hierarchy (L1-D ports + MSHRs,
+  LLC, crossbar, bandwidth-limited memory controllers, TLB);
+* :mod:`repro.cpu` — trace-driven OoO and in-order baseline cores;
+* :mod:`repro.widx` — the Widx accelerator: programmable dispatcher /
+  walker / producer units running real Table 1 ISA programs;
+* :mod:`repro.model` — the Section 3.2 analytical bottleneck model;
+* :mod:`repro.energy` — the Section 6.3 area/power/energy model;
+* :mod:`repro.workloads` / :mod:`repro.harness` — the hash-join kernel and
+  DSS suites, plus one driver per paper figure.
+
+Quickstart::
+
+    from repro import build_kernel_workload, offload_probe
+    index, probes = build_kernel_workload("Small", probe_count=2000)
+    outcome = offload_probe(index, probes)
+    print(outcome.cycles_per_tuple, outcome.matches)
+"""
+
+from .config import (SystemConfig, WidxConfig, CacheConfig, TlbConfig,
+                     DramConfig, CoreConfig, DEFAULT_CONFIG)
+from .errors import ReproError
+from .mem import AddressSpace, MemoryHierarchy, PhysicalMemory
+from .db import (Table, Column, DataType, HashIndex, build_index,
+                 QueryExecutor, HashSpec)
+from .cpu import measure_indexing
+from .widx import offload_probe, assemble
+from .model import AnalyticalModel
+from .energy import PowerModel, energy_report
+from .workloads import build_kernel_workload, build_query_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "WidxConfig",
+    "CacheConfig",
+    "TlbConfig",
+    "DramConfig",
+    "CoreConfig",
+    "DEFAULT_CONFIG",
+    "ReproError",
+    "AddressSpace",
+    "MemoryHierarchy",
+    "PhysicalMemory",
+    "Table",
+    "Column",
+    "DataType",
+    "HashIndex",
+    "build_index",
+    "QueryExecutor",
+    "HashSpec",
+    "measure_indexing",
+    "offload_probe",
+    "assemble",
+    "AnalyticalModel",
+    "PowerModel",
+    "energy_report",
+    "build_kernel_workload",
+    "build_query_index",
+    "__version__",
+]

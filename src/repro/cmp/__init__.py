@@ -1,0 +1,21 @@
+"""Chip-multiprocessor co-simulation (the Table 2 four-core CMP).
+
+The paper evaluates the hash-join kernel with four threads: four cores,
+each with a private L1-D/TLB (and its own Widx complex), contending for
+one shared 4 MB LLC and two DDR3 memory controllers.  This package builds
+that system: per-core memory hierarchies wired to shared lower levels, and
+a driver that co-simulates one Widx offload per core on a single event
+engine so cross-core LLC and bandwidth contention is real.
+"""
+
+from .system import (ChipMultiprocessor, MulticoreRunResult,
+                     MulticoreBaselineResult, run_multicore_baseline,
+                     run_multicore_offload)
+
+__all__ = [
+    "ChipMultiprocessor",
+    "MulticoreRunResult",
+    "MulticoreBaselineResult",
+    "run_multicore_baseline",
+    "run_multicore_offload",
+]

@@ -1,0 +1,121 @@
+"""The in-order comparison core (Cortex-A8-like: 2-wide).
+
+The in-order pipeline issues uops in program order and stalls on
+read-after-write hazards, with the A8's documented restrictions:
+
+* the second issue slot cannot take a memory op (one load/store per cycle);
+* L1 load-to-use is one cycle longer than the Xeon-like core's;
+* a load that misses the L1 blocks the pipeline until the fill returns
+  (no hit-under-miss, no miss-under-miss — single-entry miss handling);
+* branch mispredicts flush the 13-stage pipeline.
+
+These are the mechanisms behind the paper's observation that the in-order
+core is ~2.2x slower than the OoO baseline on indexing: it cannot expose
+inter-key MLP and pays full memory latency on every chain access.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..config import CoreConfig
+from ..mem.hierarchy import MemoryHierarchy
+from .uops import Uop, UopKind
+
+
+class InOrderCore:
+    """Streaming in-order timing model."""
+
+    def __init__(self, config: CoreConfig, memory: MemoryHierarchy,
+                 mispredict_penalty: int = 13,
+                 load_use_penalty: int = 1) -> None:
+        if config.out_of_order:
+            raise ValueError("use OutOfOrderCore for OoO configs")
+        self.config = config
+        self.memory = memory
+        self.mispredict_penalty = mispredict_penalty
+        self.load_use_penalty = load_use_penalty
+        self._last_mem_issue = -1.0
+        self._all_done: List[float] = []
+        self._issue_time = 0.0
+        self._issued_this_cycle = 0
+        self._last_miss_done = 0.0
+        self.uops_executed = 0
+        self.loads_issued = 0
+        self.mem_stall_cycles = 0.0
+        self.tlb_stall_cycles = 0.0
+        self._completion = 0.0
+
+    def _issue_slot(self) -> float:
+        if self._issued_this_cycle >= self.config.issue_width:
+            self._issue_time += 1.0
+            self._issued_this_cycle = 0
+        self._issued_this_cycle += 1
+        return self._issue_time
+
+    def execute(self, uops: Iterable[Uop]) -> None:
+        """Execute a stream of uops (may be called repeatedly)."""
+        for uop in uops:
+            issue = self._issue_slot()
+            ready = issue
+            # In-order issue stalls until producers complete.
+            for dep in uop.deps:
+                if 0 <= dep < len(self._all_done):
+                    done = self._all_done[dep]
+                    if done > ready:
+                        ready = done
+            if ready > self._issue_time:
+                # The pipeline stalled; later uops cannot issue earlier.
+                self._issue_time = ready
+                self._issued_this_cycle = 1
+            if uop.kind in (UopKind.LOAD, UopKind.STORE):
+                # Only one of the two issue slots handles memory ops.
+                if ready <= self._last_mem_issue:
+                    ready = self._last_mem_issue + 1.0
+                    if ready > self._issue_time:
+                        self._issue_time = ready
+                        self._issued_this_cycle = 1
+                self._last_mem_issue = ready
+            if uop.kind is UopKind.LOAD:
+                start = ready
+                # Single outstanding miss: a load that misses the L1 waits
+                # for the previous miss to complete.  We conservatively
+                # apply the gate before knowing hit/miss only when the block
+                # is not L1-resident.
+                block = self.memory.l1d.block_of(uop.addr)
+                if not self.memory.l1d.array.present(block):
+                    start = max(start, self._last_miss_done)
+                result = self.memory.load(uop.addr, start)
+                done = result.complete + self.load_use_penalty
+                if result.tlb_stall > 0:
+                    # Software TLB-miss trap runs on the core (see ooo.py).
+                    done += self.memory.cfg.tlb.trap_cycles
+                    self._issue_time = max(self._issue_time, done)
+                    self._issued_this_cycle = 0
+                if result.level != "L1":
+                    # A8-style blocking miss: the pipeline stalls until the
+                    # fill returns; no hit-under-miss, no miss-under-miss.
+                    self._last_miss_done = done
+                    self._issue_time = max(self._issue_time, done)
+                    self._issued_this_cycle = 0
+                self.loads_issued += 1
+                self.mem_stall_cycles += max(0.0, done - ready - 1.0)
+                self.tlb_stall_cycles += result.tlb_stall
+            elif uop.kind is UopKind.STORE:
+                self.memory.store(uop.addr, ready)
+                done = ready + 1.0
+            else:
+                done = ready + uop.latency
+            if uop.kind is UopKind.BRANCH and uop.mispredict:
+                stall_until = done + self.mispredict_penalty
+                if stall_until > self._issue_time:
+                    self._issue_time = stall_until
+                    self._issued_this_cycle = 0
+            self._all_done.append(done)
+            if done > self._completion:
+                self._completion = done
+            self.uops_executed += 1
+
+    @property
+    def completion_time(self) -> float:
+        return self._completion

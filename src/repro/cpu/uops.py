@@ -1,0 +1,44 @@
+"""Micro-ops for the trace-driven core models.
+
+A trace is a list of :class:`Uop` whose ``deps`` are indices of earlier
+uops *within the same trace window* (negative indices are resolved by the
+core models against the global stream, allowing cross-probe independence to
+be expressed by simply concatenating per-probe traces).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class UopKind(enum.Enum):
+    """Micro-op categories for the trace-driven core models."""
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class Uop:
+    """One micro-op.
+
+    ``deps`` are stream-relative indices (absolute positions in the uop
+    stream) of producers this uop must wait for.  ``addr`` is the simulated
+    memory address for loads/stores.  ``mispredict`` marks a branch the
+    front-end mispredicts (charged a refill penalty by the core models).
+    """
+
+    kind: UopKind
+    addr: int = 0
+    deps: Tuple[int, ...] = field(default_factory=tuple)
+    latency: int = 1
+    mispredict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in (UopKind.LOAD, UopKind.STORE) and self.addr == 0:
+            raise ValueError(f"{self.kind.value} uop needs a target address")
+        if self.latency < 1:
+            raise ValueError("uop latency must be >= 1")

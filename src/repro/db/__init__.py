@@ -1,0 +1,48 @@
+"""A miniature in-memory column-store execution engine.
+
+This is the MonetDB stand-in: column-oriented tables, a bucketed hash index
+with header nodes and (optionally) indirect keys, and the physical
+operators the paper's Figure 2a accounts for — scan, hash join, sort and
+aggregation — plus a query executor that attributes modelled cycles to each
+operator category.
+
+The hash index is laid out byte-for-byte in simulated memory
+(:mod:`repro.mem`), which is what lets both the baseline-core probe traces
+and the Widx programs execute against the very same bytes.
+"""
+
+from .types import DataType
+from .column import Column
+from .table import Table
+from .hashfn import HashSpec, HashStep, KERNEL_HASH, ROBUST_HASH_32, ROBUST_HASH_64
+from .node import NodeLayout, KERNEL_LAYOUT, MONETDB_LAYOUT
+from .hashtable import HashIndex
+from .build import build_index
+from .btree import BPlusTree
+from .plan import PlanNode, ScanNode, HashJoinNode, SortNode, AggregateNode, GroupByNode
+from .executor import QueryExecutor, QueryProfile
+
+__all__ = [
+    "DataType",
+    "Column",
+    "Table",
+    "HashSpec",
+    "HashStep",
+    "KERNEL_HASH",
+    "ROBUST_HASH_32",
+    "ROBUST_HASH_64",
+    "NodeLayout",
+    "KERNEL_LAYOUT",
+    "MONETDB_LAYOUT",
+    "HashIndex",
+    "build_index",
+    "BPlusTree",
+    "PlanNode",
+    "ScanNode",
+    "HashJoinNode",
+    "SortNode",
+    "AggregateNode",
+    "GroupByNode",
+    "QueryExecutor",
+    "QueryProfile",
+]

@@ -1,0 +1,138 @@
+"""Hash-table node layouts (schemas).
+
+The paper stresses that real DBMS index layouts differ from the Listing 1
+abstraction: buckets start with a *header node* (the first node is stored
+inline in the bucket array, saving a dereference), and some systems
+(MonetDB) store keys *indirectly* — the node holds a row id and the key
+must be fetched from the base column, trading space for an extra memory
+access and extra address arithmetic.  Supporting all of these layouts is
+exactly why Widx is programmable, so the layout is a first-class object
+here: the same :class:`NodeLayout` drives the software build/probe code,
+the baseline-core trace generator and the Widx program generator.
+
+Bucket strides are powers of two because the Widx ISA has no multiply —
+bucket addresses are computed with a fused shift-add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeLayout:
+    """Byte layout of one hash-table node (header nodes use the same layout).
+
+    For ``indirect`` layouts the "key" slot holds a row id into the indexed
+    base column; probing loads the row id, computes the key's address in the
+    base column (shift-add), and loads the key itself.
+    """
+
+    name: str
+    stride: int            # node size in bytes; power of two
+    key_bytes: int         # width of the key value being compared
+    payload_bytes: int     # width of the emitted payload (direct layouts)
+    key_offset: int        # offset of the key (direct) or row id (indirect)
+    payload_offset: int    # offset of the payload (direct layouts only)
+    next_offset: int       # offset of the 8-byte next pointer
+    indirect: bool         # True: node stores a row id, key lives in a column
+    empty_sentinel: int    # value in the key/rowid slot marking an empty header
+
+    def __post_init__(self) -> None:
+        if self.stride & (self.stride - 1):
+            raise ValueError("node stride must be a power of two (no MUL on Widx)")
+        if self.key_bytes not in (4, 8):
+            raise ValueError("keys must be 4 or 8 bytes")
+        if self.next_offset % 8 != 0:
+            raise ValueError("next pointer must be 8-byte aligned")
+        slot = 8 if self.indirect else self.key_bytes
+        if self.key_offset % slot != 0:
+            raise ValueError("key slot must be naturally aligned")
+
+    @property
+    def shift(self) -> int:
+        """log2(stride): the shift used for bucket address calculation."""
+        return self.stride.bit_length() - 1
+
+    @property
+    def key_slot_bytes(self) -> int:
+        """Width of the slot at ``key_offset`` (row ids are always 8 bytes)."""
+        return 8 if self.indirect else self.key_bytes
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the layout."""
+        kind = "indirect (row-id) keys" if self.indirect else "inline keys"
+        return (f"{self.name}: {self.stride}B nodes, {self.key_bytes}B keys, "
+                f"{kind}, next@+{self.next_offset}")
+
+
+#: The optimized hash-join kernel's compact schema [Balkesen et al. 2013,
+#: Kim et al. 2009]: a 4 B key and 4 B payload per tuple, plus the chain
+#: pointer.  Four nodes per 64 B cache block.
+KERNEL_LAYOUT = NodeLayout(
+    name="kernel",
+    stride=16,
+    key_bytes=4,
+    payload_bytes=4,
+    key_offset=0,
+    payload_offset=4,
+    next_offset=8,
+    indirect=False,
+    empty_sentinel=0xFFFF_FFFF,
+)
+
+#: A direct layout with 8-byte keys/payloads ("double integers", TPC-H q20).
+WIDE_LAYOUT = NodeLayout(
+    name="wide",
+    stride=32,
+    key_bytes=8,
+    payload_bytes=8,
+    key_offset=0,
+    payload_offset=8,
+    next_offset=16,
+    indirect=False,
+    empty_sentinel=(1 << 64) - 1,
+)
+
+#: MonetDB-style indirect layout: the node stores the row id of the indexed
+#: tuple; the probe loads the row id, computes the key's address inside the
+#: base column (ADD-SHF) and loads the key — one extra memory access and
+#: extra address computation per node, exactly the "more computation for
+#: address calculation" the paper observes in Figure 9a.
+MONETDB_LAYOUT = NodeLayout(
+    name="monetdb",
+    stride=32,
+    key_bytes=4,           # key width of the indexed column (override-able)
+    payload_bytes=8,       # the emitted payload is the row id itself
+    key_offset=0,          # row id slot
+    payload_offset=0,      # payload == row id
+    next_offset=8,
+    indirect=True,
+    empty_sentinel=(1 << 64) - 1,
+)
+
+
+def monetdb_layout(key_bytes: int) -> NodeLayout:
+    """The indirect layout specialized to a base column's key width."""
+    if key_bytes == MONETDB_LAYOUT.key_bytes:
+        return MONETDB_LAYOUT
+    return NodeLayout(
+        name=f"monetdb{key_bytes * 8}",
+        stride=32,
+        key_bytes=key_bytes,
+        payload_bytes=8,
+        key_offset=0,
+        payload_offset=0,
+        next_offset=8,
+        indirect=True,
+        empty_sentinel=(1 << 64) - 1,
+    )
+
+
+def direct_layout(key_bytes: int) -> NodeLayout:
+    """The compact direct layout for a given key width."""
+    if key_bytes == 4:
+        return KERNEL_LAYOUT
+    if key_bytes == 8:
+        return WIDE_LAYOUT
+    raise ValueError(f"unsupported key width {key_bytes}")

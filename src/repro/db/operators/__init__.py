@@ -1,0 +1,22 @@
+"""Physical operators: scan, hash join, sort-merge join, sort, aggregate."""
+
+from .scan import Predicate, apply_predicate
+from .hashjoin import HashJoinResult, hash_join
+from .sortmerge import sort_merge_join
+from .partitioned import partitioned_hash_join, PartitionedJoinResult
+from .sort import sort_table
+from .aggregate import aggregate_table
+from .groupby import group_by
+
+__all__ = [
+    "Predicate",
+    "apply_predicate",
+    "HashJoinResult",
+    "hash_join",
+    "sort_merge_join",
+    "partitioned_hash_join",
+    "PartitionedJoinResult",
+    "sort_table",
+    "aggregate_table",
+    "group_by",
+]

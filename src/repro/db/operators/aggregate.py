@@ -1,0 +1,44 @@
+"""Aggregation operators (the bulk of Figure 2a's "Other" category)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...errors import PlanError
+from ..table import Table
+
+_AGGREGATES = {
+    "sum": np.sum,
+    "min": np.min,
+    "max": np.max,
+    "count": len,
+    "mean": np.mean,
+}
+
+
+def aggregate_table(table: Table, aggregates: Dict[str, str]) -> Dict[str, float]:
+    """Compute ``{output_name: "func(column)"}`` aggregates.
+
+    ``aggregates`` maps an output name to ``"func:column"`` (for example
+    ``{"total": "sum:price"}``) or ``"count:*"``.
+    """
+    results: Dict[str, float] = {}
+    for out_name, spec in aggregates.items():
+        try:
+            func_name, column_name = spec.split(":", 1)
+        except ValueError:
+            raise PlanError(f"aggregate spec {spec!r} must look like 'func:column'")
+        if func_name not in _AGGREGATES:
+            raise PlanError(f"unknown aggregate {func_name!r}; "
+                            f"supported: {sorted(_AGGREGATES)}")
+        if func_name == "count":
+            results[out_name] = float(table.num_rows)
+            continue
+        values = table.column(column_name).values
+        if len(values) == 0:
+            results[out_name] = 0.0
+        else:
+            results[out_name] = float(_AGGREGATES[func_name](values))
+    return results

@@ -1,0 +1,97 @@
+"""Grouped aggregation (hash aggregation).
+
+DSS queries rarely end at a join: the matched tuples are grouped and
+aggregated (Figure 2a folds this into "Other").  This operator implements
+hash aggregation over one grouping key with the same aggregate functions
+as :mod:`repro.db.operators.aggregate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ...errors import PlanError
+from ..column import Column
+from ..table import Table
+from ..types import DataType
+
+_REDUCERS = {
+    "sum": np.add.reduceat,
+    "min": np.minimum.reduceat,
+    "max": np.maximum.reduceat,
+}
+
+
+def group_by(table: Table, key: str,
+             aggregates: Dict[str, str]) -> Table:
+    """Group ``table`` by ``key`` and aggregate.
+
+    ``aggregates`` maps output column names to ``"func:column"`` specs
+    with func in {sum, min, max, count, mean}.  Returns one row per
+    distinct key, sorted by key.
+    """
+    if table.num_rows == 0:
+        raise PlanError("cannot group an empty table")
+    keys = table.column(key).values
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1])))
+    group_keys = sorted_keys[boundaries]
+    counts = np.diff(np.append(boundaries, len(sorted_keys)))
+
+    out = Table(f"{table.name}#groupby:{key}")
+    out.add_column(Column(key, table.column(key).dtype, group_keys))
+    for out_name, spec in aggregates.items():
+        try:
+            func_name, column_name = spec.split(":", 1)
+        except ValueError:
+            raise PlanError(f"aggregate spec {spec!r} must look like "
+                            f"'func:column'") from None
+        if func_name == "count":
+            out.add_column(Column(out_name, DataType.U64,
+                                  counts.astype(np.uint64)))
+            continue
+        values = table.column(column_name).values[order]
+        if func_name in _REDUCERS:
+            reduced = _REDUCERS[func_name](
+                values.astype(np.uint64), boundaries)
+            out.add_column(Column(out_name, DataType.U64, reduced))
+        elif func_name == "mean":
+            sums = np.add.reduceat(values.astype(np.uint64), boundaries)
+            out.add_column(Column(out_name, DataType.U64,
+                                  (sums // counts).astype(np.uint64)))
+        else:
+            raise PlanError(f"unknown aggregate {func_name!r}; supported: "
+                            f"{sorted(_REDUCERS) + ['count', 'mean']}")
+    return out
+
+
+def group_by_reference(table: Table, key: str,
+                       aggregates: Dict[str, str]) -> List[dict]:
+    """Slow dict-based reference for property tests."""
+    groups: Dict[int, List[int]] = {}
+    keys = table.column(key).values
+    for row, value in enumerate(keys):
+        groups.setdefault(int(value), []).append(row)
+    results = []
+    for group_key in sorted(groups):
+        rows = groups[group_key]
+        record = {key: group_key}
+        for out_name, spec in aggregates.items():
+            func_name, _, column_name = spec.partition(":")
+            if func_name == "count":
+                record[out_name] = len(rows)
+                continue
+            values = [int(table.column(column_name).values[r])
+                      for r in rows]
+            record[out_name] = {
+                "sum": sum(values),
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) // len(values),
+            }[func_name]
+        results.append(record)
+    return results

@@ -1,0 +1,46 @@
+"""The scan operator: predicate evaluation over a column."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import PlanError
+from ..table import Table
+
+_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``column <op> value`` selection condition."""
+
+    column: str
+    op: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise PlanError(f"unknown predicate operator {self.op!r}; "
+                            f"supported: {sorted(_OPS)}")
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Boolean selection mask over the table's rows."""
+        column = table.column(self.column)
+        return _OPS[self.op](column.values, column.dtype.numpy_dtype.type(self.value))
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value}"
+
+
+def apply_predicate(table: Table, predicate: Predicate) -> Table:
+    """Select the rows of ``table`` satisfying ``predicate``."""
+    return table.select(predicate.evaluate(table))

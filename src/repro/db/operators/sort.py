@@ -1,0 +1,20 @@
+"""The sort operator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..column import Column
+from ..table import Table
+
+
+def sort_table(table: Table, key: str, descending: bool = False) -> Table:
+    """A new table sorted by ``key``."""
+    order = np.argsort(table.column(key).values, kind="stable")
+    if descending:
+        order = order[::-1]
+    result = Table(f"{table.name}#sorted")
+    for name in table.column_names:
+        column = table.column(name)
+        result.add_column(Column(name, column.dtype, column.values[order]))
+    return result

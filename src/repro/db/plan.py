@@ -1,0 +1,125 @@
+"""Query plans: small physical-operator trees.
+
+The executor (:mod:`repro.db.executor`) evaluates these trees functionally
+and attributes modelled cycles to the Figure 2a categories:
+
+* ``index``    — hash-index probes (what Widx accelerates),
+* ``scan``     — selection scans,
+* ``sortjoin`` — sorting plus non-probe join work (build, materialize),
+* ``other``    — aggregation, library code and system overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .hashfn import HashSpec
+from .operators.scan import Predicate
+
+
+class PlanNode:
+    """Base class for plan-tree nodes."""
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Child plan nodes, in evaluation order."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        raise NotImplementedError
+
+    def pretty(self, indent: int = 0) -> str:
+        """Indented multi-line rendering of the plan tree."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Read a base table, optionally filtering with a predicate."""
+
+    table: str
+    predicate: Optional[Predicate] = None
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        condition = f" where {self.predicate}" if self.predicate else ""
+        return f"Scan({self.table}{condition})"
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Index the build child's key and probe it with the probe child's key."""
+
+    build: PlanNode
+    probe: PlanNode
+    build_key: str
+    probe_key: str
+    payload_column: Optional[str] = None
+    indirect: bool = False
+    hash_spec: Optional[HashSpec] = None
+    target_nodes_per_bucket: float = 1.0
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        """Child plan nodes: (build, probe)."""
+        return (self.build, self.probe)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        style = "indirect" if self.indirect else "direct"
+        return (f"HashJoin({self.build_key} = {self.probe_key}, {style})")
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Sort the child's output by one key."""
+
+    child: PlanNode
+    key: str
+    descending: bool = False
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        """Child plan nodes, in evaluation order."""
+        return (self.child,)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        direction = "desc" if self.descending else "asc"
+        return f"Sort({self.key} {direction})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Aggregate the child's output; terminal node of most DSS plans."""
+
+    child: PlanNode
+    aggregates: Dict[str, str] = field(default_factory=dict)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        """Child plan nodes, in evaluation order."""
+        return (self.child,)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        return f"Aggregate({', '.join(self.aggregates.values()) or 'count'})"
+
+
+@dataclass
+class GroupByNode(PlanNode):
+    """Grouped (hash) aggregation over one key."""
+
+    child: PlanNode
+    key: str
+    aggregates: Dict[str, str] = field(default_factory=dict)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        """Child plan nodes, in evaluation order."""
+        return (self.child,)
+
+    def describe(self) -> str:
+        """One-line description of this operator."""
+        specs = ", ".join(self.aggregates.values()) or "count"
+        return f"GroupBy({self.key}: {specs})"

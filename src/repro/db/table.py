@@ -1,0 +1,81 @@
+"""Column-store tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..errors import PlanError
+from .column import Column
+from .types import DataType
+
+
+class Table:
+    """A named collection of equal-length columns."""
+
+    def __init__(self, name: str, columns: Optional[Iterable[Column]] = None) -> None:
+        self.name = name
+        self._columns: Dict[str, Column] = {}
+        if columns:
+            for column in columns:
+                self.add_column(column)
+
+    def add_column(self, column: Column) -> None:
+        """Attach a column (must match the table's row count)."""
+        if column.name in self._columns:
+            raise PlanError(f"table {self.name!r} already has column {column.name!r}")
+        if self._columns:
+            expected = self.num_rows
+            if len(column) != expected:
+                raise PlanError(
+                    f"column {column.name!r} has {len(column)} rows; "
+                    f"table {self.name!r} has {expected}")
+        self._columns[column.name] = column
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name (PlanError if absent)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise PlanError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self._columns)}") from None
+
+    def has_column(self, name: str) -> bool:
+        """True if a column of that name exists."""
+        return name in self._columns
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        if not self._columns:
+            return 0
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.num_rows}, cols={self.column_names})"
+
+    def select(self, mask: np.ndarray, name: Optional[str] = None) -> "Table":
+        """A new table with only the rows where ``mask`` is true."""
+        result = Table(name or f"{self.name}#sel")
+        for column in self._columns.values():
+            result.add_column(Column(column.name, column.dtype, column.values[mask]))
+        return result
+
+    @classmethod
+    def from_arrays(cls, name: str, **arrays: np.ndarray) -> "Table":
+        """Build a table from keyword numpy arrays (dtype inferred)."""
+        table = cls(name)
+        for column_name, values in arrays.items():
+            array = np.asarray(values)
+            dtype = DataType.U64 if array.dtype.itemsize > 4 else DataType.U32
+            table.add_column(Column(column_name, dtype, array))
+        return table

@@ -1,0 +1,40 @@
+"""Column data types.
+
+The engine stores fixed-width unsigned integers; SQL-level types (dates,
+decimals, doubles) are encoded into them the way column stores do.  The
+paper's workloads use 4-byte keys (hash-join kernel, most DSS queries) and
+8-byte keys ("double integers" in TPC-H query 20).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Fixed-width column types."""
+
+    U32 = "u32"
+    U64 = "u64"
+
+    @property
+    def nbytes(self) -> int:
+        return 4 if self is DataType.U32 else 8
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(np.uint32 if self is DataType.U32 else np.uint64)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (8 * self.nbytes)) - 1
+
+    @classmethod
+    def for_key_bytes(cls, key_bytes: int) -> "DataType":
+        if key_bytes == 4:
+            return cls.U32
+        if key_bytes == 8:
+            return cls.U64
+        raise ValueError(f"unsupported key width {key_bytes} bytes")

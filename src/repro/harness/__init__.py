@@ -1,0 +1,20 @@
+"""Experiment harness: one driver per paper table/figure.
+
+Each ``figN`` module exposes a ``run(...)`` returning a
+:class:`~repro.harness.report.Report` whose rows are the same series the
+paper plots.  The benchmarks under ``benchmarks/`` call these drivers and
+print the reports; EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from .report import Report
+from .runner import (MeasurementCache, measure_kernel, measure_query,
+                     geomean, DEFAULT_RUNS)
+
+__all__ = [
+    "Report",
+    "MeasurementCache",
+    "measure_kernel",
+    "measure_query",
+    "geomean",
+    "DEFAULT_RUNS",
+]

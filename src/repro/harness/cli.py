@@ -1,0 +1,126 @@
+"""Command-line driver: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro --list
+    python -m repro --figure 8b
+    python -m repro --figure 10 --probes 3000 --warmup 600
+    python -m repro --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .report import Report
+from .runner import MeasurementCache, RunSettings
+from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11
+
+#: Experiment registry: name -> (needs_measurements, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "2a": (False, lambda cache: fig2.run_fig2a()),
+    "2b": (False, lambda cache: fig2.run_fig2b()),
+    "4a": (False, lambda cache: fig4.run_fig4a()),
+    "4b": (False, lambda cache: fig4.run_fig4b()),
+    "4c": (False, lambda cache: fig4.run_fig4c()),
+    "5": (False, lambda cache: fig5.run_fig5()),
+    "8a": (True, fig8.run_fig8a),
+    "8b": (True, fig8.run_fig8b),
+    "9a": (True, fig9.run_fig9a),
+    "9b": (True, fig9.run_fig9b),
+    "10": (True, fig10.run_fig10),
+    "query-level": (True, fig10.run_query_level),
+    "11": (True, fig11.run_fig11),
+    "area": (False, lambda cache: fig11.run_area()),
+}
+
+_FAST = {name for name, (needs, _) in EXPERIMENTS.items() if not needs}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables and figures from 'Meet the Walkers' "
+                    "(MICRO 2013).")
+    parser.add_argument("--figure", action="append", dest="figures",
+                        metavar="ID", choices=sorted(EXPERIMENTS),
+                        help="experiment id (repeatable); see --list")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--fast", action="store_true",
+                        help="run only the analytic (sub-second) experiments")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiment ids and exit")
+    parser.add_argument("--probes", type=int, default=3000,
+                        help="probe keys per measured configuration")
+    parser.add_argument("--warmup", type=int, default=600,
+                        help="warm-up probes excluded from measurement")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="workload generation seed")
+    return parser
+
+
+def list_experiments() -> str:
+    """Human-readable list of experiment ids and kinds."""
+    lines = ["available experiments:"]
+    for name in sorted(EXPERIMENTS, key=_sort_key):
+        needs, _ = EXPERIMENTS[name]
+        kind = "simulation" if needs else "analytic"
+        lines.append(f"  {name:<12} ({kind})")
+    return "\n".join(lines)
+
+
+def _sort_key(name: str):
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (int(digits) if digits else 99, name)
+
+
+def run_experiments(names: List[str], settings: RunSettings,
+                    out=sys.stdout) -> List[Report]:
+    """Run the named experiments, printing each report."""
+    cache = MeasurementCache(runs=settings)
+    reports = []
+    for name in names:
+        _needs, runner = EXPERIMENTS[name]
+        started = time.time()
+        report = runner(cache)
+        elapsed = time.time() - started
+        print(report.format(), file=out)
+        print(f"[{name}: {elapsed:.1f}s]\n", file=out)
+        reports.append(report)
+    return reports
+
+
+def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(list_experiments(), file=out)
+        return 0
+    if args.all:
+        names = sorted(EXPERIMENTS, key=_sort_key)
+    elif args.fast:
+        names = sorted(_FAST, key=_sort_key)
+    elif args.figures:
+        names = args.figures
+    else:
+        parser.print_usage(file=out)
+        print("nothing to do: pass --figure ID, --fast, --all or --list",
+              file=out)
+        return 2
+    if args.probes <= args.warmup:
+        print("error: --probes must exceed --warmup", file=out)
+        return 2
+    settings = RunSettings(probes=args.probes, warmup=args.warmup,
+                           seed=args.seed)
+    run_experiments(names, settings, out=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Figure 10: Widx indexing speedup on the DSS queries, plus the paper's
+Section 6.2 query-level projection.
+
+Paper anchors: with four walkers, per-query indexing speedups span
+1.5x-5.5x with a geometric mean of 3.1x; the maximum is TPC-H query 20
+(large index, computationally intensive 8-byte-key hashing) and the
+minimum is TPC-DS query 37 (L1-resident index, <1% L1-D miss ratio).
+
+Query-level speedups project the indexing speedup onto each query's
+Figure 2a indexing fraction (Amdahl): geomean 1.5x, max 3.1x (query 17,
+94% indexing), min 10% (query 37, 29% offloaded).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..workloads.queryspec import QuerySpec
+from ..workloads.tpcds import TPCDS_SIMULATED
+from ..workloads.tpch import TPCH_SIMULATED
+from .report import Report
+from .runner import MeasurementCache, geomean, measure_query
+
+SIMULATED: List[QuerySpec] = TPCH_SIMULATED + TPCDS_SIMULATED
+
+
+def run_fig10(cache: MeasurementCache,
+              walker_counts: Iterable[int] = (1, 2, 4),
+              queries: List[QuerySpec] = None) -> Report:
+    """Per-query indexing speedup over the OoO baseline."""
+    if queries is None:
+        queries = SIMULATED
+    walker_counts = list(walker_counts)
+    report = Report(
+        title="Figure 10: DSS indexing speedup over the OoO baseline",
+        columns=["benchmark", "query", "ooo"]
+        + [f"{n}_walkers" for n in walker_counts])
+    by_walkers = {n: [] for n in walker_counts}
+    for spec in queries:
+        measurement = measure_query(cache, spec, walker_counts)
+        row = [spec.benchmark, spec.label, 1.0]
+        for walkers in walker_counts:
+            speedup = measurement.speedup(walkers)
+            by_walkers[walkers].append(speedup)
+            row.append(speedup)
+        report.add_row(*row)
+    for walkers in walker_counts:
+        note = (f"{walkers} walker(s): geomean {geomean(by_walkers[walkers]):.2f}x"
+                + (" (paper: 3.1x, range 1.5x-5.5x)" if walkers == 4 else ""))
+        report.add_note(note)
+    return report
+
+
+def amdahl_query_speedup(index_fraction: float, index_speedup: float) -> float:
+    """Project an indexing speedup onto the whole query (Amdahl's law)."""
+    if not 0.0 < index_fraction <= 1.0:
+        raise ValueError("index fraction must be in (0, 1]")
+    if index_speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return 1.0 / ((1.0 - index_fraction) + index_fraction / index_speedup)
+
+
+def run_query_level(cache: MeasurementCache, walkers: int = 4,
+                    queries: List[QuerySpec] = None) -> Report:
+    """Section 6.2's application-level speedup projection."""
+    if queries is None:
+        queries = SIMULATED
+    report = Report(
+        title="Query-level speedup (indexing speedup projected onto the "
+              "Figure 2a indexing fraction)",
+        columns=["benchmark", "query", "index_fraction",
+                 "indexing_speedup", "query_speedup"])
+    overall = []
+    for spec in queries:
+        measurement = measure_query(cache, spec, [walkers])
+        indexing = measurement.speedup(walkers)
+        query_level = amdahl_query_speedup(spec.index_fraction, indexing)
+        overall.append(query_level)
+        report.add_row(spec.benchmark, spec.label, spec.index_fraction,
+                       indexing, query_level)
+    report.add_note(f"geomean query speedup {geomean(overall):.2f}x "
+                    "(paper: 1.5x, max 3.1x on qry17, min ~1.1x on qry37)")
+    return report

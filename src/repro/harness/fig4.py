@@ -1,0 +1,58 @@
+"""Figure 4: the accelerator bottleneck analysis (Section 3.2).
+
+Three constraints on walker scaling, from the analytical model:
+
+* **4a** L1-D bandwidth: memory ops per cycle vs LLC miss ratio, per
+  walker count — a single-ported L1 bottlenecks more than six walkers at
+  low miss ratios; two ports comfortably support ten.
+* **4b** MSHRs: outstanding L1 misses grow linearly with walkers; 8-10
+  MSHRs cap the design at four or five walkers.
+* **4c** Off-chip bandwidth: one memory controller sustains ~8 walkers at
+  low LLC miss ratios, dropping to ~4 at high miss ratios.
+"""
+
+from __future__ import annotations
+
+from ..model.analytical import (AnalyticalModel, fig4a_series, fig4b_series,
+                                fig4c_series, max_walkers_by_mshrs)
+from .report import Report
+
+
+def run_fig4a(model: AnalyticalModel = AnalyticalModel()) -> Report:
+    """Figure 4a: L1 bandwidth pressure vs LLC miss ratio."""
+    series = fig4a_series(model)
+    walker_counts = sorted(series)
+    miss_ratios = [point[0] for point in series[walker_counts[0]]]
+    report = Report(
+        title="Figure 4a: L1-D bandwidth (mem ops/cycle vs LLC miss ratio)",
+        columns=["llc_miss_ratio"] + [f"{n}_walkers" for n in walker_counts])
+    for i, miss in enumerate(miss_ratios):
+        report.add_row(miss, *(series[n][i][1] for n in walker_counts))
+    report.add_note(f"L1 ports available: {model.params.l1_ports} "
+                    "(values above 1.0 exceed a single-ported L1)")
+    return report
+
+
+def run_fig4b(model: AnalyticalModel = AnalyticalModel()) -> Report:
+    """Figure 4b: outstanding L1 misses vs walker count."""
+    report = Report(
+        title="Figure 4b: MSHR pressure (outstanding L1 misses vs walkers)",
+        columns=["walkers", "outstanding_misses"])
+    for walkers, misses in fig4b_series(model):
+        report.add_row(walkers, misses)
+    report.add_note(
+        f"MSHR budget {model.params.mshrs}: supports "
+        f"{max_walkers_by_mshrs(model)} walkers "
+        f"(paper: four or five with 8-10 MSHRs)")
+    return report
+
+
+def run_fig4c(model: AnalyticalModel = AnalyticalModel()) -> Report:
+    """Figure 4c: walkers per memory controller vs LLC miss ratio."""
+    report = Report(
+        title="Figure 4c: off-chip bandwidth (walkers per MC vs LLC miss ratio)",
+        columns=["llc_miss_ratio", "walkers_per_mc"])
+    for miss, walkers in fig4c_series(model):
+        report.add_row(miss, walkers)
+    report.add_note("paper: ~8 walkers/MC at low miss ratios, ~4 at high")
+    return report

@@ -1,0 +1,31 @@
+"""Figure 5: how many walkers one dispatcher can feed (Equation 6).
+
+Walker utilization vs LLC miss ratio for 2/4/8 walkers at bucket depths of
+1, 2 and 3 nodes.  Paper conclusion: a single decoupled hashing unit feeds
+up to four walkers, except for very shallow buckets (1 node) with low LLC
+miss ratios.
+"""
+
+from __future__ import annotations
+
+from ..model.analytical import AnalyticalModel, fig5_series
+from .report import Report
+
+
+def run_fig5(model: AnalyticalModel = AnalyticalModel()) -> Report:
+    """Figure 5: walker utilization under one shared dispatcher."""
+    series = fig5_series(model)
+    report = Report(
+        title="Figure 5: walker utilization with one shared dispatcher",
+        columns=["nodes_per_bucket", "llc_miss_ratio",
+                 "2_walkers", "4_walkers", "8_walkers"])
+    for bucket_depth in sorted(series):
+        by_walkers = series[bucket_depth]
+        miss_ratios = [point[0] for point in by_walkers[2]]
+        for i, miss in enumerate(miss_ratios):
+            report.add_row(bucket_depth, miss,
+                           by_walkers[2][i][1], by_walkers[4][i][1],
+                           by_walkers[8][i][1])
+    report.add_note("paper: one dispatcher feeds 4 walkers except for "
+                    "1-node buckets at low LLC miss ratios")
+    return report

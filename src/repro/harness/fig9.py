@@ -1,0 +1,58 @@
+"""Figure 9: Widx walker cycle breakdowns on the DSS queries.
+
+* **9a** (TPC-H 2, 11, 17, 19, 20, 22): more Comp than the kernel —
+  MonetDB's indirect keys need extra address arithmetic; cycles per tuple
+  fall near-linearly with walkers; TLB stalls (up to 8%) only on the
+  memory-intensive queries 19/20/22.
+* **9b** (TPC-DS 5, 37, 40, 52, 64, 82): much smaller indexes (TPC-DS has
+  429 columns vs TPC-H's 61), so memory time is consistently lower and
+  the L1-resident queries (5, 37, 64, 82) leave walkers partially idle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..workloads.queryspec import QuerySpec
+from ..workloads.tpcds import TPCDS_SIMULATED
+from ..workloads.tpch import TPCH_SIMULATED
+from .report import Report
+from .runner import MeasurementCache, measure_query
+
+
+def _run(cache: MeasurementCache, queries: List[QuerySpec], title: str,
+         walker_counts: Iterable[int]) -> Report:
+    report = Report(
+        title=title,
+        columns=["query", "walkers", "comp", "mem", "tlb", "idle", "total"])
+    for spec in queries:
+        measurement = measure_query(cache, spec, walker_counts)
+        for walkers in walker_counts:
+            breakdown = measurement.walker_breakdown(walkers)
+            idle = breakdown.idle + breakdown.queue
+            total = breakdown.comp + breakdown.mem + breakdown.tlb + idle
+            report.add_row(spec.label, walkers, breakdown.comp,
+                           breakdown.mem, breakdown.tlb, idle, total)
+    return report
+
+
+def run_fig9a(cache: MeasurementCache,
+              walker_counts: Iterable[int] = (1, 2, 4)) -> Report:
+    """Figure 9a: TPC-H walker cycle breakdowns."""
+    report = _run(cache, TPCH_SIMULATED,
+                  "Figure 9a: TPC-H walker cycles per tuple (Comp/Mem/TLB/Idle)",
+                  list(walker_counts))
+    report.add_note("paper: queries 2/11/17 see no TLB misses; 19/20/22 "
+                    "spend up to 8% of walker cycles in TLB stalls")
+    return report
+
+
+def run_fig9b(cache: MeasurementCache,
+              walker_counts: Iterable[int] = (1, 2, 4)) -> Report:
+    """Figure 9b: TPC-DS walker cycle breakdowns."""
+    report = _run(cache, TPCDS_SIMULATED,
+                  "Figure 9b: TPC-DS walker cycles per tuple (Comp/Mem/TLB/Idle)",
+                  list(walker_counts))
+    report.add_note("paper: consistently lower memory time than TPC-H; "
+                    "L1-resident queries (5/37/64/82) show walker Idle")
+    return report

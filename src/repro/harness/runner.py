@@ -1,0 +1,156 @@
+"""Shared measurement machinery for the per-figure drivers.
+
+Building a scaled index takes seconds and several figures reuse the same
+measurements (Figure 10's speedups come from Figure 9's runs; Figure 11
+aggregates both), so measurements are memoized in a process-wide
+:class:`MeasurementCache`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..config import SystemConfig, DEFAULT_CONFIG
+from ..cpu.timing import CoreTimingResult, measure_indexing
+from ..mem.layout import AddressSpace
+from ..widx.offload import OffloadOutcome, offload_probe
+from ..widx.unit import UnitCycleBreakdown
+from ..workloads.hashjoin_kernel import build_kernel_workload
+from ..workloads.queryspec import QuerySpec, build_query_index
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Probe-volume settings shared by an experiment campaign."""
+
+    probes: int = 3_000
+    warmup: int = 600
+    seed: int = 42
+
+    @property
+    def measured(self) -> int:
+        return self.probes - self.warmup
+
+
+DEFAULT_RUNS = RunSettings()
+
+#: A lighter setting for unit tests and quick sanity runs.
+QUICK_RUNS = RunSettings(probes=1_200, warmup=300)
+
+
+@dataclass
+class WorkloadMeasurement:
+    """Everything measured for one workload (kernel size or query)."""
+
+    name: str
+    ooo: Optional[CoreTimingResult] = None
+    inorder: Optional[CoreTimingResult] = None
+    widx: Dict[int, OffloadOutcome] = field(default_factory=dict)
+
+    def speedup(self, walkers: int) -> float:
+        """Widx indexing speedup over the OoO baseline."""
+        if self.ooo is None or walkers not in self.widx:
+            raise KeyError(f"{self.name}: missing measurement for {walkers} walkers")
+        return self.ooo.cycles_per_tuple / self.widx[walkers].cycles_per_tuple
+
+    def walker_breakdown(self, walkers: int) -> UnitCycleBreakdown:
+        """Per-tuple walker cycle breakdown at a walker count."""
+        return self.widx[walkers].run.walker_cycles_per_tuple()
+
+
+class MeasurementCache:
+    """Memoizes workload builds and measurements across figure drivers."""
+
+    def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
+                 runs: RunSettings = DEFAULT_RUNS) -> None:
+        self.config = config
+        self.runs = runs
+        self._kernel_workloads: Dict[str, tuple] = {}
+        self._query_workloads: Dict[str, tuple] = {}
+        self._measurements: Dict[Tuple, object] = {}
+
+    # --- workload construction (cached) --------------------------------
+
+    def kernel_workload(self, size: str):
+        """Build (or reuse) one kernel size's index + probes."""
+        if size not in self._kernel_workloads:
+            self._kernel_workloads[size] = build_kernel_workload(
+                size, self.runs.probes, seed=self.runs.seed)
+        return self._kernel_workloads[size]
+
+    def query_workload(self, spec: QuerySpec):
+        """Build (or reuse) one DSS query's index + probes."""
+        key = f"{spec.benchmark}:{spec.number}"
+        if key not in self._query_workloads:
+            self._query_workloads[key] = build_query_index(
+                spec, probe_count=self.runs.probes, seed=self.runs.seed)
+        return self._query_workloads[key]
+
+    # --- measurements (cached) ------------------------------------------
+
+    def baseline(self, kind: str, name: str, core: str) -> CoreTimingResult:
+        """Measure (or reuse) a baseline core on one workload."""
+        key = ("baseline", kind, name, core)
+        if key not in self._measurements:
+            index, probes = (self.kernel_workload(name) if kind == "kernel"
+                             else self.query_workload(self._spec_by_name(name)))
+            self._measurements[key] = measure_indexing(
+                index, probes, core=core, config=self.config,
+                warmup_probes=self.runs.warmup,
+                measure_probes=self.runs.measured)
+        return self._measurements[key]  # type: ignore[return-value]
+
+    def widx(self, kind: str, name: str, walkers: int,
+             mode: str = "shared") -> OffloadOutcome:
+        """Measure (or reuse) a Widx offload on one workload."""
+        key = ("widx", kind, name, walkers, mode)
+        if key not in self._measurements:
+            index, probes = (self.kernel_workload(name) if kind == "kernel"
+                             else self.query_workload(self._spec_by_name(name)))
+            config = self.config.with_widx(num_walkers=walkers, mode=mode)
+            self._measurements[key] = offload_probe(
+                index, probes, config=config, probes=self.runs.probes)
+        return self._measurements[key]  # type: ignore[return-value]
+
+    def _spec_by_name(self, name: str) -> QuerySpec:
+        from ..workloads.tpch import TPCH_QUERIES
+        from ..workloads.tpcds import TPCDS_QUERIES
+        for spec in TPCH_QUERIES + TPCDS_QUERIES:
+            if f"{spec.benchmark}:{spec.number}" == name:
+                return spec
+        raise KeyError(f"unknown query {name!r}")
+
+
+def measure_kernel(cache: MeasurementCache, size: str,
+                   walker_counts: Iterable[int] = (1, 2, 4),
+                   ) -> WorkloadMeasurement:
+    """Measure one kernel size on the OoO baseline and Widx configs."""
+    result = WorkloadMeasurement(name=size)
+    result.ooo = cache.baseline("kernel", size, "ooo")
+    for walkers in walker_counts:
+        result.widx[walkers] = cache.widx("kernel", size, walkers)
+    return result
+
+
+def measure_query(cache: MeasurementCache, spec: QuerySpec,
+                  walker_counts: Iterable[int] = (1, 2, 4),
+                  include_inorder: bool = False) -> WorkloadMeasurement:
+    """Measure one DSS query on the baselines and Widx configs."""
+    name = f"{spec.benchmark}:{spec.number}"
+    result = WorkloadMeasurement(name=spec.label)
+    result.ooo = cache.baseline("query", name, "ooo")
+    if include_inorder:
+        result.inorder = cache.baseline("query", name, "inorder")
+    for walkers in walker_counts:
+        result.widx[walkers] = cache.widx("query", name, walkers)
+    return result
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (raises on an empty sequence)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

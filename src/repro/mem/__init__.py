@@ -1,0 +1,31 @@
+"""Simulated memory system.
+
+Functional state lives in :class:`PhysicalMemory` (a flat byte-addressable
+store with an allocator); timing lives in :class:`MemoryHierarchy`, which
+models the paper's Table 2 hierarchy: a 32 KB 2-port L1-D with 10 MSHRs, a
+4 MB LLC behind a 4-cycle crossbar, and two DDR3 memory controllers with
+finite bandwidth, fronted by a TLB limited to 2 in-flight translations.
+"""
+
+from .physmem import PhysicalMemory, NULL_PTR
+from .layout import AddressSpace, Region
+from .cache import CacheArray, CacheLevel
+from .tlb import Tlb
+from .dram import MemoryControllers
+from .hierarchy import AccessResult, MemoryHierarchy
+from .stats import MemoryStats, LevelStats
+
+__all__ = [
+    "PhysicalMemory",
+    "NULL_PTR",
+    "AddressSpace",
+    "Region",
+    "CacheArray",
+    "CacheLevel",
+    "Tlb",
+    "MemoryControllers",
+    "AccessResult",
+    "MemoryHierarchy",
+    "MemoryStats",
+    "LevelStats",
+]

@@ -1,0 +1,133 @@
+"""Set-associative cache model: functional tag array plus timing resources.
+
+The tag array (:class:`CacheArray`) tracks which blocks are resident with
+true LRU replacement.  :class:`CacheLevel` pairs it with the timing
+resources the paper's bottleneck analysis identifies: a fixed number of
+ports (one access per port per cycle) and, for the L1, a fixed number of
+MSHRs (Section 3.2, Equation 3), with same-block miss combining.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..config import CacheConfig
+from ..sim.resources import OccupancyPool, PipelinedResource
+from .stats import LevelStats
+
+
+class CacheArray:
+    """Functional set-associative tag array with LRU replacement."""
+
+    __slots__ = ("block_bits", "num_sets", "associativity", "_sets")
+
+    def __init__(self, cfg: CacheConfig) -> None:
+        self.block_bits = cfg.block_bytes.bit_length() - 1
+        self.num_sets = cfg.num_sets
+        self.associativity = cfg.associativity
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def block_of(self, addr: int) -> int:
+        """The block number an address falls in."""
+        return addr >> self.block_bits
+
+    def _set_for(self, block: int) -> OrderedDict:
+        index = block % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = OrderedDict()
+        return entries
+
+    def lookup(self, block: int) -> bool:
+        """True if resident; refreshes LRU position on hit."""
+        entries = self._set_for(block)
+        if block in entries:
+            entries.move_to_end(block)
+            return True
+        return False
+
+    def present(self, block: int) -> bool:
+        """Residency check without touching LRU state."""
+        return block in self._set_for(block)
+
+    def insert(self, block: int) -> Optional[int]:
+        """Insert a block; returns the evicted block (if any)."""
+        entries = self._set_for(block)
+        if block in entries:
+            entries.move_to_end(block)
+            return None
+        victim = None
+        if len(entries) >= self.associativity:
+            victim, _ = entries.popitem(last=False)
+        entries[block] = None
+        return victim
+
+    def invalidate(self, block: int) -> None:
+        """Drop a block if resident."""
+        self._set_for(block).pop(block, None)
+
+    def resident_blocks(self) -> int:
+        """Total blocks currently resident."""
+        return sum(len(entries) for entries in self._sets.values())
+
+
+class CacheLevel:
+    """One cache level: tag array + ports + (for L1) MSHRs.
+
+    Timing queries return absolute cycle timestamps; callers must issue
+    requests in non-decreasing time order (guaranteed by the event engine).
+    """
+
+    def __init__(self, cfg: CacheConfig, name: str) -> None:
+        self.cfg = cfg
+        self.name = name
+        self.array = CacheArray(cfg)
+        self.ports = PipelinedResource(servers=cfg.ports, service=1.0)
+        self.mshrs = OccupancyPool(capacity=cfg.mshrs)
+        self.stats = LevelStats()
+        # In-flight misses by block -> fill completion time (miss combining).
+        self._inflight: Dict[int, float] = {}
+
+    def block_of(self, addr: int) -> int:
+        """The block number an address falls in."""
+        return self.array.block_of(addr)
+
+    def port_grant(self, now: float) -> float:
+        """Time this access wins a port (>= now)."""
+        return self.ports.request(now)
+
+    def probe(self, block: int, now: float) -> Optional[float]:
+        """Tag lookup at time ``now``.
+
+        Returns ``None`` for a hit. For an in-flight miss to the same block,
+        returns the pending fill time (combined miss — no new MSHR).  For a
+        fresh miss, returns ``-1.0`` and the caller must complete the miss
+        with :meth:`begin_miss` / :meth:`finish_miss`.
+        """
+        self.stats.accesses += 1
+        pending = self._inflight.get(block)
+        if pending is not None:
+            if pending > now:
+                self.stats.combined_misses += 1
+                return pending
+            del self._inflight[block]
+        if self.array.lookup(block):
+            self.stats.hits += 1
+            return None
+        self.stats.misses += 1
+        return -1.0
+
+    def begin_miss(self, now: float) -> float:
+        """Claim an MSHR; returns when the miss can actually issue (>= now)."""
+        return self.mshrs.acquire(now)
+
+    def finish_miss(self, block: int, fill_time: float) -> None:
+        """Record the fill: releases the MSHR and installs the block."""
+        self.mshrs.release_at(fill_time)
+        self._inflight[block] = fill_time
+        self.array.insert(block)
+
+    def warm(self, block: int) -> None:
+        """Functionally install a block with no timing effect (warm-up)."""
+        self.array.insert(block)

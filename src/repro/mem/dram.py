@@ -1,0 +1,56 @@
+"""Memory controllers with finite off-chip bandwidth.
+
+The paper's off-chip constraint (Section 3.2, Equations 4-5) is what caps
+walker scaling at high LLC miss ratios, so bandwidth is modelled as a real
+resource: each controller transfers one 64 B block per ``service`` cycles
+(peak bandwidth derated to ~70% effective, per the paper's 9 GB/s figure),
+on top of the 45 ns access latency.  Blocks are interleaved across
+controllers by block address.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import DramConfig
+from ..sim.resources import PipelinedResource
+
+
+class MemoryControllers:
+    """Bank of memory controllers; returns data-ready times for block fetches."""
+
+    def __init__(self, cfg: DramConfig, freq_ghz: float, block_bytes: int) -> None:
+        self.cfg = cfg
+        self.latency_cycles = cfg.latency_cycles(freq_ghz)
+        self.service_cycles = cfg.block_service_cycles(freq_ghz, block_bytes)
+        self._controllers: List[PipelinedResource] = [
+            PipelinedResource(servers=1, service=self.service_cycles)
+            for _ in range(cfg.num_controllers)
+        ]
+        self.blocks_transferred = 0
+
+    def controller_for(self, block: int) -> int:
+        """Which controller owns a block (address interleave)."""
+        return block % len(self._controllers)
+
+    def fetch(self, block: int, now: float) -> float:
+        """Request a block at time ``now``; returns its data-ready time.
+
+        The transfer occupies the owning controller for ``service_cycles``
+        (bandwidth) and the data arrives ``latency_cycles`` after the
+        transfer starts (access latency).
+        """
+        controller = self._controllers[self.controller_for(block)]
+        start = controller.request(now)
+        self.blocks_transferred += 1
+        return start + self.latency_cycles
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(mc.busy_cycles for mc in self._controllers)
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Mean controller utilization over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.busy_cycles / (elapsed_cycles * len(self._controllers))

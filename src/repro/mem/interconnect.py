@@ -1,0 +1,26 @@
+"""On-chip interconnect: a fixed-latency crossbar (Table 2: 4 cycles).
+
+The crossbar sits between the private L1s and the shared LLC.  The paper
+models it as a fixed 4-cycle latency; contention on the crossbar itself is
+not a bottleneck in the paper's analysis (L1 ports, MSHRs and off-chip
+bandwidth are), so we model latency only.
+"""
+
+from __future__ import annotations
+
+
+class Crossbar:
+    """Fixed-latency link; counts traversals for reporting."""
+
+    __slots__ = ("latency_cycles", "traversals")
+
+    def __init__(self, latency_cycles: int) -> None:
+        if latency_cycles < 0:
+            raise ValueError("crossbar latency cannot be negative")
+        self.latency_cycles = latency_cycles
+        self.traversals = 0
+
+    def traverse(self, now: float) -> float:
+        """Returns arrival time of a message injected at ``now``."""
+        self.traversals += 1
+        return now + self.latency_cycles

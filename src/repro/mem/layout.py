@@ -1,0 +1,68 @@
+"""Named-region allocator over :class:`PhysicalMemory`.
+
+Gives each simulated data structure (key table, bucket array, node heap,
+output region) a named region, which makes address-to-structure attribution
+possible in stats and error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .physmem import PhysicalMemory
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous named allocation."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if the address falls inside this region."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Allocates named regions and resolves addresses back to them."""
+
+    def __init__(self, memory: Optional[PhysicalMemory] = None) -> None:
+        self.memory = memory if memory is not None else PhysicalMemory()
+        self._regions: Dict[str, Region] = {}
+        self._ordered: List[Region] = []
+
+    def allocate(self, name: str, size: int, align: int = 64) -> Region:
+        """Allocate ``size`` bytes under a unique ``name``."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        base = self.memory.sbrk(size, align)
+        region = Region(name, base, size)
+        self._regions[name] = region
+        self._ordered.append(region)
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up a region by name."""
+        return self._regions[name]
+
+    def find(self, addr: int) -> Optional[Region]:
+        """The region containing ``addr``, or None."""
+        for region in self._ordered:
+            if region.contains(addr):
+                return region
+        return None
+
+    def regions(self) -> List[Region]:
+        """All regions, in allocation order."""
+        return list(self._ordered)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(region.size for region in self._ordered)

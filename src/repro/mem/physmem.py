@@ -1,0 +1,113 @@
+"""Flat byte-addressable simulated memory.
+
+Every data structure the simulated programs touch (input key tables, hash
+buckets, node lists, output regions) is laid out at real addresses inside a
+single growable byte store.  Widx instructions and the baseline cores'
+probe traces read and write these bytes, so the simulation is functionally
+exact: the accelerated probe must produce byte-identical results to the
+software loop.
+
+Address 0 is reserved as the NULL pointer; the first mapped byte is at
+``BASE_ADDRESS``.
+"""
+
+from __future__ import annotations
+
+from ..errors import AlignmentError, SegmentationFault
+
+NULL_PTR = 0
+BASE_ADDRESS = 0x1_0000
+
+
+class PhysicalMemory:
+    """A growable, bounds-checked flat memory.
+
+    All multi-byte accesses are little-endian and must be naturally aligned
+    (the Widx datapath and the baseline cores issue only aligned accesses).
+    """
+
+    def __init__(self, limit_bytes: int = 1 << 31) -> None:
+        self._store = bytearray()
+        self._limit = limit_bytes
+        self._base = BASE_ADDRESS
+        self._brk = BASE_ADDRESS  # next unallocated address
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes handed out by :meth:`sbrk`."""
+        return self._brk - self._base
+
+    def sbrk(self, nbytes: int, align: int = 64) -> int:
+        """Extend the mapped region by ``nbytes`` (aligned); return its base."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        if align < 1 or (align & (align - 1)) != 0:
+            raise ValueError("alignment must be a positive power of two")
+        base = (self._brk + align - 1) & ~(align - 1)
+        end = base + nbytes
+        if end - self._base > self._limit:
+            raise SegmentationFault(
+                f"allocation of {nbytes} bytes exceeds the {self._limit}-byte "
+                f"simulated memory limit")
+        needed = end - self._base
+        if needed > len(self._store):
+            self._store.extend(b"\x00" * (needed - len(self._store)))
+        self._brk = end
+        return base
+
+    def _offset(self, addr: int, size: int) -> int:
+        if addr == NULL_PTR:
+            raise SegmentationFault("NULL pointer dereference")
+        if addr % size != 0:
+            raise AlignmentError(f"unaligned {size}-byte access at {addr:#x}")
+        offset = addr - self._base
+        if offset < 0 or offset + size > self._brk - self._base:
+            raise SegmentationFault(
+                f"{size}-byte access at {addr:#x} outside mapped "
+                f"[{self._base:#x}, {self._brk:#x})")
+        return offset
+
+    def read(self, addr: int, size: int) -> int:
+        """Read an unsigned little-endian integer of ``size`` bytes."""
+        offset = self._offset(addr, size)
+        return int.from_bytes(self._store[offset:offset + size], "little")
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Write an unsigned little-endian integer of ``size`` bytes."""
+        offset = self._offset(addr, size)
+        self._store[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+    # Sized helpers keep call sites readable.
+    def read_u8(self, addr: int) -> int:
+        """Read one byte."""
+        return self.read(addr, 1)
+
+    def read_u32(self, addr: int) -> int:
+        """Read an aligned 32-bit little-endian word."""
+        return self.read(addr, 4)
+
+    def read_u64(self, addr: int) -> int:
+        """Read an aligned 64-bit little-endian word."""
+        return self.read(addr, 8)
+
+    def write_u8(self, addr: int, value: int) -> None:
+        """Write one byte."""
+        self.write(addr, 1, value)
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Write an aligned 32-bit little-endian word."""
+        self.write(addr, 4, value)
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Write an aligned 64-bit little-endian word."""
+        self.write(addr, 8, value)
+
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        """Raw byte read (no alignment requirement) for debugging/dumps."""
+        if addr == NULL_PTR:
+            raise SegmentationFault("NULL pointer dereference")
+        offset = addr - self._base
+        if offset < 0 or offset + nbytes > self._brk - self._base:
+            raise SegmentationFault(f"byte read at {addr:#x} out of range")
+        return bytes(self._store[offset:offset + nbytes])

@@ -1,0 +1,68 @@
+"""Counters collected by the memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LevelStats:
+    """Hit/miss accounting for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    combined_misses: int = 0  # misses merged into an in-flight MSHR
+    prefetches: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per lookup that actually consulted the tag array."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def check(self) -> None:
+        """Internal-consistency invariant: every access hit, missed or combined."""
+        assert self.hits + self.misses + self.combined_misses == self.accesses, (
+            f"cache accounting broken: {self.hits}+{self.misses}"
+            f"+{self.combined_misses} != {self.accesses}")
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    misses: int = 0
+    stall_cycles: float = 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class MemoryStats:
+    """All counters for one :class:`~repro.mem.MemoryHierarchy` instance."""
+
+    l1d: LevelStats = field(default_factory=LevelStats)
+    llc: LevelStats = field(default_factory=LevelStats)
+    tlb: TlbStats = field(default_factory=TlbStats)
+    dram_blocks: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    def check(self) -> None:
+        """Assert the hit/miss accounting identities hold."""
+        self.l1d.check()
+        self.llc.check()
+
+    def summary(self) -> str:
+        """One-line counter summary for logs and examples."""
+        return (
+            f"loads={self.loads} stores={self.stores} "
+            f"L1 miss={self.l1d.miss_ratio:.3f} "
+            f"LLC miss={self.llc.miss_ratio:.3f} "
+            f"TLB miss={self.tlb.miss_ratio:.4f} "
+            f"DRAM blocks={self.dram_blocks}")

@@ -1,0 +1,83 @@
+"""TLB model with the paper's in-flight translation limit.
+
+The paper's Table 2 lists "TLB: 2 in-flight translations" — the host MMU
+(shared with Widx) can service at most two page walks concurrently.  Widx
+has no TLB of its own; all units fault into the host MMU, so this module is
+shared by the baseline cores and the accelerator.
+
+A page walk is modelled as a fixed latency (``miss_latency_cycles``); the
+paper reports TLB miss ratios of at most ~3% (Large hash-join index) and
+TLB stall shares of at most 8% of walker cycles, which this model
+reproduces without simulating the radix walk itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Tuple
+
+from ..config import TlbConfig
+from ..sim.resources import OccupancyPool
+from .stats import TlbStats
+
+
+class Tlb:
+    """LRU TLB with a bounded number of concurrent page walks."""
+
+    def __init__(self, cfg: TlbConfig) -> None:
+        self.cfg = cfg
+        self._page_bits = cfg.page_bytes.bit_length() - 1
+        self._entries: OrderedDict = OrderedDict()
+        self._walks = OccupancyPool(capacity=cfg.in_flight)
+        self.stats = TlbStats()
+        # In-flight walks by page -> completion, so concurrent misses to one
+        # page share a single walk.
+        self._inflight: dict = {}
+
+    def page_of(self, addr: int) -> int:
+        """The page number an address falls in."""
+        return addr >> self._page_bits
+
+    def translate(self, addr: int, now: float) -> Tuple[float, float]:
+        """Translate ``addr`` at time ``now``.
+
+        Returns ``(ready_time, stall_cycles)`` where ``ready_time`` is when
+        the physical address is available and ``stall_cycles`` is the
+        translation stall attributed to this access (0 on a hit).
+        """
+        page = self.page_of(addr)
+        self.stats.accesses += 1
+        entries = self._entries
+        pending = self._inflight.get(page)
+        if pending is not None:
+            if pending > now:
+                # Share the in-flight walk instead of starting another.
+                stall = pending - now
+                self.stats.stall_cycles += stall
+                return pending, stall
+            del self._inflight[page]
+        if page in entries:
+            entries.move_to_end(page)
+            return now, 0.0
+        self.stats.misses += 1
+        start = self._walks.acquire(now)
+        done = start + self.cfg.miss_latency_cycles
+        self._walks.release_at(done)
+        self._inflight[page] = done
+        self._insert(page)
+        stall = done - now
+        self.stats.stall_cycles += stall
+        return done, stall
+
+    def _insert(self, page: int) -> None:
+        entries = self._entries
+        if page in entries:
+            entries.move_to_end(page)
+            return
+        if len(entries) >= self.cfg.entries:
+            entries.popitem(last=False)
+        entries[page] = None
+
+    def warm(self, addr: int) -> None:
+        """Install the page translation with no timing effect."""
+        self._insert(self.page_of(addr))

@@ -1,0 +1,26 @@
+"""The paper's first-order analytical model (Section 3.2).
+
+Implements Equations 1-6 and generates the data series behind Figures 4a,
+4b, 4c (L1 bandwidth, MSHR and off-chip bandwidth constraints) and 5a-5c
+(dispatcher-to-walker balance), using the Table 2 machine parameters.
+"""
+
+from .params import ModelParams
+from .analytical import (
+    AnalyticalModel,
+    fig4a_series,
+    fig4b_series,
+    fig4c_series,
+    fig5_series,
+    max_walkers_by_mshrs,
+)
+
+__all__ = [
+    "ModelParams",
+    "AnalyticalModel",
+    "fig4a_series",
+    "fig4b_series",
+    "fig4c_series",
+    "fig5_series",
+    "max_walkers_by_mshrs",
+]

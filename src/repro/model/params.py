@@ -1,0 +1,78 @@
+"""Inputs to the analytical model, derived from Table 2 and Listing 1.
+
+The paper's model assumes 64-bit keys (eight per 64 B cache block), key
+loads that miss all the way to memory on the first touch of each block,
+and node accesses that always miss the L1 but may hit the LLC (the LLC
+miss ratio is the model's free parameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig, DEFAULT_CONFIG
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Per-operation costs for the hashing unit (H) and walker (W)."""
+
+    # --- machine (from Table 2) ---------------------------------------
+    l1_latency: float = 2.0
+    llc_latency: float = 14.0      # 6-cycle LLC + 2x 4-cycle crossbar
+    dram_latency: float = 104.0    # 45 ns at 2 GHz + LLC/crossbar path
+    l1_ports: int = 2
+    mshrs: int = 10
+    mc_blocks_per_cycle: float = 0.0703  # 9 GB/s effective / 64 B / 2 GHz
+
+    # --- hashing one key (H) ------------------------------------------
+    keys_per_block: int = 8        # 64-bit keys
+    hash_mem_ops: float = 1.0      # one key load per hash
+    hash_comp_cycles: float = 8.0  # fused-op mixing + mask + bucket address
+    hash_mlp: float = 1.0          # one outstanding key-block fetch (Eq. 3)
+
+    # --- walking one node (W) -----------------------------------------
+    walk_mem_ops: float = 2.0      # key slot + next pointer
+    walk_blocks_per_node: float = 1.0  # both slots share the node's block
+    walk_comp_cycles: float = 4.0  # compare, branch, address bump
+    walk_mlp: float = 1.0          # pointer chasing is serial
+
+    @classmethod
+    def from_config(cls, config: SystemConfig = DEFAULT_CONFIG,
+                    **overrides: float) -> "ModelParams":
+        """Derive the machine-side parameters from a system config."""
+        llc_total = (config.llc.latency_cycles
+                     + 2 * config.interconnect_cycles)
+        dram_total = (config.dram.latency_cycles(config.freq_ghz)
+                      + llc_total)
+        bw = (config.dram.bandwidth_gbps * config.dram.efficiency
+              / config.llc.block_bytes / config.freq_ghz)
+        values = dict(
+            l1_latency=float(config.l1d.latency_cycles),
+            llc_latency=float(llc_total),
+            dram_latency=float(dram_total),
+            l1_ports=config.l1d.ports,
+            mshrs=config.l1d.mshrs,
+            mc_blocks_per_cycle=bw,
+        )
+        values.update(overrides)
+        return cls(**values)
+
+    # --- Equation 1 inputs --------------------------------------------
+
+    def hash_amat(self, llc_miss_ratio_keys: float = 1.0) -> float:
+        """AMAT of the key stream: 1-in-8 loads miss to memory.
+
+        The paper's model sends the first access to each key block all the
+        way to main memory (``llc_miss_ratio_keys`` = 1); the remaining
+        seven hit the L1.
+        """
+        miss_fraction = 1.0 / self.keys_per_block
+        miss_cost = (self.llc_latency
+                     + llc_miss_ratio_keys * (self.dram_latency - self.llc_latency))
+        return (1.0 - miss_fraction) * self.l1_latency + miss_fraction * miss_cost
+
+    def walk_amat(self, llc_miss_ratio: float) -> float:
+        """AMAT of a node access: always misses L1, LLC miss ratio given."""
+        return (self.llc_latency
+                + llc_miss_ratio * (self.dram_latency - self.llc_latency))

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small simpy-like engine: processes are Python generators that
+yield either a cycle delay (int/float) or an :class:`Event` to wait on.  The
+memory system and Widx units are co-simulated on one :class:`Engine` so that
+shared-resource contention (L1 ports, MSHRs, memory-controller bandwidth) is
+resolved in global time order.
+"""
+
+from .engine import Engine, Process
+from .events import Event
+from .resources import OccupancyPool, PipelinedResource, BoundedQueue
+from .sampling import BatchStats, confidence_interval
+
+__all__ = [
+    "Engine",
+    "Process",
+    "Event",
+    "OccupancyPool",
+    "PipelinedResource",
+    "BoundedQueue",
+    "BatchStats",
+    "confidence_interval",
+]

@@ -1,0 +1,117 @@
+"""The discrete-event engine.
+
+Processes are generators.  Yield semantics:
+
+* ``yield <number>`` — suspend for that many cycles.
+* ``yield <Event>`` — suspend until the event fires; the yield expression
+  evaluates to the event's value.
+
+The engine guarantees that wakeups are processed in non-decreasing time
+order, which is what makes the passive (analytic) resource models in
+:mod:`repro.mem` causally correct: every resource reservation is issued at a
+simulation time no earlier than any previously issued reservation's time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from ..errors import SimulationError
+from .events import Event
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running process; it is itself an event that fires on completion."""
+
+    __slots__ = ("_generator", "_engine", "name")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        super().__init__()
+        self._generator = generator
+        self._engine = engine
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def _resume(self, value: Any = None) -> None:
+        engine = self._engine
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if isinstance(target, Event):
+            target.add_callback(lambda event: engine._schedule_resume(self, event.value))
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative delay: {target}")
+            engine._schedule_resume_at(self, engine.now + target, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}")
+
+
+class Engine:
+    """Event queue and clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list = []
+        self._sequence = 0
+        self._active_processes = 0
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register a generator as a process starting at the current time."""
+        process = Process(self, generator, name)
+        self._active_processes += 1
+        process.add_callback(lambda _e: self._process_finished())
+        self._schedule_resume_at(process, self.now, None)
+        return process
+
+    def _process_finished(self) -> None:
+        self._active_processes -= 1
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` cycles from now."""
+        event = Event()
+        self.schedule_at(self.now + delay, lambda: event.succeed(value))
+        return event
+
+    def schedule_at(self, when: float, callback) -> None:
+        """Run ``callback()`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self.now}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self._schedule_resume_at(process, self.now, value)
+
+    def _schedule_resume_at(self, process: Process, when: float, value: Any) -> None:
+        self.schedule_at(when, lambda: process._resume(value))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``).
+
+        Returns the final simulation time.
+        """
+        queue = self._queue
+        while queue:
+            when, _seq, callback = queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(queue)
+            self.now = when
+            callback()
+        return self.now
+
+    def run_all(self, processes: Iterable[ProcessGenerator]) -> float:
+        """Convenience: register each generator and run to completion."""
+        for generator in processes:
+            self.process(generator)
+        return self.run()

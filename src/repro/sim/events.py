@@ -1,0 +1,63 @@
+"""Events: one-shot synchronization points processes can wait on."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A one-shot event carrying an optional value.
+
+    Processes wait on an event by yielding it; the engine resumes every
+    waiter when the event is succeeded.  Succeeding an event twice is an
+    error — events are single-use, like simpy's.
+    """
+
+    __slots__ = ("_callbacks", "_triggered", "value")
+
+    def __init__(self) -> None:
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to all waiters."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` on trigger (immediately if already fired)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class CompositeEvent(Event):
+    """An event that fires when all of its children have fired."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, children: List[Event]) -> None:
+        super().__init__()
+        self._pending = len(children)
+        if self._pending == 0:
+            self.succeed()
+            return
+        for child in children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, _child: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed()

@@ -1,0 +1,121 @@
+"""SMARTS/SimFlex-style statistical sampling support.
+
+The paper measures indexing throughput by sampling detailed simulation
+windows (100K-cycle warm-up, 50K-cycle measurement) and reporting 95%
+confidence intervals.  We simulate scaled workloads end-to-end but still
+report batch-mean confidence intervals so experiments can state the same
+"95% confidence, <5% error" property.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+# Two-sided 97.5% quantiles of Student's t for small degrees of freedom;
+# falls back to the normal quantile (1.96) for df > 30.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131,
+    20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def _t_quantile(df: int) -> float:
+    if df <= 0:
+        return float("inf")
+    if df in _T_TABLE:
+        return _T_TABLE[df]
+    for bound in sorted(_T_TABLE):
+        if df <= bound:
+            return _T_TABLE[bound]
+    return 1.96
+
+
+def confidence_interval(samples: Sequence[float],
+                        confidence: float = 0.95) -> Tuple[float, float]:
+    """Return (mean, half-width) of a t-based confidence interval.
+
+    Only ``confidence=0.95`` uses the exact t table; other levels fall back
+    to the normal approximation scaled from 1.96.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, float("inf")
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    t = _t_quantile(n - 1)
+    if confidence != 0.95:
+        t *= _normal_quantile(confidence) / 1.96
+    half_width = t * math.sqrt(variance / n)
+    return mean, half_width
+
+
+def _normal_quantile(confidence: float) -> float:
+    """Rough two-sided normal quantile for the given confidence level."""
+    table = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+    if confidence in table:
+        return table[confidence]
+    # Linear interpolation over the small table; adequate for reporting.
+    points = sorted(table.items())
+    for (c0, z0), (c1, z1) in zip(points, points[1:]):
+        if c0 <= confidence <= c1:
+            frac = (confidence - c0) / (c1 - c0)
+            return z0 + frac * (z1 - z0)
+    raise ValueError(f"unsupported confidence level {confidence}")
+
+
+@dataclass
+class BatchStats:
+    """Batch-means accumulator for throughput measurements.
+
+    Feed per-tuple (or per-window) costs; read back the mean and 95% CI over
+    batch means, mimicking SMARTS sampling over measurement windows.
+    """
+
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        self._current: List[float] = []
+        self._batch_means: List[float] = []
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        self._current.append(value)
+        if len(self._current) == self.batch_size:
+            self._batch_means.append(sum(self._current) / self.batch_size)
+            self._current.clear()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples recorded")
+        return self.total / self.count
+
+    def interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """(mean of batch means, CI half-width); needs >= 2 full batches."""
+        batches = list(self._batch_means)
+        if self._current:
+            batches.append(sum(self._current) / len(self._current))
+        return confidence_interval(batches, confidence)
+
+    def relative_error(self) -> float:
+        """CI half-width as a fraction of the mean (the paper reports <5%)."""
+        mean, half = self.interval()
+        if mean == 0:
+            return 0.0
+        return half / abs(mean)

@@ -1,0 +1,45 @@
+"""Widx: the programmable index-traversal accelerator (the paper's core).
+
+Widx is a set of tiny 2-stage RISC units sharing the host core's MMU and
+L1-D (Figure 6):
+
+* a **dispatcher** streams input keys from the probe table, hashes them
+  with fused shift-ops, and enqueues (key, bucket address) pairs;
+* **walkers** (up to four — the paper's bottleneck analysis caps useful
+  concurrency there) pop hashed keys and chase the bucket's node list;
+* an **output producer** stores matching payloads to the results region.
+
+Each unit executes a real program in the Table 1 ISA, assembled by
+:mod:`repro.widx.assembler` from text generated per schema/hash function by
+:mod:`repro.widx.programs`.  Execution is co-simulated with the shared
+memory hierarchy on the discrete-event engine, and each unit accounts its
+cycles into the Figure 8a categories (Comp / Mem / TLB / Idle).
+"""
+
+from .isa import Opcode, Instruction, Register, UNIT_USAGE
+from .program import Program, UnitRole
+from .assembler import assemble
+from .programs import dispatcher_program, walker_program, producer_program, \
+    coupled_walker_program
+from .machine import WidxMachine, WidxRunResult, UnitCycleBreakdown
+from .offload import offload_probe, offload_tree_search, OffloadOutcome
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Register",
+    "UNIT_USAGE",
+    "Program",
+    "UnitRole",
+    "assemble",
+    "dispatcher_program",
+    "walker_program",
+    "producer_program",
+    "coupled_walker_program",
+    "WidxMachine",
+    "WidxRunResult",
+    "UnitCycleBreakdown",
+    "offload_probe",
+    "offload_tree_search",
+    "OffloadOutcome",
+]

@@ -1,0 +1,278 @@
+"""A two-pass assembler for Widx programs.
+
+Syntax (one instruction per line; ``;`` starts a comment — ``#`` cannot,
+because it marks immediates)::
+
+    .name  walk_kernel        ; program name
+    .role  W                  ; H = dispatcher, W = walker, P = producer
+    .input r1, r2             ; loaded from the input queue each invocation
+    .const r5 = 0xFFFF        ; preloaded from the Widx control block
+    .persist r9               ; survives across invocations
+
+    loop:
+      ld.4    r3, [r2+0]      ; load (width.4 or .8), address ra+imm
+      add     r4, r3, r5      ; three-operand ALU; '#imm' for immediates
+      add-shf r7, r6, r6, #3  ; rd = ra + (rb << 3); negative = right shift
+      cmp     r4, r3, r1      ; rd = (ra == rb)
+      ble     r4, r0, done    ; branch when ra <= rb (unsigned)
+      touch   [r2+64]         ; non-binding prefetch
+      emit    r5, r7          ; push registers to the output queue
+      st.8    [r9+0], r1      ; store (producer only)
+      ba      loop
+    done:
+      halt
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .isa import Instruction, Opcode, Register
+from .program import Program, UnitRole
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w]*):\s*(.*)$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^\[(r\d+)\s*([+-]\s*(?:0x[0-9a-fA-F]+|\d+))?\]$")
+
+_THREE_OP_ALU = {
+    "add": Opcode.ADD,
+    "and": Opcode.AND,
+    "xor": Opcode.XOR,
+    "cmp": Opcode.CMP,
+    "cmp-le": Opcode.CMP_LE,
+}
+_FUSED = {
+    "add-shf": Opcode.ADD_SHF,
+    "and-shf": Opcode.AND_SHF,
+    "xor-shf": Opcode.XOR_SHF,
+}
+
+
+def _parse_register(token: str, context: str) -> Register:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblerError(f"{context}: expected a register, got {token!r}")
+    return Register(int(match.group(1)))
+
+
+def _parse_immediate(token: str, context: str) -> int:
+    token = token.lstrip("#")
+    try:
+        return int(token.replace(" ", ""), 0)
+    except ValueError:
+        raise AssemblerError(f"{context}: bad immediate {token!r}") from None
+
+
+def _parse_memory_operand(token: str, context: str) -> Tuple[Register, int]:
+    match = _MEM_RE.match(token.replace(" ", ""))
+    if not match:
+        raise AssemblerError(f"{context}: expected [rN+imm], got {token!r}")
+    base = _parse_register(match.group(1), context)
+    offset = int(match.group(2).replace(" ", ""), 0) if match.group(2) else 0
+    return base, offset
+
+
+def _split_operands(rest: str) -> List[str]:
+    # Commas separate operands; brackets never contain commas in this ISA.
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+class _Assembler:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.name: Optional[str] = None
+        self.role: Optional[UnitRole] = None
+        self.inputs: List[Register] = []
+        self.constants: Dict[int, int] = {}
+        self.persistent: List[Register] = []
+        self.labels: Dict[str, int] = {}
+        self.lines: List[Tuple[int, str]] = []  # (source line no, text)
+
+    def assemble(self) -> Program:
+        self._first_pass()
+        instructions = [self._encode(line_no, text)
+                        for line_no, text in self.lines]
+        resolved = []
+        for pc, instruction in enumerate(instructions):
+            if instruction.is_branch and instruction.label is not None:
+                if instruction.label not in self.labels:
+                    raise AssemblerError(
+                        f"line {self.lines[pc][0]}: unknown label "
+                        f"{instruction.label!r}")
+                resolved.append(Instruction(
+                    opcode=instruction.opcode, ra=instruction.ra,
+                    rb=instruction.rb,
+                    target=self.labels[instruction.label],
+                    label=instruction.label))
+            else:
+                resolved.append(instruction)
+        if self.role is None:
+            raise AssemblerError("program is missing a .role directive")
+        return Program(
+            name=self.name or "anonymous",
+            role=self.role,
+            instructions=tuple(resolved),
+            inputs=tuple(self.inputs),
+            constants=dict(self.constants),
+            persistent=tuple(self.persistent),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _first_pass(self) -> None:
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            text = raw.split(";", 1)[0].strip()
+            if not text:
+                continue
+            if text.startswith("."):
+                self._directive(line_no, text)
+                continue
+            label_match = _LABEL_RE.match(text)
+            if label_match:
+                label, remainder = label_match.groups()
+                if label in self.labels:
+                    raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+                self.labels[label] = len(self.lines)
+                text = remainder.strip()
+                if not text:
+                    continue
+            self.lines.append((line_no, text))
+        if not self.lines:
+            raise AssemblerError("empty program")
+
+    def _directive(self, line_no: int, text: str) -> None:
+        context = f"line {line_no}"
+        parts = text.split(None, 1)
+        directive = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if directive == ".name":
+            self.name = rest
+        elif directive == ".role":
+            self.role = UnitRole(rest.upper())
+        elif directive == ".input":
+            self.inputs.extend(_parse_register(tok, context)
+                               for tok in _split_operands(rest))
+        elif directive == ".persist":
+            self.persistent.extend(_parse_register(tok, context)
+                                   for tok in _split_operands(rest))
+        elif directive == ".const":
+            if "=" not in rest:
+                raise AssemblerError(f"{context}: .const needs 'rN = value'")
+            reg_text, value_text = (part.strip() for part in rest.split("=", 1))
+            register = _parse_register(reg_text, context)
+            self.constants[register.index] = _parse_immediate(value_text, context)
+        else:
+            raise AssemblerError(f"{context}: unknown directive {directive!r}")
+
+    # ------------------------------------------------------------------
+
+    def _encode(self, line_no: int, text: str) -> Instruction:
+        context = f"line {line_no}"
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+        width = 8
+        if "." in mnemonic and mnemonic.split(".", 1)[0] in ("ld", "st"):
+            base_mnemonic, width_text = mnemonic.split(".", 1)
+            try:
+                width = int(width_text)
+            except ValueError:
+                raise AssemblerError(f"{context}: bad width in {mnemonic!r}") from None
+            mnemonic = base_mnemonic
+
+        if mnemonic in _THREE_OP_ALU:
+            return self._encode_alu(context, _THREE_OP_ALU[mnemonic], operands)
+        if mnemonic in _FUSED:
+            return self._encode_fused(context, _FUSED[mnemonic], operands)
+        if mnemonic in ("shl", "shr"):
+            return self._encode_shift(context, mnemonic, operands)
+        if mnemonic == "ld":
+            return self._encode_load(context, operands, width)
+        if mnemonic == "st":
+            return self._encode_store(context, operands, width)
+        if mnemonic == "touch":
+            return self._encode_touch(context, operands)
+        if mnemonic == "ba":
+            if len(operands) != 1:
+                raise AssemblerError(f"{context}: ba takes one label")
+            return Instruction(Opcode.BA, label=operands[0], target=0)
+        if mnemonic == "ble":
+            if len(operands) != 3:
+                raise AssemblerError(f"{context}: ble takes ra, rb, label")
+            return Instruction(
+                Opcode.BLE,
+                ra=_parse_register(operands[0], context),
+                rb=_parse_register(operands[1], context),
+                label=operands[2], target=0)
+        if mnemonic == "emit":
+            if not operands:
+                raise AssemblerError(f"{context}: emit needs source registers")
+            return Instruction(Opcode.EMIT, sources=tuple(
+                _parse_register(tok, context) for tok in operands))
+        if mnemonic == "halt":
+            return Instruction(Opcode.HALT)
+        raise AssemblerError(f"{context}: unknown mnemonic {mnemonic!r}")
+
+    def _encode_alu(self, context: str, opcode: Opcode,
+                    operands: List[str]) -> Instruction:
+        if len(operands) != 3:
+            raise AssemblerError(f"{context}: {opcode.value} takes rd, ra, rb/#imm")
+        rd = _parse_register(operands[0], context)
+        ra = _parse_register(operands[1], context)
+        if operands[2].startswith("#"):
+            return Instruction(opcode, rd=rd, ra=ra,
+                               imm=_parse_immediate(operands[2], context))
+        return Instruction(opcode, rd=rd, ra=ra,
+                           rb=_parse_register(operands[2], context))
+
+    def _encode_fused(self, context: str, opcode: Opcode,
+                      operands: List[str]) -> Instruction:
+        if len(operands) != 4:
+            raise AssemblerError(
+                f"{context}: {opcode.value} takes rd, ra, rb, #shift")
+        return Instruction(
+            opcode,
+            rd=_parse_register(operands[0], context),
+            ra=_parse_register(operands[1], context),
+            rb=_parse_register(operands[2], context),
+            imm=_parse_immediate(operands[3], context))
+
+    def _encode_shift(self, context: str, mnemonic: str,
+                      operands: List[str]) -> Instruction:
+        if len(operands) != 3:
+            raise AssemblerError(f"{context}: {mnemonic} takes rd, ra, #imm")
+        return Instruction(
+            Opcode.SHL if mnemonic == "shl" else Opcode.SHR,
+            rd=_parse_register(operands[0], context),
+            ra=_parse_register(operands[1], context),
+            imm=_parse_immediate(operands[2], context))
+
+    def _encode_load(self, context: str, operands: List[str],
+                     width: int) -> Instruction:
+        if len(operands) != 2:
+            raise AssemblerError(f"{context}: ld takes rd, [ra+imm]")
+        base, offset = _parse_memory_operand(operands[1], context)
+        return Instruction(Opcode.LD, rd=_parse_register(operands[0], context),
+                           ra=base, imm=offset, width=width)
+
+    def _encode_store(self, context: str, operands: List[str],
+                      width: int) -> Instruction:
+        if len(operands) != 2:
+            raise AssemblerError(f"{context}: st takes [ra+imm], rb")
+        base, offset = _parse_memory_operand(operands[0], context)
+        return Instruction(Opcode.ST, ra=base, imm=offset,
+                           rb=_parse_register(operands[1], context), width=width)
+
+    def _encode_touch(self, context: str, operands: List[str]) -> Instruction:
+        if len(operands) != 1:
+            raise AssemblerError(f"{context}: touch takes [ra+imm]")
+        base, offset = _parse_memory_operand(operands[0], context)
+        return Instruction(Opcode.TOUCH, ra=base, imm=offset)
+
+
+def assemble(source: str) -> Program:
+    """Assemble Widx assembly text into a validated :class:`Program`."""
+    return _Assembler(source).assemble()

@@ -1,0 +1,252 @@
+"""WidxMachine: wiring units into the Figure 3 / Figure 6 organizations.
+
+Three organizations, matching the paper's design evolution:
+
+* ``coupled`` (Figure 3a/3b): N autonomous walkers run the whole probe
+  loop (inline hashing), striding the key table.
+* ``private`` (Figure 3c): N dispatcher/walker pairs; each dispatcher
+  hashes a stride of the key table and feeds its own walker through a
+  2-entry queue.
+* ``shared`` (Figure 3d / Figure 6, the Widx design): one dispatcher
+  hashes every key and feeds all walkers through a shared hashed-key
+  buffer of N x 2 entries; walkers funnel matches to a single output
+  producer.
+
+All units share one memory hierarchy (the host core's TLB and L1-D — the
+paper's tight coupling) and are co-simulated on one event engine, so port,
+MSHR and bandwidth contention between units is modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physmem import PhysicalMemory
+from ..sim.engine import Engine, Process
+from ..sim.resources import BoundedQueue
+from .programs import GeneratedProgram
+from .unit import UnitCycleBreakdown, UnitStats, WidxUnit
+
+
+@dataclass
+class WidxRunResult:
+    """Outcome of one Widx offload run."""
+
+    total_cycles: float
+    tuples: int
+    matches: int
+    config_cycles: float
+    unit_stats: Dict[str, UnitStats] = field(default_factory=dict)
+
+    @property
+    def cycles_per_tuple(self) -> float:
+        if self.tuples == 0:
+            return 0.0
+        return self.total_cycles / self.tuples
+
+    def walker_breakdown(self) -> UnitCycleBreakdown:
+        """Aggregate walker cycle breakdown (the Figure 8a/9 bars).
+
+        Walker time not accounted by Comp/Mem/TLB/queue-stall is the time
+        the walker spent waiting for the dispatcher (Idle); we additionally
+        fold each walker's end-of-run slack into Idle so the bars of all
+        walkers cover the same wall-clock window, as in the paper.
+        """
+        merged = UnitCycleBreakdown()
+        count = 0
+        for name, stats in self.unit_stats.items():
+            if name.startswith("walker"):
+                breakdown = stats.cycles
+                slack = max(0.0, self.total_cycles - breakdown.total)
+                breakdown = UnitCycleBreakdown(
+                    comp=breakdown.comp, mem=breakdown.mem,
+                    tlb=breakdown.tlb, idle=breakdown.idle + slack,
+                    queue=breakdown.queue)
+                merged = merged.merged(breakdown)
+                count += 1
+        if count == 0:
+            return merged
+        return merged.scaled(1.0 / count)
+
+    def walker_cycles_per_tuple(self) -> UnitCycleBreakdown:
+        """Per-tuple walker breakdown, the exact Y axis of Figures 8a/9."""
+        if self.tuples == 0:
+            return UnitCycleBreakdown()
+        return self.walker_breakdown().scaled(1.0 / self.tuples)
+
+
+class WidxMachine:
+    """Builds, configures and runs one Widx organization."""
+
+    def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy,
+                 physmem: PhysicalMemory,
+                 engine: Optional[Engine] = None) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.physmem = physmem
+        # Several machines may co-simulate on one engine (multi-core CMP).
+        self.engine = engine if engine is not None else Engine()
+        self.units: Dict[str, WidxUnit] = {}
+        self._autonomous: List[WidxUnit] = []
+        self._walkers: List[WidxUnit] = []
+        self._producer: Optional[WidxUnit] = None
+        self._key_queues: List[BoundedQueue] = []
+        self._out_queue: Optional[BoundedQueue] = None
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self, dispatcher: Optional[GeneratedProgram],
+              walker: GeneratedProgram,
+              producer: GeneratedProgram) -> None:
+        """Instantiate units and queues for the configured mode.
+
+        ``dispatcher`` must be None for ``coupled`` mode (the walker
+        program hashes inline) and a generated dispatcher otherwise.  In
+        ``private`` mode the same dispatcher program is instantiated once
+        per walker (each configured with a strided cursor).
+        """
+        widx = self.config.widx
+        mode = widx.mode
+        n = widx.num_walkers
+        if mode == "coupled":
+            if dispatcher is not None:
+                raise ConfigError("coupled mode takes no dispatcher program")
+        elif dispatcher is None:
+            raise ConfigError(f"{mode} mode needs a dispatcher program")
+
+        out_capacity = max(1, n * widx.queue_entries)
+        self._out_queue = BoundedQueue(self.engine, out_capacity, "to-producer")
+
+        if mode == "shared":
+            shared = BoundedQueue(self.engine, n * widx.queue_entries, "hashed-keys")
+            self._key_queues = [shared]
+            unit = WidxUnit("dispatcher", dispatcher.program, self.engine,
+                            self.hierarchy, self.physmem, out_queue=shared)
+            self.units["dispatcher"] = unit
+            self._autonomous.append(unit)
+            for i in range(n):
+                walker_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                                       self.hierarchy, self.physmem,
+                                       in_queue=shared, out_queue=self._out_queue)
+                self.units[f"walker{i}"] = walker_unit
+                self._walkers.append(walker_unit)
+        elif mode == "private":
+            for i in range(n):
+                queue = BoundedQueue(self.engine, widx.queue_entries,
+                                     f"hashed-keys{i}")
+                self._key_queues.append(queue)
+                d_unit = WidxUnit(f"dispatcher{i}", dispatcher.program,
+                                  self.engine, self.hierarchy, self.physmem,
+                                  out_queue=queue)
+                self.units[f"dispatcher{i}"] = d_unit
+                self._autonomous.append(d_unit)
+                w_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                                  self.hierarchy, self.physmem,
+                                  in_queue=queue, out_queue=self._out_queue)
+                self.units[f"walker{i}"] = w_unit
+                self._walkers.append(w_unit)
+        else:  # coupled
+            for i in range(n):
+                w_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                                  self.hierarchy, self.physmem,
+                                  out_queue=self._out_queue)
+                self.units[f"walker{i}"] = w_unit
+                self._walkers.append(w_unit)
+                self._autonomous.append(w_unit)
+
+        self._producer = WidxUnit("producer", producer.program, self.engine,
+                                  self.hierarchy, self.physmem,
+                                  in_queue=self._out_queue)
+        self.units["producer"] = self._producer
+        self._built = True
+
+    def configure_unit(self, name: str, values: Dict[int, int]) -> None:
+        """Write a unit's memory-mapped configuration registers."""
+        self.units[name].configure(values)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def configuration_cycles(self) -> float:
+        """Cost of loading the Widx control block (Section 4.3).
+
+        The host core writes the control-block address, then Widx issues a
+        series of loads for each unit's instructions and constants.  We
+        charge one cycle per instruction word and constant, plus a fixed
+        start-up cost; the paper notes this is amortized over millions of
+        probes — the tests assert that property.
+        """
+        total = 50.0  # config-register writes + kick-off
+        for unit in self.units.values():
+            total += len(unit.program.instructions)
+            total += len(unit.program.constants)
+        return total
+
+    def launch(self) -> None:
+        """Register every unit process on the engine (without running it).
+
+        Used directly when several machines co-simulate on a shared engine
+        (the multi-core CMP); single-machine callers use :meth:`run`.
+        """
+        if not self._built:
+            raise ConfigError("call build() before launch()")
+        engine = self.engine
+        walker_procs: List[Process] = []
+        autonomous_procs: List[Process] = []
+        for unit in self._walkers:
+            if unit in self._autonomous:
+                continue
+            walker_procs.append(engine.process(unit.run(), unit.name))
+        for unit in self._autonomous:
+            autonomous_procs.append(engine.process(unit.run(), unit.name))
+        engine.process(self._producer.run(), "producer")
+
+        # Close the hashed-key queues once every autonomous unit finishes,
+        # and the producer queue once every walker finishes.
+        self._chain_close(autonomous_procs, self._key_queues)
+        self._chain_close(autonomous_procs + walker_procs, [self._out_queue])
+
+    def collect(self, expected_tuples: int) -> WidxRunResult:
+        """Gather results after the (shared) engine has run to completion."""
+        matches = self._producer.stats.invocations
+        return WidxRunResult(
+            total_cycles=self.engine.now,
+            tuples=expected_tuples,
+            matches=matches,
+            config_cycles=self.configuration_cycles(),
+            unit_stats={name: unit.stats for name, unit in self.units.items()},
+        )
+
+    def run(self, expected_tuples: int) -> WidxRunResult:
+        """Run the offload to completion; returns timing and stats."""
+        self.launch()
+        self.engine.run()
+        return self.collect(expected_tuples)
+
+    @staticmethod
+    def _chain_close(procs: List[Process], queues: List[Optional[BoundedQueue]]) -> None:
+        remaining = len(procs)
+        if remaining == 0:
+            for queue in queues:
+                if queue is not None:
+                    queue.close()
+            return
+        state = {"remaining": remaining}
+
+        def on_done(_event) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                for queue in queues:
+                    if queue is not None:
+                        queue.close()
+
+        for proc in procs:
+            proc.add_callback(on_done)

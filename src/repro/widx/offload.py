@@ -1,0 +1,376 @@
+"""High-level Widx offload driver.
+
+``offload_probe`` is the library's headline entry point: given a built
+:class:`~repro.db.HashIndex` and a materialized probe-key column, it
+generates the three Widx programs for the index's schema, configures a
+:class:`WidxMachine`, runs the bulk probe to completion, and validates the
+emitted matches against the functional reference — the paper's atomic
+all-or-nothing offload, with the host core idle throughout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import SystemConfig, DEFAULT_CONFIG
+from ..cpu.timing import warm_hash_index
+from ..db.column import Column
+from ..db.hashtable import HashIndex
+from ..errors import MemoryError_, WidxFault
+from ..mem.hierarchy import MemoryHierarchy
+from .machine import WidxMachine, WidxRunResult
+from .programs import (GeneratedProgram, coupled_walker_program,
+                       dispatcher_program, producer_program, walker_program)
+
+_offload_counter = itertools.count()
+
+
+def _hierarchy_for(config: SystemConfig):
+    """The memory path matching the configured Widx placement."""
+    if config.widx.placement == "llc":
+        from ..mem.llcside import LlcSideMemory
+        return LlcSideMemory(config)
+    return MemoryHierarchy(config)
+
+
+@dataclass
+class OffloadOutcome:
+    """Result of one accelerated bulk-probe operation."""
+
+    run: WidxRunResult
+    payloads: List[int] = field(default_factory=list)
+    validated: Optional[bool] = None
+    memory: Optional[MemoryHierarchy] = None
+    programs: Dict[str, GeneratedProgram] = field(default_factory=dict)
+    fell_back: bool = False             # aborted and re-ran on the host
+    abort_cycles: float = 0.0           # Widx cycles wasted before abort
+
+    @property
+    def cycles_per_tuple(self) -> float:
+        return self.run.cycles_per_tuple
+
+    @property
+    def matches(self) -> int:
+        return self.run.matches
+
+
+def offload_probe(index: HashIndex, probe_column: Column, *,
+                  config: SystemConfig = DEFAULT_CONFIG,
+                  probes: Optional[int] = None,
+                  warm: bool = True,
+                  validate: bool = True,
+                  memory: Optional[MemoryHierarchy] = None,
+                  fallback_to_host: bool = False,
+                  configure_hook=None) -> OffloadOutcome:
+    """Probe ``index`` with the first ``probes`` keys of ``probe_column``
+    on the configured Widx organization; returns timing plus results.
+
+    ``fallback_to_host`` enables the paper's atomic all-or-nothing model
+    (Section 4.3): if the accelerator faults (a bad control block, a wild
+    pointer — anything other than a TLB miss, which the host MMU services
+    in place), the offload aborts and the indexing operation re-executes
+    completely on the host core; the returned outcome charges both the
+    wasted accelerator cycles and the host re-run.
+
+    ``configure_hook(machine)`` runs after standard configuration — used
+    by fault-injection tests to corrupt configuration registers.
+    """
+    if not probe_column.is_materialized:
+        raise WidxFault("probe keys must be materialized in simulated memory")
+    total_keys = len(probe_column.values)
+    probes = total_keys if probes is None else min(probes, total_keys)
+    if probes < 1:
+        raise WidxFault("need at least one probe")
+
+    space = index.space
+    layout = index.layout
+    widx = config.widx
+    n = widx.num_walkers
+    key_bytes = layout.key_bytes
+
+    # Reference results: used both to size the output region and (if asked)
+    # to validate the accelerated run.
+    reference: List[int] = []
+    for row in range(probes):
+        reference.extend(index.probe(int(probe_column.values[row])))
+
+    run_id = next(_offload_counter)
+    out_region = space.allocate(f"{index.name}:out{run_id}",
+                                max(64, 8 * (len(reference) + 1)), align=64)
+
+    # --- program generation -------------------------------------------
+    programs: Dict[str, GeneratedProgram] = {}
+    mode = widx.mode
+    if mode == "coupled":
+        walker = coupled_walker_program(index.hash_spec, layout,
+                                        stride_keys=n)
+        dispatcher = None
+    else:
+        stride = n if mode == "private" else 1
+        dispatcher = dispatcher_program(index.hash_spec, layout,
+                                        stride_keys=stride)
+        walker = walker_program(layout)
+        programs["dispatcher"] = dispatcher
+    producer = producer_program(8)
+    programs["walker"] = walker
+    programs["producer"] = producer
+
+    # --- machine ------------------------------------------------------
+    hierarchy = memory if memory is not None else _hierarchy_for(config)
+    if warm:
+        warm_hash_index(hierarchy, index)
+    machine = WidxMachine(config, hierarchy, space.memory)
+    machine.build(dispatcher, walker, producer)
+
+    mask = index.num_buckets - 1
+    base = probe_column.region.base
+
+    def dispatch_config(unit_index: int, stride: int) -> Dict[int, int]:
+        first = unit_index
+        count = 0 if first >= probes else (probes - first + stride - 1) // stride
+        generated = dispatcher if dispatcher is not None else walker
+        regs = generated.config_registers
+        values = {
+            regs["key_cursor"]: base + first * key_bytes,
+            regs["key_count"]: count,
+            regs["bucket_base"]: index.buckets.base,
+            regs["bucket_mask"]: mask,
+        }
+        return values
+
+    if mode == "shared":
+        machine.configure_unit("dispatcher", dispatch_config(0, 1))
+    elif mode == "private":
+        for i in range(n):
+            machine.configure_unit(f"dispatcher{i}", dispatch_config(i, n))
+    else:  # coupled walkers hash inline
+        for i in range(n):
+            machine.configure_unit(f"walker{i}", dispatch_config(i, n))
+
+    if layout.indirect:
+        column_reg = walker.config_registers["column_base"]
+        column_base = index.key_column.region.base
+        for i in range(n):
+            machine.configure_unit(f"walker{i}", {column_reg: column_base})
+
+    machine.configure_unit(
+        "producer",
+        {producer.config_registers["out_cursor"]: out_region.base})
+    if configure_hook is not None:
+        configure_hook(machine)
+
+    # --- run and read back --------------------------------------------
+    try:
+        run = machine.run(expected_tuples=probes)
+    except (MemoryError_, WidxFault):
+        if not fallback_to_host:
+            raise
+        return _host_fallback(index, probe_column, probes, config,
+                              machine, programs, reference)
+    payloads = [space.memory.read_u64(out_region.base + 8 * i)
+                for i in range(run.matches)]
+
+    validated: Optional[bool] = None
+    if validate:
+        validated = sorted(payloads) == sorted(reference)
+        if not validated:
+            raise WidxFault(
+                f"Widx offload diverged from the reference probe: "
+                f"{len(payloads)} emitted vs {len(reference)} expected")
+    return OffloadOutcome(run=run, payloads=payloads, validated=validated,
+                          memory=hierarchy, programs=programs)
+
+
+def _host_fallback(index: HashIndex, probe_column: Column, probes: int,
+                   config: SystemConfig, machine: WidxMachine,
+                   programs: Dict[str, GeneratedProgram],
+                   reference: List[int]) -> OffloadOutcome:
+    """Abort the offload and re-execute the whole operation on the host
+    core (the paper's all-or-nothing recovery path)."""
+    from ..cpu.timing import measure_indexing
+
+    abort_cycles = machine.engine.now
+    warmup = max(1, min(256, probes // 4))
+    host = measure_indexing(index, probe_column, core="ooo", config=config,
+                            warmup_probes=warmup,
+                            measure_probes=probes - warmup)
+    total = abort_cycles + host.cycles_per_tuple * probes
+    run = WidxRunResult(total_cycles=total, tuples=probes,
+                        matches=len(reference),
+                        config_cycles=machine.configuration_cycles(),
+                        unit_stats={name: unit.stats
+                                    for name, unit in machine.units.items()})
+    return OffloadOutcome(run=run, payloads=list(reference), validated=True,
+                          memory=None, programs=programs, fell_back=True,
+                          abort_cycles=abort_cycles)
+
+
+def offload_tree_search(tree, probe_column: Column, *,
+                        config: SystemConfig = DEFAULT_CONFIG,
+                        probes: Optional[int] = None,
+                        warm: bool = True,
+                        validate: bool = True,
+                        memory: Optional[MemoryHierarchy] = None
+                        ) -> OffloadOutcome:
+    """Accelerate B+-tree point lookups (the Section 7 tree extension).
+
+    Same machine, different programs: the dispatcher streams probe keys
+    (no hashing) and the walkers run the generated tree-descent function.
+    Only the ``shared`` and ``private`` organizations apply — trees have no
+    hashing stage to couple.
+    """
+    from ..db.btree import BPlusTree
+    from .programs import (tree_dispatcher_program, tree_walker_program)
+
+    if not isinstance(tree, BPlusTree):
+        raise WidxFault("offload_tree_search expects a BPlusTree")
+    if not probe_column.is_materialized:
+        raise WidxFault("probe keys must be materialized in simulated memory")
+    if config.widx.mode == "coupled":
+        raise WidxFault("tree search has no hashing stage to couple; use "
+                        "'shared' or 'private'")
+    total_keys = len(probe_column.values)
+    probes = total_keys if probes is None else min(probes, total_keys)
+    if probes < 1:
+        raise WidxFault("need at least one probe")
+
+    space = tree.space
+    widx = config.widx
+    n = widx.num_walkers
+    key_bytes = probe_column.dtype.nbytes
+
+    reference = []
+    for row in range(probes):
+        payload = tree.search(int(probe_column.values[row]))
+        if payload is not None:
+            reference.append(payload)
+
+    run_id = next(_offload_counter)
+    out_region = space.allocate(f"{tree.name}:out{run_id}",
+                                max(64, 8 * (len(reference) + 1)), align=64)
+
+    stride = n if widx.mode == "private" else 1
+    dispatcher = tree_dispatcher_program(key_bytes, stride_keys=stride)
+    walker = tree_walker_program()
+    producer = producer_program(8)
+
+    hierarchy = memory if memory is not None else _hierarchy_for(config)
+    if warm:
+        hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
+    machine = WidxMachine(config, hierarchy, space.memory)
+    machine.build(dispatcher, walker, producer)
+
+    base = probe_column.region.base
+    regs = dispatcher.config_registers
+
+    def dispatch_config(unit_index: int, unit_stride: int):
+        first = unit_index
+        count = 0 if first >= probes else \
+            (probes - first + unit_stride - 1) // unit_stride
+        return {
+            regs["key_cursor"]: base + first * key_bytes,
+            regs["key_count"]: count,
+            regs["root"]: tree.root,
+        }
+
+    if widx.mode == "shared":
+        machine.configure_unit("dispatcher", dispatch_config(0, 1))
+    else:
+        for i in range(n):
+            machine.configure_unit(f"dispatcher{i}", dispatch_config(i, n))
+    machine.configure_unit(
+        "producer", {producer.config_registers["out_cursor"]: out_region.base})
+
+    run = machine.run(expected_tuples=probes)
+    payloads = [space.memory.read_u64(out_region.base + 8 * i)
+                for i in range(run.matches)]
+    validated: Optional[bool] = None
+    if validate:
+        validated = sorted(payloads) == sorted(reference)
+        if not validated:
+            raise WidxFault(
+                f"tree offload diverged: {len(payloads)} emitted vs "
+                f"{len(reference)} expected")
+    return OffloadOutcome(run=run, payloads=payloads, validated=validated,
+                          memory=hierarchy,
+                          programs={"dispatcher": dispatcher,
+                                    "walker": walker, "producer": producer})
+
+
+def offload_tree_ranges(tree, ranges, *,
+                        config: SystemConfig = DEFAULT_CONFIG,
+                        warm: bool = True,
+                        validate: bool = True,
+                        memory: Optional[MemoryHierarchy] = None
+                        ) -> OffloadOutcome:
+    """Accelerate multi-range B+-tree scans (IN-lists, multi-range
+    predicates): the dispatcher streams (low, high) pairs and each walker
+    scans one whole range — inter-range parallelism, the range analogue of
+    the paper's inter-key parallelism.
+    """
+    from ..db.btree import BPlusTree, KEY_PAD
+    from .programs import (range_dispatcher_program,
+                           tree_range_walker_program)
+
+    if not isinstance(tree, BPlusTree):
+        raise WidxFault("offload_tree_ranges expects a BPlusTree")
+    if config.widx.mode != "shared":
+        raise WidxFault("range scans use the shared-dispatcher organization")
+    ranges = [(int(low), int(high)) for low, high in ranges]
+    if not ranges:
+        raise WidxFault("need at least one range")
+    for low, high in ranges:
+        if not 0 <= low <= high < KEY_PAD:
+            raise WidxFault(f"bad range [{low}, {high}]")
+
+    space = tree.space
+    n = config.widx.num_walkers
+    run_id = next(_offload_counter)
+
+    reference: List[int] = []
+    for low, high in ranges:
+        reference.extend(payload for _key, payload
+                         in tree.range_scan(low, high))
+
+    range_region = space.allocate(f"{tree.name}:ranges{run_id}",
+                                  max(64, 8 * len(ranges)), align=64)
+    for offset, (low, high) in enumerate(ranges):
+        space.memory.write_u32(range_region.base + 8 * offset, low)
+        space.memory.write_u32(range_region.base + 8 * offset + 4, high)
+    out_region = space.allocate(f"{tree.name}:rout{run_id}",
+                                max(64, 8 * (len(reference) + 1)), align=64)
+
+    dispatcher = range_dispatcher_program()
+    walker = tree_range_walker_program()
+    producer = producer_program(8)
+
+    hierarchy = memory if memory is not None else _hierarchy_for(config)
+    if warm:
+        hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
+    machine = WidxMachine(config, hierarchy, space.memory)
+    machine.build(dispatcher, walker, producer)
+    regs = dispatcher.config_registers
+    machine.configure_unit("dispatcher", {
+        regs["range_cursor"]: range_region.base,
+        regs["range_count"]: len(ranges),
+        regs["root"]: tree.root,
+    })
+    machine.configure_unit(
+        "producer", {producer.config_registers["out_cursor"]: out_region.base})
+
+    run = machine.run(expected_tuples=len(ranges))
+    payloads = [space.memory.read_u64(out_region.base + 8 * i)
+                for i in range(run.matches)]
+    validated: Optional[bool] = None
+    if validate:
+        validated = sorted(payloads) == sorted(reference)
+        if not validated:
+            raise WidxFault(
+                f"range offload diverged: {len(payloads)} emitted vs "
+                f"{len(reference)} expected")
+    return OffloadOutcome(run=run, payloads=payloads, validated=validated,
+                          memory=hierarchy,
+                          programs={"dispatcher": dispatcher,
+                                    "walker": walker, "producer": producer})

@@ -1,0 +1,112 @@
+"""Widx programs: assembled instruction sequences plus their interface.
+
+A program corresponds to one of the three functions the paper's
+programming API requires (Section 4.2): key hashing (dispatcher), node
+walk (walker), or result emission (producer).  The interface metadata —
+input registers (loaded from the unit's input queue each invocation),
+constant registers (preloaded from the Widx control block at configuration
+time) and persistent registers (survive across invocations, e.g. the
+producer's output pointer) — mirrors how the real control block configures
+each unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import AssemblerError, RegisterBudgetExceeded
+from .isa import Instruction, NUM_REGISTERS, Opcode, Register, UNIT_USAGE
+
+#: Unit roles, named by the paper's Figure 6 letters.
+ROLES = ("H", "W", "P")
+
+
+@dataclass(frozen=True)
+class UnitRole:
+    """A unit role: H (dispatcher), W (walker) or P (output producer)."""
+
+    letter: str
+
+    def __post_init__(self) -> None:
+        if self.letter not in ROLES:
+            raise AssemblerError(f"unknown unit role {self.letter!r}")
+
+    def __str__(self) -> str:
+        return {"H": "dispatcher", "W": "walker", "P": "producer"}[self.letter]
+
+
+DISPATCHER = UnitRole("H")
+WALKER = UnitRole("W")
+PRODUCER = UnitRole("P")
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled, validated Widx program."""
+
+    name: str
+    role: UnitRole
+    instructions: Tuple[Instruction, ...]
+    inputs: Tuple[Register, ...] = ()
+    constants: Dict[int, int] = field(default_factory=dict)  # reg index -> value
+    persistent: Tuple[Register, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise AssemblerError(f"program {self.name!r} has no instructions")
+        self._validate_usage()
+        self._validate_registers()
+        self._validate_targets()
+
+    def _validate_usage(self) -> None:
+        for pc, instruction in enumerate(self.instructions):
+            allowed = UNIT_USAGE[instruction.opcode]
+            if self.role.letter not in allowed:
+                raise AssemblerError(
+                    f"{self.name}@{pc}: {instruction.opcode.value} is not "
+                    f"available to {self.role} units (Table 1)")
+
+    def _validate_registers(self) -> None:
+        highest = 0
+        for instruction in self.instructions:
+            for register in instruction.registers_used():
+                if register.index > highest:
+                    highest = register.index
+        for index in self.constants:
+            if index > highest:
+                highest = index
+        if highest >= NUM_REGISTERS:
+            raise RegisterBudgetExceeded(
+                f"program {self.name!r} uses r{highest}; only "
+                f"{NUM_REGISTERS} registers exist and there is no push/pop")
+        if 0 in self.constants:
+            raise AssemblerError("r0 is hardwired to zero; cannot preload it")
+
+    def _validate_targets(self) -> None:
+        for pc, instruction in enumerate(self.instructions):
+            if instruction.is_branch:
+                target = instruction.target
+                if target is None or not 0 <= target < len(self.instructions):
+                    raise AssemblerError(
+                        f"{self.name}@{pc}: unresolved or out-of-range "
+                        f"branch target {target!r}")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def static_instruction_count(self) -> int:
+        return len(self.instructions)
+
+    def uses_opcode(self, opcode: Opcode) -> bool:
+        """True if any instruction has the given opcode."""
+        return any(instr.opcode is opcode for instr in self.instructions)
+
+    def opcode_histogram(self) -> Dict[str, int]:
+        """Static instruction mix by mnemonic."""
+        histogram: Dict[str, int] = {}
+        for instruction in self.instructions:
+            key = instruction.opcode.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram

@@ -1,0 +1,434 @@
+"""Widx program generation for a given schema and hash function.
+
+This is the software half of the paper's programming API (Section 4.2): a
+DBMS developer supplies three functions — key hashing, node walk, result
+emission — written against a concrete data layout.  Here those functions
+are *generated* from the same :class:`~repro.db.node.NodeLayout` and
+:class:`~repro.db.hashfn.HashSpec` objects the database engine itself uses,
+then assembled into Table 1 instructions.
+
+Register conventions (configuration registers are written by the host core
+through Widx's memory-mapped configuration interface before execution;
+static constants come from the Widx control block):
+
+Dispatcher (H):
+    r1  key-table cursor (config)        r5  current key
+    r2  remaining key count (config)     r6  hash scratch
+    r3  bucket-array base (config)       r7  bucket address
+    r4  bucket-index mask (config)       r20+ hash constants (static)
+
+Walker (W):
+    r1  probe key (input)                r3-r6 scratch
+    r2  current node address (input)
+    r8  base-column address (config; indirect layouts)
+    r12 empty-header sentinel (static)   r13 constant 1 (static)
+
+Producer (P):
+    r1  payload (input)                  r9  output cursor (config)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..db.hashfn import HashSpec, HashStep
+from ..db.node import NodeLayout
+from ..errors import AssemblerError
+from .assembler import assemble
+from .program import Program
+
+#: Configuration-register indices (the "memory-mapped registers inside
+#: Widx" of Section 4.3), by unit role.
+DISPATCHER_CONFIG = {"key_cursor": 1, "key_count": 2,
+                     "bucket_base": 3, "bucket_mask": 4}
+WALKER_CONFIG = {"column_base": 8}
+PRODUCER_CONFIG = {"out_cursor": 9}
+
+_HASH_CONST_BASE = 20  # first register used for hash constants
+
+
+@dataclass
+class GeneratedProgram:
+    """An assembled program plus its configuration-register map."""
+
+    program: Program
+    config_registers: Dict[str, int] = field(default_factory=dict)
+    source: str = ""
+
+
+def _hash_body(steps: Tuple[HashStep, ...], src: str, work: str) -> Tuple[List[str], Dict[int, int]]:
+    """Emit hash mixing code; returns (lines, constant registers)."""
+    lines: List[str] = []
+    constants: Dict[int, int] = {}
+    const_reg = _HASH_CONST_BASE
+    current = src
+    for step in steps:
+        if step.kind in ("xor_shl", "xor_shr", "add_shl", "sub_shl"):
+            op = "xor-shf" if step.kind.startswith("xor") else "add-shf"
+            amount = step.amount if step.kind.endswith("shl") else -step.amount
+            if step.kind == "sub_shl":
+                raise AssemblerError(
+                    "sub_shl cannot be compiled: the Widx ISA has no SUB")
+            lines.append(f"  {op} {work}, {current}, {current}, #{amount}")
+        elif step.kind in ("and_const", "xor_const", "add_const"):
+            if const_reg > 31:
+                raise AssemblerError("out of hash-constant registers")
+            mnemonic = step.kind.split("_", 1)[0]
+            constants[const_reg] = step.const
+            lines.append(f"  {mnemonic} {work}, {current}, r{const_reg}")
+            const_reg += 1
+        elif step.kind == "shr":
+            lines.append(f"  shr {work}, {current}, #{step.amount}")
+        elif step.kind == "shl":
+            lines.append(f"  shl {work}, {current}, #{step.amount}")
+        else:  # pragma: no cover - HashStep validates kinds
+            raise AssemblerError(f"unknown hash step {step.kind!r}")
+        current = work
+    return lines, constants
+
+
+def dispatcher_program(hash_spec: HashSpec, layout: NodeLayout, *,
+                       stride_keys: int = 1, touch_ahead: bool = True,
+                       name: str = "dispatch") -> GeneratedProgram:
+    """The key-hashing function: stream keys, hash, emit (key, bucket addr).
+
+    ``stride_keys`` > 1 builds the per-walker private dispatcher of
+    Figure 3c, where dispatcher *i* handles keys *i, i+N, i+2N, ...*.
+    """
+    key_bytes = layout.key_bytes
+    step_bytes = stride_keys * key_bytes
+    hash_lines, constants = _hash_body(hash_spec.steps, "r5", "r6")
+    lines = [
+        f".name {name}",
+        ".role H",
+    ]
+    lines += [f".const r{reg} = {value:#x}" for reg, value in constants.items()]
+    lines += [
+        "loop:",
+        "  ble r2, r0, done",     # while (count != 0) — guard before load
+        f"  ld.{key_bytes} r5, [r1+0]",
+    ]
+    if touch_ahead:
+        # Prefetch one block ahead of the key stream (Section 4.1's TOUCH).
+        lines.append("  touch [r1+64]")
+    lines += hash_lines
+    lines += [
+        "  and r6, r6, r4",
+        f"  add-shf r7, r3, r6, #{layout.shift}",
+        "  emit r5, r7",
+        f"  add r1, r1, #{step_bytes}",
+        "  add r2, r2, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(DISPATCHER_CONFIG), source)
+
+
+def _walk_lines(layout: NodeLayout, key_reg: str, node_reg: str,
+                emit_to: str = "producer") -> List[str]:
+    """The node-walk inner loop, shared by decoupled and coupled walkers."""
+    lines: List[str] = []
+    if layout.indirect:
+        lines += [
+            "walk:",
+            f"  ld.8 r3, [{node_reg}+{layout.key_offset}]",
+            "  cmp r4, r3, r12",          # row-id slot == empty sentinel?
+            "  ble r13, r4, next",        # 1 <= r4 -> empty header, skip
+            f"  add-shf r5, r8, r3, #{layout.key_bytes.bit_length() - 1}",
+            f"  ld.{layout.key_bytes} r6, [r5+0]",
+            f"  cmp r4, r6, {key_reg}",
+            "  ble r4, r0, next",
+            "  emit r3",                  # payload is the row id
+            "next:",
+            f"  ld.8 {node_reg}, [{node_reg}+{layout.next_offset}]",
+            f"  ble {node_reg}, r0, done",
+            "  ba walk",
+        ]
+    else:
+        lines += [
+            "walk:",
+            f"  ld.{layout.key_bytes} r3, [{node_reg}+{layout.key_offset}]",
+            f"  cmp r4, r3, {key_reg}",
+            "  ble r4, r0, next",
+            f"  ld.{layout.payload_bytes} r5, [{node_reg}+{layout.payload_offset}]",
+            "  emit r5",
+            "next:",
+            f"  ld.8 {node_reg}, [{node_reg}+{layout.next_offset}]",
+            f"  ble {node_reg}, r0, done",
+            "  ba walk",
+        ]
+    return lines
+
+
+def walker_program(layout: NodeLayout, name: str = "walk") -> GeneratedProgram:
+    """The node-walk function: pop (key, bucket addr), chase the chain,
+    emit matching payloads to the producer."""
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2",
+    ]
+    config = {}
+    if layout.indirect:
+        lines.append(f".const r12 = {layout.empty_sentinel:#x}")
+        lines.append(".const r13 = 1")
+        config.update(WALKER_CONFIG)
+    lines += _walk_lines(layout, "r1", "r2")
+    lines += ["done:", "  halt"]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), config, source)
+
+
+def producer_program(payload_bytes: int = 8,
+                     name: str = "produce") -> GeneratedProgram:
+    """The result-emission function: store each payload, bump the cursor.
+
+    Only the producer may execute ST (Table 1) — the paper's programming
+    model forbids writes from every other unit.
+    """
+    lines = [
+        f".name {name}",
+        ".role P",
+        ".input r1",
+        ".persist r9",
+        f"  st.{payload_bytes} [r9+0], r1",
+        f"  add r9, r9, #{payload_bytes}",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(PRODUCER_CONFIG), source)
+
+
+def coupled_walker_program(hash_spec: HashSpec, layout: NodeLayout, *,
+                           stride_keys: int = 1,
+                           name: str = "probe") -> GeneratedProgram:
+    """Figure 3a/3b: a walker that hashes its own keys inline.
+
+    The whole of Listing 1 runs on one unit: load key, hash, walk, repeat.
+    With ``stride_keys`` = N, walker *i* of N processes keys *i, i+N, ...*
+    (the multi-walker baseline of Figure 3b).
+    """
+    key_bytes = layout.key_bytes
+    step_bytes = stride_keys * key_bytes
+    # Register plan: the walk body scratches r3-r6 (and r8/r12/r13 for
+    # indirect layouts), so this program keeps its own state clear of it:
+    # r1 cursor, r14 count, r16 hash scratch, r17 raw key, r18 bucket base,
+    # r19 bucket mask, r2 current node pointer.
+    hash_lines, constants = _hash_body(hash_spec.steps, "r16", "r16")
+    lines = [
+        f".name {name}",
+        ".role W",
+    ]
+    lines += [f".const r{reg} = {value:#x}" for reg, value in constants.items()]
+    if layout.indirect:
+        lines.append(f".const r12 = {layout.empty_sentinel:#x}")
+        lines.append(".const r13 = 1")
+    lines += [
+        "loop:",
+        "  ble r14, r0, done",            # while (count != 0)
+        f"  ld.{key_bytes} r16, [r1+0]",
+        f"  add r17, r16, r0",            # keep the raw key for compares
+    ]
+    lines += hash_lines
+    lines += [
+        "  and r16, r16, r19",
+        f"  add-shf r2, r18, r16, #{layout.shift}",
+    ]
+    walk = _walk_lines(layout, "r17", "r2")
+    # Retarget the walk's exit label to this program's loop epilogue.
+    walk = [line.replace("ble r2, r0, done", "ble r2, r0, cont") for line in walk]
+    lines += walk
+    lines += [
+        "cont:",
+        f"  add r1, r1, #{step_bytes}",
+        "  add r14, r14, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    config = {"key_cursor": 1, "key_count": 14, "bucket_base": 18,
+              "bucket_mask": 19}
+    if layout.indirect:
+        config.update(WALKER_CONFIG)
+    return GeneratedProgram(assemble(source), config, source)
+
+
+# ----------------------------------------------------------------------
+# B+-tree traversal (the paper's Section 7 extension: "Widx can easily be
+# extended to accelerate other index structures, such as balanced trees")
+# ----------------------------------------------------------------------
+
+#: Configuration registers for the tree dispatcher (no hashing — trees
+#: need only the key stream and the root pointer).
+TREE_DISPATCHER_CONFIG = {"key_cursor": 1, "key_count": 2, "root": 3}
+
+
+def tree_dispatcher_program(key_bytes: int = 4, *, stride_keys: int = 1,
+                            touch_ahead: bool = True,
+                            name: str = "tree-dispatch") -> GeneratedProgram:
+    """Stream probe keys and emit (key, root) pairs to the tree walkers.
+
+    Trees have no hashing stage, but decoupling still pays: the dispatcher
+    prefetches the key stream and keeps every walker's input queue full.
+    """
+    step_bytes = stride_keys * key_bytes
+    lines = [
+        f".name {name}",
+        ".role H",
+        "loop:",
+        "  ble r2, r0, done",
+        f"  ld.{key_bytes} r5, [r1+0]",
+    ]
+    if touch_ahead:
+        lines.append("  touch [r1+64]")
+    lines += [
+        "  emit r5, r3",
+        f"  add r1, r1, #{step_bytes}",
+        "  add r2, r2, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(TREE_DISPATCHER_CONFIG),
+                            source)
+
+
+def _tree_descent_lines(key_reg: str = "r1") -> List[str]:
+    """Descend from the node in r2 to the leaf covering ``key_reg``.
+
+    Falls through to the ``leaf:`` label with r2 = leaf address.  The
+    separator slots of partially filled nodes are padded with 2^32-1, so
+    ``key <= separator`` always resolves inside the real children — no
+    bounds logic needed.
+    """
+    lines = [
+        "walk:",
+        "  ld.8 r3, [r2+0]",          # meta word
+        "  and r4, r3, r13",
+        "  ble r13, r4, leaf",        # leaf bit set -> stop descending
+    ]
+    # Internal node: sequential separator compares (fanout 4, unrolled).
+    for slot in range(4):
+        lines += [
+            f"  ld.4 r5, [r2+{8 + 4 * slot}]",
+            f"  cmp-le r6, {key_reg}, r5",
+            f"  ble r13, r6, child{slot}",
+        ]
+    lines += [
+        "  ld.8 r2, [r2+56]",         # children[4]: key > every separator
+        "  ba walk",
+    ]
+    for slot in range(4):
+        lines += [
+            f"child{slot}:",
+            f"  ld.8 r2, [r2+{24 + 8 * slot}]",
+            "  ba walk",
+        ]
+    lines.append("leaf:")
+    return lines
+
+
+def tree_walker_program(name: str = "tree-walk") -> GeneratedProgram:
+    """Descend a B+-tree (64 B nodes, fanout 4) and emit the payload.
+
+    Register plan: r1 = probe key (input), r2 = current node (input: the
+    root), r3-r7 scratch, r13 = constant 1.
+    """
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2",
+        ".const r13 = 1",
+    ]
+    lines += _tree_descent_lines("r1")
+    for slot in range(4):
+        skip = f"miss{slot}"
+        lines += [
+            f"  ld.4 r5, [r2+{8 + 4 * slot}]",
+            "  cmp r6, r5, r1",
+            f"  ble r6, r0, {skip}",
+            f"  ld.4 r7, [r2+{24 + 4 * slot}]",
+            "  emit r7",
+            "  ba done",
+            f"{skip}:",
+        ]
+    lines += ["  ba done", "done:", "  halt"]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), {}, source)
+
+
+#: Configuration registers for the multi-range dispatcher.
+RANGE_DISPATCHER_CONFIG = {"range_cursor": 1, "range_count": 2, "root": 3}
+
+
+def range_dispatcher_program(*, stride_ranges: int = 1,
+                             name: str = "range-dispatch"
+                             ) -> GeneratedProgram:
+    """Stream (low, high) range pairs and emit (low, root, high).
+
+    Ranges are packed as two consecutive 4-byte words; walkers pick up
+    whole ranges, giving inter-range parallelism (multi-range predicates,
+    IN-lists) the way point probes give inter-key parallelism.
+    """
+    step_bytes = 8 * stride_ranges
+    lines = [
+        f".name {name}",
+        ".role H",
+        "loop:",
+        "  ble r2, r0, done",
+        "  ld.4 r5, [r1+0]",      # low
+        "  ld.4 r6, [r1+4]",      # high (same block)
+        "  touch [r1+64]",
+        "  emit r5, r3, r6",
+        f"  add r1, r1, #{step_bytes}",
+        "  add r2, r2, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(RANGE_DISPATCHER_CONFIG),
+                            source)
+
+
+def tree_range_walker_program(name: str = "tree-range") -> GeneratedProgram:
+    """Scan a B+-tree range: descend to the leaf covering ``low``, then
+    walk the leaf chain emitting every payload with low <= key <= high.
+
+    Register plan: r1 = low (input), r2 = node (input: root), r10 = high
+    (input), r3-r7 scratch, r13 = constant 1.  Key-pad slots (2^32-1)
+    compare greater than any real ``high``, terminating the scan at the
+    last partially filled leaf.
+    """
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2, r10",
+        ".const r13 = 1",
+    ]
+    lines += _tree_descent_lines("r1")
+    for slot in range(4):
+        lines += [
+            f"  ld.4 r5, [r2+{8 + 4 * slot}]",
+            "  cmp-le r6, r5, r10",          # key <= high?
+            "  ble r6, r0, done",            # key > high (or pad): finished
+            f"  cmp-le r7, r1, r5",          # low <= key?
+            f"  ble r7, r0, skip{slot}",
+            f"  ld.4 r8, [r2+{24 + 4 * slot}]",
+            "  emit r8",
+            f"skip{slot}:",
+        ]
+    lines += [
+        "  ld.8 r2, [r2+40]",                # next-leaf pointer
+        "  ble r2, r0, done",
+        "  ba leaf",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), {}, source)

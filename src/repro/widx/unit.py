@@ -1,0 +1,284 @@
+"""The Widx unit: a 2-stage RISC core executing one program.
+
+Timing model (Section 4.1 / Figure 7):
+
+* one instruction per cycle through the 2-stage pipeline; branches resolve
+  in the first stage (the paper notes branch address calculation is the
+  design's critical path precisely because it sits in that stage), so even
+  taken branches sustain one instruction per cycle;
+* ``LD`` blocks the unit until the shared memory hierarchy returns the
+  data (walkers get their MLP from *multiple units*, not from within one);
+* ``TOUCH`` issues a non-binding prefetch and does not wait;
+* ``ST`` drains through a store buffer (1 cycle; latency hidden — the
+  paper notes store latency is off the critical path);
+* ``EMIT`` blocks while the output queue is full.
+
+Every cycle is attributed to one of the Figure 8a categories: **Comp**
+(instruction execution), **Mem** (memory-hierarchy stall), **TLB**
+(address-translation stall, serviced by the host MMU), **Idle** (waiting
+for work from the dispatcher) — plus **Queue** for output back-pressure,
+which the paper folds into Idle; we keep it separate and report both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from ..errors import WidxFault
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physmem import PhysicalMemory
+from ..sim.engine import Engine
+from ..sim.resources import BoundedQueue, QUEUE_CLOSED
+from .isa import Instruction, NUM_REGISTERS, Opcode
+from .program import Program
+
+_M64 = (1 << 64) - 1
+
+
+@dataclass
+class UnitCycleBreakdown:
+    """Cycle attribution for one unit (the Figure 8a categories)."""
+
+    comp: float = 0.0
+    mem: float = 0.0
+    tlb: float = 0.0
+    idle: float = 0.0
+    queue: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.comp + self.mem + self.tlb + self.idle + self.queue
+
+    def merged(self, other: "UnitCycleBreakdown") -> "UnitCycleBreakdown":
+        """Element-wise sum with another breakdown."""
+        return UnitCycleBreakdown(
+            comp=self.comp + other.comp,
+            mem=self.mem + other.mem,
+            tlb=self.tlb + other.tlb,
+            idle=self.idle + other.idle,
+            queue=self.queue + other.queue,
+        )
+
+    def scaled(self, factor: float) -> "UnitCycleBreakdown":
+        """Element-wise multiply by a factor."""
+        return UnitCycleBreakdown(
+            comp=self.comp * factor, mem=self.mem * factor,
+            tlb=self.tlb * factor, idle=self.idle * factor,
+            queue=self.queue * factor)
+
+
+@dataclass
+class UnitStats:
+    """Execution counters for one unit."""
+
+    invocations: int = 0
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    touches: int = 0
+    emitted: int = 0
+    cycles: UnitCycleBreakdown = field(default_factory=UnitCycleBreakdown)
+
+
+class WidxUnit:
+    """One dispatcher, walker or producer instance."""
+
+    def __init__(self, name: str, program: Program, engine: Engine,
+                 hierarchy: MemoryHierarchy, physmem: PhysicalMemory,
+                 in_queue: Optional[BoundedQueue] = None,
+                 out_queue: Optional[BoundedQueue] = None) -> None:
+        self.name = name
+        self.program = program
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.physmem = physmem
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        self.regs: List[int] = [0] * NUM_REGISTERS
+        for index, value in program.constants.items():
+            self.regs[index] = value & _M64
+        self.stats = UnitStats()
+        self._start_time: Optional[float] = None
+        self._end_time: Optional[float] = None
+
+    def configure(self, values: dict) -> None:
+        """Write configuration registers (the memory-mapped config path)."""
+        for index, value in values.items():
+            if not 1 <= index < NUM_REGISTERS:
+                raise WidxFault(f"{self.name}: cannot configure r{index}")
+            self.regs[index] = value & _M64
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy_cycles(self) -> float:
+        if self._start_time is None or self._end_time is None:
+            return 0.0
+        return self._end_time - self._start_time
+
+    def run(self) -> Generator:
+        """The unit's process: generator for the discrete-event engine."""
+        self._start_time = self.engine.now
+        try:
+            if self.in_queue is None:
+                # Autonomous unit (dispatcher / coupled walker): a single
+                # invocation whose program iterates over its work itself.
+                self.stats.invocations += 1
+                yield from self._invoke()
+            else:
+                while True:
+                    waited_from = self.engine.now
+                    item = yield self.in_queue.get()
+                    self.stats.cycles.idle += self.engine.now - waited_from
+                    if item is QUEUE_CLOSED:
+                        break
+                    self._load_inputs(item)
+                    self.stats.invocations += 1
+                    yield from self._invoke()
+        finally:
+            self._end_time = self.engine.now
+
+    def _load_inputs(self, item: Tuple[int, ...]) -> None:
+        inputs = self.program.inputs
+        if len(item) != len(inputs):
+            raise WidxFault(
+                f"{self.name}: got {len(item)} queue operands, program "
+                f"expects {len(inputs)}")
+        for register, value in zip(inputs, item):
+            self.regs[register.index] = value & _M64
+        self.regs[0] = 0
+
+    # ------------------------------------------------------------------
+
+    def _invoke(self) -> Generator:
+        regs = self.regs
+        instructions = self.program.instructions
+        stats = self.stats
+        cycles = stats.cycles
+        pc = 0
+        pending = 1.0  # one cycle to dequeue/start the invocation
+        program_len = len(instructions)
+
+        while pc < program_len:
+            ins = instructions[pc]
+            op = ins.opcode
+            stats.instructions += 1
+
+            if op is Opcode.LD:
+                if pending:
+                    yield pending
+                    cycles.comp += pending
+                    pending = 0.0
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                now = self.engine.now
+                result = self.hierarchy.load(addr, now)
+                value = self.physmem.read(addr, ins.width)
+                wait = result.complete - now
+                cycles.comp += 1.0
+                stall = max(0.0, wait - 1.0)
+                tlb_part = min(result.tlb_stall, stall)
+                cycles.tlb += tlb_part
+                cycles.mem += stall - tlb_part
+                if wait > 0:
+                    yield wait
+                if ins.rd.index != 0:
+                    regs[ins.rd.index] = value
+                stats.loads += 1
+                pc += 1
+
+            elif op is Opcode.ST:
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                self.physmem.write(addr, ins.width, regs[ins.rb.index])
+                self.hierarchy.store(addr, self.engine.now + pending)
+                stats.stores += 1
+                pending += 1.0
+                pc += 1
+
+            elif op is Opcode.TOUCH:
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                self.hierarchy.touch(addr, self.engine.now + pending)
+                stats.touches += 1
+                pending += 1.0
+                pc += 1
+
+            elif op is Opcode.EMIT:
+                if self.out_queue is None:
+                    raise WidxFault(f"{self.name}: EMIT with no output queue")
+                if pending:
+                    yield pending
+                    cycles.comp += pending
+                    pending = 0.0
+                values = tuple(regs[r.index] for r in ins.sources)
+                waited_from = self.engine.now
+                yield self.out_queue.put(values)
+                cycles.queue += self.engine.now - waited_from
+                pending = 1.0
+                stats.emitted += 1
+                pc += 1
+
+            elif op is Opcode.BA:
+                # Branch address calculation happens in the first pipeline
+                # stage (the design's critical path — Section 4.1), so
+                # taken branches do not bubble.
+                pending += 1.0
+                pc = ins.target
+
+            elif op is Opcode.BLE:
+                pending += 1.0
+                if regs[ins.ra.index] <= regs[ins.rb.index]:
+                    pc = ins.target
+                else:
+                    pc += 1
+
+            elif op is Opcode.HALT:
+                break  # fall-through return; the next dequeue pays the cycle
+
+            else:
+                self._alu(ins, regs)
+                pending += 1.0
+                pc += 1
+
+        if pending:
+            yield pending
+            cycles.comp += pending
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _alu(ins: Instruction, regs: List[int]) -> None:
+        a = regs[ins.ra.index]
+        if ins.rb is not None:
+            b = regs[ins.rb.index]
+        elif ins.imm is not None:
+            b = ins.imm & _M64
+        else:
+            b = 0
+        op = ins.opcode
+        if op is Opcode.ADD:
+            value = (a + b) & _M64
+        elif op is Opcode.AND:
+            value = a & b
+        elif op is Opcode.XOR:
+            value = a ^ b
+        elif op is Opcode.CMP:
+            value = 1 if a == b else 0
+        elif op is Opcode.CMP_LE:
+            value = 1 if a <= b else 0
+        elif op is Opcode.SHL:
+            value = (a << ins.imm) & _M64
+        elif op is Opcode.SHR:
+            value = a >> ins.imm
+        elif op in (Opcode.ADD_SHF, Opcode.AND_SHF, Opcode.XOR_SHF):
+            shift = ins.imm
+            shifted = (b << shift) & _M64 if shift >= 0 else b >> -shift
+            if op is Opcode.ADD_SHF:
+                value = (a + shifted) & _M64
+            elif op is Opcode.AND_SHF:
+                value = a & shifted
+            else:
+                value = a ^ shifted
+        else:  # pragma: no cover - dispatch covers every opcode
+            raise WidxFault(f"unhandled opcode {op}")
+        if ins.rd.index != 0:
+            regs[ins.rd.index] = value

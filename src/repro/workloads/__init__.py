@@ -1,0 +1,25 @@
+"""Workloads: the hash-join kernel and the DSS (TPC-H / TPC-DS) suites.
+
+Dataset sizes are scaled per DESIGN.md: cache geometry stays at the
+paper's Table 2 values, so each workload's *locality class* (L1-resident /
+LLC-resident / DRAM-resident index) — the property that drives every
+result — is preserved while key counts shrink to laptop scale.
+"""
+
+from .hashjoin_kernel import KernelSpec, KERNEL_SIZES, build_kernel_workload
+from .queryspec import QuerySpec, IndexClass, build_query_index
+from .tpch import TPCH_QUERIES, TPCH_SIMULATED
+from .tpcds import TPCDS_QUERIES, TPCDS_SIMULATED
+
+__all__ = [
+    "KernelSpec",
+    "KERNEL_SIZES",
+    "build_kernel_workload",
+    "QuerySpec",
+    "IndexClass",
+    "build_query_index",
+    "TPCH_QUERIES",
+    "TPCH_SIMULATED",
+    "TPCDS_QUERIES",
+    "TPCDS_SIMULATED",
+]

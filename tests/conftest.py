@@ -1,0 +1,79 @@
+"""Shared fixtures: small indexes, spaces and hierarchies for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.column import Column
+from repro.db.datagen import make_rng, probe_keys, unique_keys
+from repro.db.hashfn import ROBUST_HASH_32
+from repro.db.hashtable import HashIndex, choose_num_buckets
+from repro.db.node import KERNEL_LAYOUT, monetdb_layout
+from repro.db.types import DataType
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import AddressSpace
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(DEFAULT_CONFIG)
+
+
+def build_direct_index(space, num_keys=2000, seed=11, nodes_per_bucket=1.0,
+                       hash_spec=ROBUST_HASH_32):
+    """A small direct-layout index plus its (key -> payload) ground truth."""
+    rng = make_rng(seed)
+    keys = unique_keys(num_keys, 4, rng)
+    index = HashIndex(space, KERNEL_LAYOUT,
+                      choose_num_buckets(num_keys, nodes_per_bucket),
+                      hash_spec, capacity=num_keys)
+    truth = {}
+    for row, key in enumerate(keys):
+        index.insert(int(key), row + 1)
+        truth[int(key)] = row + 1
+    return index, keys, truth
+
+
+def build_indirect_index(space, num_keys=2000, seed=12, key_bytes=4):
+    """A small MonetDB-style indirect index plus ground truth (key -> row)."""
+    rng = make_rng(seed)
+    keys = unique_keys(num_keys, key_bytes, rng)
+    base = Column("base", DataType.for_key_bytes(key_bytes), keys)
+    base.materialize(space)
+    index = HashIndex(space, monetdb_layout(key_bytes),
+                      choose_num_buckets(num_keys, 1.0),
+                      ROBUST_HASH_32, capacity=num_keys, key_column=base)
+    truth = {}
+    for row, key in enumerate(keys):
+        index.insert(int(key), row)
+        truth[int(key)] = row
+    return index, keys, truth
+
+
+def materialized_probe_column(space, build_keys, count=500, seed=13,
+                              match_fraction=1.0, key_bytes=4):
+    rng = make_rng(seed)
+    values = probe_keys(np.asarray(build_keys), count, match_fraction,
+                        key_bytes, rng)
+    column = Column("probes", DataType.for_key_bytes(key_bytes), values)
+    column.materialize(space)
+    return column
+
+
+@pytest.fixture
+def direct_index(space):
+    index, keys, truth = build_direct_index(space)
+    return index, keys, truth
+
+
+@pytest.fixture
+def indirect_index(space):
+    index, keys, truth = build_indirect_index(space)
+    return index, keys, truth

@@ -1,0 +1,82 @@
+"""Tests for the indexing-throughput measurement harness."""
+
+import pytest
+
+from repro.cpu.timing import measure_indexing, warm_hash_index
+from repro.config import DEFAULT_CONFIG
+from repro.mem.hierarchy import MemoryHierarchy
+from tests.conftest import (build_direct_index, build_indirect_index,
+                            materialized_probe_column)
+
+
+@pytest.fixture
+def workload(space):
+    index, keys, truth = build_direct_index(space, num_keys=3000)
+    column = materialized_probe_column(space, keys, count=900)
+    return index, column
+
+
+def test_measures_positive_throughput(workload):
+    index, column = workload
+    result = measure_indexing(index, column, core="ooo",
+                              warmup_probes=200, measure_probes=700)
+    assert result.cycles_per_tuple > 0
+    assert result.tuples == 700
+    assert result.total_cycles > 0
+
+
+def test_confidence_interval_reported(workload):
+    index, column = workload
+    result = measure_indexing(index, column, core="ooo",
+                              warmup_probes=200, measure_probes=700,
+                              batch_size=50)
+    assert result.ci_half_width >= 0
+    assert result.relative_error < 0.5
+
+
+def test_inorder_slower_than_ooo(workload):
+    index, column = workload
+    ooo = measure_indexing(index, column, core="ooo",
+                           warmup_probes=200, measure_probes=700)
+    ino = measure_indexing(index, column, core="inorder",
+                           warmup_probes=200, measure_probes=700)
+    assert ino.cycles_per_tuple > ooo.cycles_per_tuple
+
+
+def test_unknown_core_rejected(workload):
+    index, column = workload
+    with pytest.raises(ValueError, match="core model"):
+        measure_indexing(index, column, core="vliw")
+
+
+def test_needs_enough_probes(workload):
+    index, column = workload
+    with pytest.raises(ValueError):
+        measure_indexing(index, column, warmup_probes=900,
+                         measure_probes=0)
+
+
+def test_warming_reduces_measured_cost(workload):
+    index, column = workload
+    warm = measure_indexing(index, column, warmup_probes=100,
+                            measure_probes=700, warm_index=True)
+    cold = measure_indexing(index, column, warmup_probes=100,
+                            measure_probes=700, warm_index=False)
+    assert warm.cycles_per_tuple <= cold.cycles_per_tuple
+
+
+def test_warm_hash_index_covers_base_column(space):
+    index, keys, truth = build_indirect_index(space, num_keys=500)
+    memory = MemoryHierarchy(DEFAULT_CONFIG)
+    warm_hash_index(memory, index)
+    region = index.key_column.region
+    result = memory.load(region.base, 0.0)
+    assert result.level in ("L1", "LLC")
+
+
+def test_miss_ratios_reported(workload):
+    index, column = workload
+    result = measure_indexing(index, column, warmup_probes=200,
+                              measure_probes=700)
+    assert 0 <= result.l1_miss_ratio <= 1
+    assert 0 <= result.llc_miss_ratio <= 1

@@ -1,0 +1,135 @@
+"""Tests for the probe-trace generator."""
+
+import pytest
+
+from repro.cpu.trace import HOST_OPS_PER_HASH_STEP, ProbeTraceGenerator
+from repro.cpu.uops import UopKind
+from tests.conftest import (build_direct_index, build_indirect_index,
+                            materialized_probe_column)
+
+
+def make_generator(space, indirect=False, **probe_kwargs):
+    if indirect:
+        index, keys, truth = build_indirect_index(space)
+    else:
+        index, keys, truth = build_direct_index(space)
+    column = materialized_probe_column(space, keys, **probe_kwargs)
+    return index, column, ProbeTraceGenerator(index, column)
+
+
+def test_trace_has_key_load_first(space):
+    index, column, generator = make_generator(space)
+    uops = generator.probe_uops(0, 0)
+    assert uops[0].kind is UopKind.LOAD
+    assert uops[0].addr == column.address_of(0)
+
+
+def test_hash_chain_is_serial(space):
+    index, column, generator = make_generator(space)
+    uops = generator.probe_uops(0, 0)
+    steps = index.hash_spec.compute_cycles * HOST_OPS_PER_HASH_STEP
+    hash_uops = uops[1:1 + steps]
+    assert all(u.kind is UopKind.ALU for u in hash_uops)
+    for i, uop in enumerate(hash_uops):
+        assert uop.deps == (i,), "each hash op depends on its predecessor"
+
+
+def test_node_loads_use_real_addresses(space):
+    index, column, generator = make_generator(space)
+    key = int(column.values[0])
+    chain = list(index.walk_chain(key))
+    uops = generator.probe_uops(0, 0)
+    load_addrs = {u.addr for u in uops if u.kind is UopKind.LOAD}
+    for node in chain:
+        assert node + index.layout.key_offset in load_addrs
+        assert node + index.layout.next_offset in load_addrs
+
+
+def test_pointer_chase_is_dependent(space):
+    index, column, generator = make_generator(space)
+    # Find a probe whose chain has >= 2 nodes.
+    for row in range(len(column.values)):
+        key = int(column.values[row])
+        chain = list(index.walk_chain(key))
+        if len(chain) >= 2:
+            break
+    else:
+        pytest.skip("no multi-node chain in sample")
+    uops = generator.probe_uops(row, 0)
+    next_loads = [i for i, u in enumerate(uops)
+                  if u.kind is UopKind.LOAD
+                  and any(u.addr == n + index.layout.next_offset
+                          for n in chain)]
+    # The second node's loads must depend on the first next-pointer load.
+    second_node_key_load = [
+        i for i, u in enumerate(uops)
+        if u.kind is UopKind.LOAD
+        and u.addr == chain[1] + index.layout.key_offset][0]
+    assert next_loads[0] in uops[second_node_key_load].deps
+
+
+def test_indirect_trace_has_base_column_load(space):
+    index, column, generator = make_generator(space, indirect=True)
+    row = 0
+    key = int(column.values[row])
+    uops = generator.probe_uops(row, 0)
+    base = index.key_column.region
+    base_loads = [u for u in uops if u.kind is UopKind.LOAD
+                  and base.base <= u.addr < base.end]
+    assert base_loads, "indirect probes must read the base column"
+
+
+def test_indirect_trace_is_longer_than_direct(space):
+    from repro.mem.layout import AddressSpace
+    other = AddressSpace()
+    index_d, column_d, gen_d = make_generator(space)
+    index_i, column_i, gen_i = make_generator(other, indirect=True)
+    direct_len = len(gen_d.probe_uops(0, 0))
+    indirect_len = len(gen_i.probe_uops(0, 0))
+    assert indirect_len > direct_len  # extra address calc + key load
+
+
+def test_stream_keeps_dependencies_in_stream_space(space):
+    index, column, generator = make_generator(space, count=20)
+    position = 0
+    for uops in generator.stream(range(20)):
+        for offset, uop in enumerate(uops):
+            for dep in uop.deps:
+                assert dep < position + offset, "dep must point backwards"
+        position += len(uops)
+
+
+def test_mispredict_marks_only_chain_exits(space):
+    index, column, generator = make_generator(space, count=50)
+    for uops in generator.stream(range(50)):
+        mispredicted = [u for u in uops if u.mispredict]
+        assert all(u.kind is UopKind.BRANCH for u in mispredicted)
+        assert len(mispredicted) <= 1  # at most the exit branch per probe
+
+
+def test_mispredicts_can_be_disabled(space):
+    index, keys, truth = build_direct_index(space)
+    column = materialized_probe_column(space, keys, count=50)
+    generator = ProbeTraceGenerator(index, column, model_mispredicts=False)
+    for uops in generator.stream(range(50)):
+        assert not any(u.mispredict for u in uops)
+
+
+def test_unmaterialized_probe_column_rejected(space):
+    from repro.db.column import Column
+    from repro.db.types import DataType
+    index, keys, truth = build_direct_index(space)
+    loose = Column("loose", DataType.U32, [1, 2, 3])
+    with pytest.raises(ValueError):
+        ProbeTraceGenerator(index, loose)
+
+
+def test_empty_bucket_probe_still_reads_header(space):
+    index, keys, truth = build_direct_index(space, num_keys=100)
+    column = materialized_probe_column(space, keys, count=30,
+                                       match_fraction=0.0)
+    generator = ProbeTraceGenerator(index, column)
+    for row in range(30):
+        uops = generator.probe_uops(row, 0)
+        loads = [u for u in uops if u.kind is UopKind.LOAD]
+        assert len(loads) >= 2  # key stream + at least the header

@@ -1,0 +1,112 @@
+"""Tests for the bulk-loaded B+-tree."""
+
+import pytest
+
+from repro.db.btree import BPlusTree, FANOUT, KEY_PAD, NODE_BYTES
+from repro.db.datagen import make_rng, unique_keys
+from repro.errors import PlanError
+from repro.mem.layout import AddressSpace
+
+
+def make_tree(space, n=500, seed=3):
+    keys = unique_keys(n, 4, make_rng(seed)).tolist()
+    payloads = list(range(1, n + 1))
+    tree = BPlusTree(space, keys, payloads)
+    truth = dict(zip(sorted(keys),
+                     [p for _, p in sorted(zip(keys, payloads))]))
+    return tree, sorted(keys), truth
+
+
+class TestConstruction:
+    def test_every_key_searchable(self, space):
+        tree, keys, truth = make_tree(space)
+        for key in keys:
+            assert tree.search(key) == truth[key]
+
+    def test_missing_keys_return_none(self, space):
+        tree, keys, truth = make_tree(space)
+        assert tree.search(keys[-1] + 1) is None
+        assert tree.search(1 if 1 not in truth else 0) in (None,)
+
+    def test_height_is_logarithmic(self, space):
+        small, _, _ = make_tree(space, n=4)
+        assert small.stats().height == 1
+        big_space = AddressSpace()
+        big, _, _ = make_tree(big_space, n=4000)
+        # fanout-4 leaves, fanout-5 internals: height ~ log5(n/4) + 1
+        assert 4 <= big.stats().height <= 7
+
+    def test_leaf_count(self, space):
+        tree, keys, truth = make_tree(space, n=500)
+        expected = (500 + FANOUT - 1) // FANOUT
+        assert tree.stats().leaves == expected
+
+    def test_single_key_tree(self, space):
+        tree = BPlusTree(space, [42], [7])
+        assert tree.search(42) == 7
+        assert tree.search(41) is None
+        assert tree.stats().height == 1
+
+    def test_footprint_is_node_aligned(self, space):
+        tree, keys, truth = make_tree(space, n=100)
+        assert tree.footprint_bytes % NODE_BYTES == 0
+        assert tree.footprint_bytes == tree.stats().total_nodes * NODE_BYTES
+
+    def test_duplicate_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            BPlusTree(space, [1, 1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self, space):
+        with pytest.raises(PlanError):
+            BPlusTree(space, [], [])
+
+    def test_pad_value_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            BPlusTree(space, [KEY_PAD], [1])
+
+    def test_mismatched_lengths_rejected(self, space):
+        with pytest.raises(PlanError):
+            BPlusTree(space, [1, 2], [1])
+
+
+class TestRangeScan:
+    def test_full_range_returns_sorted_keys(self, space):
+        tree, keys, truth = make_tree(space, n=300)
+        scan = tree.range_scan(0, KEY_PAD - 1)
+        assert [k for k, _ in scan] == keys
+        assert all(truth[k] == p for k, p in scan)
+
+    def test_partial_range(self, space):
+        tree, keys, truth = make_tree(space, n=300)
+        low, high = keys[50], keys[90]
+        scan = tree.range_scan(low, high)
+        assert [k for k, _ in scan] == keys[50:91]
+
+    def test_empty_range(self, space):
+        tree, keys, truth = make_tree(space, n=50)
+        assert tree.range_scan(10, 5) == []
+
+    def test_range_outside_keys(self, space):
+        tree, keys, truth = make_tree(space, n=50)
+        assert tree.range_scan(keys[-1] + 1, keys[-1] + 100) == []
+
+    def test_single_key_range(self, space):
+        tree, keys, truth = make_tree(space, n=100)
+        key = keys[10]
+        assert tree.range_scan(key, key) == [(key, truth[key])]
+
+
+class TestDescent:
+    def test_path_length_equals_height(self, space):
+        tree, keys, truth = make_tree(space, n=600)
+        for key in keys[:20]:
+            path = list(tree.descend_path(key))
+            assert len(path) == tree.stats().height
+            assert path[0] == tree.root
+            assert tree.node_is_leaf(path[-1])
+
+    def test_nodes_fit_one_cache_block(self, space):
+        tree, keys, truth = make_tree(space, n=100)
+        assert NODE_BYTES == 64
+        for node in tree.descend_path(keys[0]):
+            assert node % 64 == 0

@@ -1,0 +1,91 @@
+"""Tests for index construction helpers and the operator cost models."""
+
+import pytest
+
+from repro.db.build import build_index, default_hash_for
+from repro.db.cost import CostModel, DEFAULT_COST_MODEL
+from repro.db.datagen import build_pair_tables
+from repro.db.hashfn import ROBUST_HASH_32, ROBUST_HASH_64
+from repro.mem.layout import AddressSpace
+
+
+class TestBuildIndex:
+    def test_direct_index_probes_back(self):
+        build, _ = build_pair_tables(300, 10, seed=1)
+        space = AddressSpace()
+        index = build_index(space, build, "age", "id")
+        keys = build.column("age").values
+        ids = build.column("id").values
+        assert index.probe(int(keys[7])) == [int(ids[7])]
+
+    def test_default_payload_is_row_id(self):
+        build, _ = build_pair_tables(100, 10, seed=2)
+        index = build_index(AddressSpace(), build, "age")
+        key = int(build.column("age").values[42])
+        assert index.probe(key) == [42]
+
+    def test_indirect_index_materializes_base_column(self):
+        build, _ = build_pair_tables(150, 10, seed=3)
+        space = AddressSpace()
+        index = build_index(space, build, "age", indirect=True)
+        assert index.key_column is not None
+        assert index.key_column.is_materialized
+        key = int(build.column("age").values[3])
+        assert index.probe(key) == [3]
+
+    def test_hash_defaults_by_width(self):
+        assert default_hash_for(4) is ROBUST_HASH_32
+        assert default_hash_for(8) is ROBUST_HASH_64
+
+    def test_wide_keys_get_wide_layout(self):
+        build, _ = build_pair_tables(80, 10, key_bytes=8, seed=4)
+        index = build_index(AddressSpace(), build, "age")
+        assert index.layout.key_bytes == 8
+
+    def test_target_nodes_per_bucket_respected(self):
+        build, _ = build_pair_tables(1024, 10, seed=5)
+        shallow = build_index(AddressSpace(), build, "age",
+                              target_nodes_per_bucket=1.0)
+        deep = build_index(AddressSpace(), build, "age",
+                           target_nodes_per_bucket=4.0)
+        assert deep.num_buckets < shallow.num_buckets
+
+    def test_empty_table_rejected(self):
+        from repro.db.table import Table
+        from repro.db.column import Column
+        from repro.db.types import DataType
+        table = Table("e", [Column("k", DataType.U32, [])])
+        with pytest.raises(ValueError):
+            build_index(AddressSpace(), table, "k")
+
+
+class TestCostModel:
+    def test_scan_cost_scales_with_rows_and_width(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.scan_cycles(2000, 8) > cost.scan_cycles(1000, 8)
+        assert cost.scan_cycles(1000, 64) > cost.scan_cycles(1000, 8)
+
+    def test_wide_scans_become_bandwidth_bound(self):
+        cost = DEFAULT_COST_MODEL
+        narrow = cost.scan_cycles(10_000, 4) / 10_000
+        wide = cost.scan_cycles(10_000, 256) / 10_000
+        assert wide > narrow * 5
+
+    def test_sort_is_superlinear(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.sort_cycles(4000) > 4 * cost.sort_cycles(1000)
+
+    def test_sort_of_trivial_inputs(self):
+        assert DEFAULT_COST_MODEL.sort_cycles(0) == 0
+        assert DEFAULT_COST_MODEL.sort_cycles(1) == 1
+
+    def test_bytes_per_cycle_from_config(self):
+        cost = CostModel()
+        # 2 MCs x 12.8 GB/s x 0.7 eff / 2 GHz = 8.96 B/cycle.
+        assert cost.bytes_per_cycle == pytest.approx(8.96)
+
+    def test_linear_models(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.build_cycles(100) == 100 * cost.build_cycles_per_row
+        assert cost.aggregate_cycles(10) == 10 * cost.aggregate_cycles_per_row
+        assert cost.materialize_cycles(10) == 10 * cost.materialize_cycles_per_row

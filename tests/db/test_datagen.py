@@ -1,0 +1,80 @@
+"""Tests for workload data generation."""
+
+import numpy as np
+import pytest
+
+from repro.db.datagen import (build_pair_tables, make_rng, probe_keys,
+                              unique_keys, zipf_keys)
+
+
+def test_unique_keys_are_unique():
+    keys = unique_keys(5000, 4, make_rng(1))
+    assert len(np.unique(keys)) == 5000
+
+
+def test_unique_keys_avoid_zero_and_sentinel():
+    keys = unique_keys(1000, 4, make_rng(2))
+    assert keys.min() >= 1
+    assert keys.max() < 0xFFFF_FFFF
+
+
+def test_unique_keys_dtype_matches_width():
+    assert unique_keys(10, 4, make_rng(3)).dtype == np.uint32
+    assert unique_keys(10, 8, make_rng(3)).dtype == np.uint64
+
+
+def test_probe_keys_full_match():
+    build = unique_keys(100, 4, make_rng(4))
+    probes = probe_keys(build, 1000, 1.0, 4, make_rng(5))
+    assert set(probes.tolist()) <= set(build.tolist())
+
+
+def test_probe_keys_partial_match_rate():
+    build = unique_keys(500, 4, make_rng(6))
+    probes = probe_keys(build, 20_000, 0.7, 4, make_rng(7))
+    hits = np.isin(probes, build).mean()
+    assert 0.65 < hits < 0.75
+
+
+def test_probe_keys_zero_match():
+    build = unique_keys(100, 4, make_rng(8))
+    probes = probe_keys(build, 1000, 0.0, 4, make_rng(9))
+    assert not np.isin(probes, build).any()
+
+
+def test_probe_keys_validates_fraction():
+    build = unique_keys(10, 4, make_rng(10))
+    with pytest.raises(ValueError):
+        probe_keys(build, 10, 1.5, 4, make_rng(11))
+
+
+def test_zipf_skew_concentrates_mass():
+    uniform = zipf_keys(20_000, 1000, 0.0, make_rng(12))
+    skewed = zipf_keys(20_000, 1000, 1.2, make_rng(13))
+    top_uniform = (uniform == np.bincount(uniform).argmax()).mean()
+    top_skewed = (skewed == np.bincount(skewed).argmax()).mean()
+    assert top_skewed > 5 * top_uniform
+
+
+def test_zipf_range():
+    keys = zipf_keys(1000, 50, 0.9, make_rng(14))
+    assert keys.min() >= 1 and keys.max() <= 50
+
+
+def test_zipf_validates_cardinality():
+    with pytest.raises(ValueError):
+        zipf_keys(10, 0, 1.0, make_rng(15))
+
+
+def test_build_pair_tables_shape():
+    build, probe = build_pair_tables(200, 600, key_bytes=8, seed=16)
+    assert build.num_rows == 200
+    assert probe.num_rows == 600
+    assert build.column("age").dtype.nbytes == 8
+    assert build.has_column("id")
+
+
+def test_determinism_by_seed():
+    a1, _ = build_pair_tables(100, 100, seed=17)
+    a2, _ = build_pair_tables(100, 100, seed=17)
+    assert (a1.column("age").values == a2.column("age").values).all()

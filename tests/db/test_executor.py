@@ -1,0 +1,137 @@
+"""Tests for query plans and the executor's cycle attribution."""
+
+import pytest
+
+from repro.db.datagen import build_pair_tables
+from repro.db.executor import (CATEGORIES, QueryExecutor,
+                               analytic_probe_cycles)
+from repro.db.operators.scan import Predicate
+from repro.db.plan import (AggregateNode, HashJoinNode, ScanNode, SortNode)
+from repro.errors import PlanError
+from tests.conftest import build_direct_index
+from repro.mem.layout import AddressSpace
+
+
+@pytest.fixture
+def catalog():
+    build, probe = build_pair_tables(600, 1800, match_fraction=0.8, seed=3)
+    return {"A": build, "B": probe}
+
+
+def join_plan():
+    return HashJoinNode(ScanNode("A"), ScanNode("B"), "age", "age",
+                        payload_column="id")
+
+
+class TestExecutor:
+    def test_scan_only_charges_scan(self, catalog):
+        executor = QueryExecutor(catalog)
+        profile = executor.execute(ScanNode("A"), "scan-only")
+        assert profile.cycles["scan"] > 0
+        assert profile.cycles["index"] == 0
+
+    def test_join_charges_index_and_sortjoin(self, catalog):
+        executor = QueryExecutor(catalog)
+        profile = executor.execute(join_plan(), "join")
+        assert profile.cycles["index"] > 0
+        assert profile.cycles["sortjoin"] > 0
+        assert profile.probe_tuples == 1800
+
+    def test_full_plan_covers_all_categories(self, catalog):
+        executor = QueryExecutor(catalog)
+        plan = AggregateNode(SortNode(join_plan(), "payload"),
+                             {"n": "count:*"})
+        profile = executor.execute(plan, "full", other_overhead_fraction=0.1)
+        for category in CATEGORIES:
+            assert profile.cycles[category] > 0, category
+        assert abs(sum(profile.breakdown().values()) - 1.0) < 1e-9
+
+    def test_join_result_is_correct(self, catalog):
+        executor = QueryExecutor(catalog)
+        profile, result = executor.execute_with_result(join_plan(), "join")
+        from repro.db.operators.hashjoin import reference_join
+        ref = reference_join(catalog["A"], catalog["B"], "age", "age", "id")
+        got = sorted(zip(result.column("probe_row").values.tolist(),
+                         result.column("payload").values.tolist()))
+        assert got == ref
+
+    def test_predicate_scan_feeds_join(self, catalog):
+        executor = QueryExecutor(catalog)
+        plan = HashJoinNode(ScanNode("A", Predicate("age", ">", 0)),
+                            ScanNode("B"), "age", "age")
+        profile = executor.execute(plan, "filtered")
+        assert profile.result_rows > 0
+
+    def test_unknown_table_rejected(self, catalog):
+        executor = QueryExecutor(catalog)
+        with pytest.raises(PlanError, match="catalog"):
+            executor.execute(ScanNode("missing"), "bad")
+
+    def test_empty_build_side_rejected(self, catalog):
+        executor = QueryExecutor(catalog)
+        plan = HashJoinNode(
+            ScanNode("A", Predicate("age", "==", 0)),  # selects nothing
+            ScanNode("B"), "age", "age")
+        with pytest.raises(PlanError):
+            executor.execute(plan, "empty-build")
+
+    def test_custom_probe_timing_provider(self, catalog):
+        calls = []
+
+        def provider(index, column):
+            calls.append(index.num_keys)
+            return 123.0
+
+        executor = QueryExecutor(catalog, probe_timing=provider)
+        profile = executor.execute(join_plan(), "custom")
+        assert calls == [600]
+        assert profile.cycles["index"] == pytest.approx(123.0 * 1800)
+
+    def test_index_fraction_property(self, catalog):
+        executor = QueryExecutor(catalog)
+        profile = executor.execute(join_plan(), "frac")
+        assert 0 < profile.index_fraction < 1
+
+    def test_charge_unknown_category_rejected(self, catalog):
+        executor = QueryExecutor(catalog)
+        profile = executor.execute(ScanNode("A"), "x")
+        with pytest.raises(PlanError):
+            profile.charge("bogus", 1.0)
+
+
+class TestAnalyticProbeCost:
+    def test_cost_grows_with_locality_class(self, space):
+        small, _, _ = build_direct_index(space, num_keys=400)
+        big_space = AddressSpace()
+        big, _, _ = build_direct_index(big_space, num_keys=400_000)
+        from repro.db.column import Column
+        from repro.db.types import DataType
+        col = Column("p", DataType.U32, [1])
+        assert (analytic_probe_cycles(big, col)
+                > analytic_probe_cycles(small, col))
+
+    def test_plan_pretty_print(self):
+        plan = AggregateNode(SortNode(join_plan(), "payload"), {})
+        text = plan.pretty()
+        assert "HashJoin" in text and "Scan(A)" in text
+        assert text.count("\n") >= 3
+
+
+class TestGroupByNode:
+    def test_group_by_in_a_plan(self, catalog):
+        from repro.db.plan import GroupByNode
+        executor = QueryExecutor(catalog)
+        plan = GroupByNode(join_plan(), "payload", {"n": "count:*"})
+        profile, result = executor.execute_with_result(plan, "grouped")
+        assert profile.cycles["other"] > 0
+        assert result.num_rows >= 1
+        assert "GroupBy" in plan.describe()
+
+    def test_group_by_total_matches_join_size(self, catalog):
+        from repro.db.plan import GroupByNode
+        executor = QueryExecutor(catalog)
+        join_profile, join_result = executor.execute_with_result(
+            join_plan(), "plain")
+        grouped_profile, grouped = QueryExecutor(catalog).execute_with_result(
+            GroupByNode(join_plan(), "payload", {"n": "count:*"}), "grouped")
+        assert int(grouped.column("n").values.sum()) == join_result.num_rows

@@ -1,0 +1,76 @@
+"""Tests for grouped aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.column import Column
+from repro.db.operators.groupby import group_by, group_by_reference
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import PlanError
+
+
+def sample_table():
+    return Table("t", [
+        Column("g", DataType.U32, [2, 1, 2, 3, 1, 2]),
+        Column("v", DataType.U32, [10, 20, 30, 40, 50, 60]),
+    ])
+
+
+def test_groups_sorted_by_key():
+    out = group_by(sample_table(), "g", {"n": "count:*"})
+    assert out.column("g").values.tolist() == [1, 2, 3]
+    assert out.column("n").values.tolist() == [2, 3, 1]
+
+
+def test_sum_min_max_mean():
+    out = group_by(sample_table(), "g", {
+        "total": "sum:v", "lo": "min:v", "hi": "max:v", "avg": "mean:v"})
+    assert out.column("total").values.tolist() == [70, 100, 40]
+    assert out.column("lo").values.tolist() == [20, 10, 40]
+    assert out.column("hi").values.tolist() == [50, 60, 40]
+    assert out.column("avg").values.tolist() == [35, 33, 40]
+
+
+def test_single_group():
+    table = Table("t", [Column("g", DataType.U32, [7, 7]),
+                        Column("v", DataType.U32, [1, 2])])
+    out = group_by(table, "g", {"s": "sum:v"})
+    assert out.num_rows == 1
+    assert out.column("s").values.tolist() == [3]
+
+
+def test_empty_table_rejected():
+    table = Table("t", [Column("g", DataType.U32, [])])
+    with pytest.raises(PlanError):
+        group_by(table, "g", {"n": "count:*"})
+
+
+def test_bad_specs_rejected():
+    with pytest.raises(PlanError):
+        group_by(sample_table(), "g", {"x": "median:v"})
+    with pytest.raises(PlanError):
+        group_by(sample_table(), "g", {"x": "nocolon"})
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.lists(st.tuples(st.integers(0, 20), st.integers(0, 1000)),
+                     min_size=1, max_size=200))
+def test_matches_dict_reference(rows):
+    table = Table("t", [
+        Column("g", DataType.U32, np.array([g for g, _ in rows],
+                                           dtype=np.uint32)),
+        Column("v", DataType.U32, np.array([v for _, v in rows],
+                                           dtype=np.uint32)),
+    ])
+    aggregates = {"n": "count:*", "s": "sum:v", "lo": "min:v",
+                  "hi": "max:v", "avg": "mean:v"}
+    out = group_by(table, "g", aggregates)
+    reference = group_by_reference(table, "g", aggregates)
+    assert out.num_rows == len(reference)
+    for row_index, record in enumerate(reference):
+        assert int(out.column("g").values[row_index]) == record["g"]
+        for name in aggregates:
+            assert int(out.column(name).values[row_index]) == record[name], \
+                (name, record)

@@ -1,0 +1,88 @@
+"""Tests for the shift-add hash function library."""
+
+import pytest
+
+from repro.db.hashfn import (ALL_HASHES, HashSpec, HashStep, KERNEL_HASH,
+                             MASK64, ROBUST_HASH_32, ROBUST_HASH_64,
+                             kernel_hash)
+
+
+def test_kernel_hash_matches_listing1():
+    # ((X) & MASK) ^ HPRIME with the default 24-bit mask.
+    key = 0x12345678
+    assert KERNEL_HASH(key) == (key & 0xFFFFFF) ^ 0xB16
+
+
+def test_kernel_hash_mask_width_parametric():
+    h = kernel_hash(16)
+    assert h(0xABCDEF) == (0xABCDEF & 0xFFFF) ^ 0xB16
+
+
+def test_kernel_hash_rejects_bad_width():
+    with pytest.raises(ValueError):
+        kernel_hash(0)
+    with pytest.raises(ValueError):
+        kernel_hash(64)
+
+
+def test_hashes_are_deterministic():
+    for spec in ALL_HASHES.values():
+        assert spec(123456789) == spec(123456789)
+
+
+def test_hashes_stay_in_64_bits():
+    for spec in ALL_HASHES.values():
+        assert 0 <= spec(MASK64) <= MASK64
+        assert 0 <= spec(0) <= MASK64
+
+
+def test_robust_hash_spreads_sequential_keys():
+    buckets = 1 << 12
+    slots = {ROBUST_HASH_32.bucket_of(key, buckets) for key in range(1000)}
+    # Sequential keys should scatter widely (far better than trivial).
+    assert len(slots) > 800
+
+
+def test_robust64_differs_from_robust32():
+    assert ROBUST_HASH_64(99999) != ROBUST_HASH_32(99999)
+
+
+def test_bucket_of_requires_power_of_two():
+    with pytest.raises(ValueError):
+        KERNEL_HASH.bucket_of(1, 100)
+
+
+def test_bucket_of_in_range():
+    for key in (0, 1, 17, 2**31, 2**63):
+        assert 0 <= ROBUST_HASH_64.bucket_of(key, 256) < 256
+
+
+def test_compute_cycles_counts_steps():
+    assert KERNEL_HASH.compute_cycles == 2
+    assert ROBUST_HASH_32.compute_cycles == 6
+    assert ROBUST_HASH_64.compute_cycles == 9
+
+
+def test_step_validation():
+    with pytest.raises(ValueError):
+        HashStep("xor_shl", amount=0)
+    with pytest.raises(ValueError):
+        HashStep("and_const", const=0)
+    with pytest.raises(ValueError):
+        HashStep("bogus")
+
+
+def test_empty_spec_rejected():
+    with pytest.raises(ValueError):
+        HashSpec("empty", ())
+
+
+def test_step_semantics():
+    assert HashStep("xor_shl", amount=4).apply(1) == 1 ^ (1 << 4)
+    assert HashStep("xor_shr", amount=4).apply(0x100) == 0x100 ^ 0x10
+    assert HashStep("add_shl", amount=1).apply(3) == 9
+    assert HashStep("and_const", const=0xF).apply(0x1234) == 4
+    assert HashStep("xor_const", const=0xFF).apply(0xF0) == 0x0F
+    assert HashStep("add_const", const=5).apply(MASK64) == 4  # wraps
+    assert HashStep("shr", amount=8).apply(0x1234) == 0x12
+    assert HashStep("shl", amount=8).apply(0x12) == 0x1200

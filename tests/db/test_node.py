@@ -1,0 +1,68 @@
+"""Tests for node layouts."""
+
+import pytest
+
+from repro.db.node import (KERNEL_LAYOUT, MONETDB_LAYOUT, NodeLayout,
+                           WIDE_LAYOUT, direct_layout, monetdb_layout)
+
+
+def test_kernel_layout_is_compact():
+    assert KERNEL_LAYOUT.stride == 16
+    assert KERNEL_LAYOUT.key_bytes == 4
+    assert not KERNEL_LAYOUT.indirect
+    # Four nodes per 64 B block.
+    assert 64 // KERNEL_LAYOUT.stride == 4
+
+
+def test_wide_layout_for_double_integers():
+    assert WIDE_LAYOUT.key_bytes == 8
+    assert WIDE_LAYOUT.stride == 32
+
+
+def test_monetdb_layout_is_indirect():
+    assert MONETDB_LAYOUT.indirect
+    assert MONETDB_LAYOUT.key_slot_bytes == 8  # row ids are 8 bytes
+
+
+def test_shift_matches_stride():
+    for layout in (KERNEL_LAYOUT, WIDE_LAYOUT, MONETDB_LAYOUT):
+        assert 1 << layout.shift == layout.stride
+
+
+def test_direct_layout_selector():
+    assert direct_layout(4) is KERNEL_LAYOUT
+    assert direct_layout(8) is WIDE_LAYOUT
+    with pytest.raises(ValueError):
+        direct_layout(16)
+
+
+def test_monetdb_layout_selector():
+    assert monetdb_layout(4) is MONETDB_LAYOUT
+    wide = monetdb_layout(8)
+    assert wide.indirect and wide.key_bytes == 8
+
+
+def test_stride_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        NodeLayout("bad", stride=24, key_bytes=4, payload_bytes=4,
+                   key_offset=0, payload_offset=4, next_offset=8,
+                   indirect=False, empty_sentinel=0)
+
+
+def test_key_width_validated():
+    with pytest.raises(ValueError):
+        NodeLayout("bad", stride=16, key_bytes=2, payload_bytes=4,
+                   key_offset=0, payload_offset=4, next_offset=8,
+                   indirect=False, empty_sentinel=0)
+
+
+def test_next_pointer_alignment_validated():
+    with pytest.raises(ValueError):
+        NodeLayout("bad", stride=16, key_bytes=4, payload_bytes=4,
+                   key_offset=0, payload_offset=4, next_offset=4,
+                   indirect=False, empty_sentinel=0)
+
+
+def test_describe_mentions_indirection():
+    assert "indirect" in MONETDB_LAYOUT.describe()
+    assert "inline" in KERNEL_LAYOUT.describe()

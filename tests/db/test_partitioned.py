@@ -1,0 +1,86 @@
+"""Tests for the partitioned hash join."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.datagen import build_pair_tables
+from repro.db.operators.hashjoin import reference_join
+from repro.db.operators.partitioned import (partitioned_hash_join,
+                                            partitioning_cycles)
+from repro.errors import PlanError
+from repro.mem.layout import AddressSpace
+from repro.widx.offload import offload_probe
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return build_pair_tables(4_000, 10_000, match_fraction=0.8, seed=55)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bits", [1, 3, 5])
+    def test_matches_reference_at_every_partition_count(self, tables, bits):
+        build, probe = tables
+        result = partitioned_hash_join(AddressSpace(), build, probe,
+                                       "age", "age", payload_column="id",
+                                       partition_bits=bits)
+        assert result.pairs == reference_join(build, probe, "age", "age",
+                                              "id")
+
+    def test_partition_count(self, tables):
+        build, probe = tables
+        result = partitioned_hash_join(AddressSpace(), build, probe,
+                                       "age", "age", partition_bits=4)
+        assert result.num_partitions == 16
+        assert len(result.partitions) + result.skipped_empty <= 16
+
+    def test_partitions_are_disjoint_and_complete(self, tables):
+        build, probe = tables
+        result = partitioned_hash_join(AddressSpace(), build, probe,
+                                       "age", "age", partition_bits=3)
+        assert sum(p.build_rows for p in result.partitions) \
+            == build.num_rows
+        covered = sum(len(p.probe_rows) for p in result.partitions)
+        assert covered <= probe.num_rows  # rows in empty partitions skipped
+
+    def test_partition_footprints_shrink(self, tables):
+        build, probe = tables
+        coarse = partitioned_hash_join(AddressSpace(), build, probe,
+                                       "age", "age", partition_bits=1)
+        fine = partitioned_hash_join(AddressSpace(), build, probe,
+                                     "age", "age", partition_bits=5)
+        assert fine.max_partition_footprint() \
+            < coarse.max_partition_footprint()
+
+    def test_bits_validated(self, tables):
+        build, probe = tables
+        with pytest.raises(PlanError):
+            partitioned_hash_join(AddressSpace(), build, probe, "age",
+                                  "age", partition_bits=0)
+
+
+class TestCostModel:
+    def test_partitioning_cost_linear_in_rows(self):
+        assert partitioning_cycles(20_000, 8) \
+            == pytest.approx(2 * partitioning_cycles(10_000, 8))
+
+    def test_cost_positive(self):
+        assert partitioning_cycles(1, 4) > 0
+
+
+class TestWidxOnPartitions:
+    def test_widx_probes_each_partition(self, tables):
+        """Paper §7: Widx 'is equally applicable to hash join algorithms
+        that employ data partitioning' — each partition's index is just a
+        hash index the walkers traverse."""
+        build, probe = tables
+        result = partitioned_hash_join(AddressSpace(), build, probe,
+                                       "age", "age", payload_column="id",
+                                       partition_bits=2)
+        total_matches = 0
+        for partition in result.partitions:
+            outcome = offload_probe(partition.index, partition.probe_keys,
+                                    config=DEFAULT_CONFIG)
+            assert outcome.validated is True
+            total_matches += outcome.matches
+        assert total_matches == result.matches

@@ -1,0 +1,137 @@
+"""Tests for tables, columns and data types."""
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.table import Table
+from repro.db.types import DataType
+from repro.errors import PlanError
+from repro.mem.layout import AddressSpace
+
+
+class TestDataType:
+    def test_widths(self):
+        assert DataType.U32.nbytes == 4
+        assert DataType.U64.nbytes == 8
+
+    def test_for_key_bytes(self):
+        assert DataType.for_key_bytes(4) is DataType.U32
+        assert DataType.for_key_bytes(8) is DataType.U64
+        with pytest.raises(ValueError):
+            DataType.for_key_bytes(2)
+
+    def test_max_values(self):
+        assert DataType.U32.max_value == 2**32 - 1
+        assert DataType.U64.max_value == 2**64 - 1
+
+
+class TestColumn:
+    def test_materialize_writes_values(self):
+        space = AddressSpace()
+        column = Column("k", DataType.U32, [10, 20, 30])
+        region = column.materialize(space)
+        assert space.memory.read_u32(region.base) == 10
+        assert space.memory.read_u32(region.base + 8) == 30
+
+    def test_address_of(self):
+        space = AddressSpace()
+        column = Column("k", DataType.U64, [1, 2, 3])
+        column.materialize(space)
+        assert column.address_of(2) == column.region.base + 16
+        with pytest.raises(IndexError):
+            column.address_of(3)
+
+    def test_keys_pack_densely(self):
+        space = AddressSpace()
+        column = Column("k", DataType.U32, list(range(16)))
+        column.materialize(space)
+        addresses = list(column.iter_addresses())
+        # Sixteen 4-byte keys fit exactly one 64 B block.
+        assert addresses[-1] - addresses[0] == 60
+
+    def test_unmaterialized_region_raises(self):
+        column = Column("k", DataType.U32, [1])
+        with pytest.raises(RuntimeError):
+            _ = column.region
+
+    def test_double_materialize_is_idempotent(self):
+        space = AddressSpace()
+        column = Column("k", DataType.U32, [1])
+        first = column.materialize(space)
+        second = column.materialize(space)
+        assert first == second
+
+
+class TestTable:
+    def test_columns_must_match_length(self):
+        table = Table("t", [Column("a", DataType.U32, [1, 2])])
+        with pytest.raises(PlanError):
+            table.add_column(Column("b", DataType.U32, [1]))
+
+    def test_duplicate_column_rejected(self):
+        table = Table("t", [Column("a", DataType.U32, [1])])
+        with pytest.raises(PlanError):
+            table.add_column(Column("a", DataType.U32, [2]))
+
+    def test_unknown_column_error_lists_available(self):
+        table = Table("t", [Column("a", DataType.U32, [1])])
+        with pytest.raises(PlanError, match="available"):
+            table.column("zz")
+
+    def test_select_filters_rows(self):
+        table = Table("t", [Column("a", DataType.U32, [1, 2, 3, 4])])
+        picked = table.select(np.array([True, False, True, False]))
+        assert picked.column("a").values.tolist() == [1, 3]
+
+    def test_from_arrays_infers_types(self):
+        table = Table.from_arrays(
+            "t", small=np.array([1], dtype=np.uint32),
+            big=np.array([1], dtype=np.uint64))
+        assert table.column("small").dtype is DataType.U32
+        assert table.column("big").dtype is DataType.U64
+
+    def test_row_and_column_counts(self):
+        table = Table("t", [Column("a", DataType.U32, [1, 2, 3]),
+                            Column("b", DataType.U32, [4, 5, 6])])
+        assert table.num_rows == 3
+        assert table.num_columns == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_empty_table(self):
+        assert Table("empty").num_rows == 0
+
+
+class TestCrossSpaceMaterialization:
+    """Regression: a column materialized in one space must not leak its
+    region into another space's simulation (addresses would be garbage)."""
+
+    def test_second_space_materialization_rejected(self):
+        space_a, space_b = AddressSpace(), AddressSpace()
+        column = Column("k", DataType.U32, [1, 2, 3])
+        column.materialize(space_a)
+        with pytest.raises(RuntimeError, match="different address space"):
+            column.materialize(space_b)
+
+    def test_detached_copy_can_move_spaces(self):
+        space_a, space_b = AddressSpace(), AddressSpace()
+        column = Column("k", DataType.U32, [9, 8])
+        column.materialize(space_a)
+        copy = column.detached_copy()
+        region = copy.materialize(space_b)
+        assert space_b.memory.read_u32(region.base) == 9
+
+    def test_hash_join_copies_foreign_probe_column(self):
+        from repro.db.datagen import build_pair_tables
+        from repro.db.operators.hashjoin import hash_join
+        build, probe = build_pair_tables(200, 100, seed=44)
+        executor_space = AddressSpace()
+        probe.column("age").materialize(executor_space)
+        join_space = AddressSpace()
+        result = hash_join(join_space, build, probe, "age", "age",
+                           indirect=True)
+        assert result.probe_keys.space is join_space
+        # And the offload over that join result validates end-to-end.
+        from repro.widx.offload import offload_probe
+        outcome = offload_probe(result.index, result.probe_keys, probes=50)
+        assert outcome.validated is True

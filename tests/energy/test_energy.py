@@ -1,0 +1,100 @@
+"""Tests for the area/power/energy models against Section 6.3 anchors."""
+
+import pytest
+
+from repro.config import WidxConfig
+from repro.energy.metrics import energy_report
+from repro.energy.power import POWER_CONSTANTS, PowerModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel()
+
+
+class TestArea:
+    def test_six_unit_complex_matches_paper(self, model):
+        """Paper: 6 units occupy 0.24 mm² and draw 320 mW."""
+        widx = WidxConfig(num_walkers=4, mode="shared")
+        area = model.widx_area(widx)
+        assert area.widx_units == 6
+        assert area.widx_area_mm2 == pytest.approx(0.234, abs=0.01)
+        assert model.widx_power(widx) == pytest.approx(0.318, abs=0.01)
+
+    def test_fraction_of_a8_about_18_percent(self, model):
+        widx = WidxConfig(num_walkers=4)
+        assert model.widx_area(widx).fraction_of_a8 == pytest.approx(
+            0.18, abs=0.02)
+
+    def test_single_unit_constants(self):
+        assert POWER_CONSTANTS.widx_unit_area_mm2 == 0.039
+        assert POWER_CONSTANTS.widx_unit_power_w == 0.053
+
+    def test_area_scales_with_organization(self, model):
+        shared = model.widx_area(WidxConfig(num_walkers=4, mode="shared"))
+        private = model.widx_area(WidxConfig(num_walkers=4, mode="private"))
+        assert private.widx_area_mm2 > shared.widx_area_mm2
+
+
+class TestPower:
+    def test_widx_design_far_below_ooo(self, model):
+        assert model.design_power("widx") < 0.6 * model.design_power("ooo")
+
+    def test_inorder_is_a8(self, model):
+        assert model.design_power("inorder") == POWER_CONSTANTS.a8_power_w
+
+    def test_widx_includes_idle_host(self, model):
+        widx_power = model.design_power("widx")
+        assert widx_power > POWER_CONSTANTS.ooo_idle_power_w
+
+    def test_unknown_design_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.design_power("tpu")
+
+    def test_energy_proportional_to_runtime(self, model):
+        one = model.energy("ooo", 1e9)
+        two = model.energy("ooo", 2e9)
+        assert two == pytest.approx(2 * one)
+
+
+class TestFigure11:
+    def paper_runtimes(self):
+        """The paper's measured ratios: in-order 2.2x slower, Widx 3.1x
+        faster than the OoO baseline."""
+        return {"ooo": 100.0, "inorder": 220.0, "widx": 100.0 / 3.1}
+
+    def test_paper_anchor_widx_saves_83_percent(self):
+        report = energy_report(self.paper_runtimes())
+        assert report.widx_energy_saving == pytest.approx(0.83, abs=0.02)
+
+    def test_paper_anchor_inorder_saves_86_percent(self):
+        report = energy_report(self.paper_runtimes())
+        assert report.inorder_energy_saving == pytest.approx(0.86, abs=0.02)
+
+    def test_paper_anchor_edp_gains(self):
+        report = energy_report(self.paper_runtimes())
+        assert report.widx_edp_gain_vs_ooo == pytest.approx(17.5, rel=0.10)
+        assert report.widx_edp_gain_vs_inorder == pytest.approx(5.5, rel=0.10)
+
+    def test_normalization(self):
+        report = energy_report(self.paper_runtimes())
+        assert report["ooo"].runtime == 1.0
+        assert report["ooo"].energy == 1.0
+        assert report["ooo"].edp == 1.0
+
+    def test_edp_is_product(self):
+        report = energy_report(self.paper_runtimes())
+        for design in ("ooo", "inorder", "widx"):
+            point = report[design]
+            assert point.edp == pytest.approx(point.runtime * point.energy)
+
+    def test_missing_design_rejected(self):
+        with pytest.raises(ValueError):
+            energy_report({"ooo": 1.0, "widx": 0.3})
+
+    def test_widx_power_scales_with_walkers(self):
+        few = energy_report(self.paper_runtimes(),
+                            widx=WidxConfig(num_walkers=1))
+        many = energy_report(self.paper_runtimes(),
+                             widx=WidxConfig(num_walkers=4))
+        assert few["widx"].energy < many["widx"].energy

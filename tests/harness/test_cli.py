@@ -1,0 +1,76 @@
+"""Tests for the command-line driver."""
+
+import io
+
+import pytest
+
+from repro.harness.cli import (EXPERIMENTS, build_parser, list_experiments,
+                               main)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_list():
+    code, text = run_cli("--list")
+    assert code == 0
+    for name in EXPERIMENTS:
+        assert name in text
+
+
+def test_no_arguments_is_an_error():
+    code, text = run_cli()
+    assert code == 2
+    assert "nothing to do" in text
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--figure", "99z"])
+
+
+def test_single_analytic_figure():
+    code, text = run_cli("--figure", "4b")
+    assert code == 0
+    assert "MSHR" in text
+    assert "[4b:" in text
+
+
+def test_fast_runs_all_analytic_experiments():
+    code, text = run_cli("--fast")
+    assert code == 0
+    for name in ("2a", "2b", "4a", "4c", "5", "area"):
+        assert f"[{name}:" in text
+
+
+def test_probes_must_exceed_warmup():
+    code, text = run_cli("--figure", "4b", "--probes", "100",
+                         "--warmup", "200")
+    assert code == 2
+
+
+def test_repeatable_figure_flag():
+    code, text = run_cli("--figure", "4b", "--figure", "4c")
+    assert code == 0
+    assert "[4b:" in text and "[4c:" in text
+
+
+def test_simulated_figure_with_tiny_settings():
+    code, text = run_cli("--figure", "8b", "--probes", "500",
+                         "--warmup", "120")
+    assert code == 0
+    assert "Figure 8b" in text
+
+
+def test_experiment_registry_covers_every_paper_artifact():
+    expected = {"2a", "2b", "4a", "4b", "4c", "5", "8a", "8b", "9a", "9b",
+                "10", "11", "query-level", "area"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_list_experiments_marks_kinds():
+    text = list_experiments()
+    assert "analytic" in text and "simulation" in text

@@ -1,0 +1,101 @@
+"""Fast smoke tests of the per-figure drivers (scaled-down settings)."""
+
+import pytest
+
+from repro.harness.fig2 import run_fig2a, run_fig2b
+from repro.harness.fig4 import run_fig4a, run_fig4b, run_fig4c
+from repro.harness.fig5 import run_fig5
+from repro.harness.fig8 import run_fig8a, run_fig8b
+from repro.harness.fig9 import run_fig9b
+from repro.harness.fig10 import amdahl_query_speedup, run_fig10
+from repro.harness.fig11 import run_area
+from repro.harness.runner import (MeasurementCache, RunSettings, geomean,
+                                  measure_query)
+from repro.workloads.tpcds import TPCDS_SIMULATED
+
+
+@pytest.fixture(scope="module")
+def quick_cache():
+    return MeasurementCache(runs=RunSettings(probes=600, warmup=150))
+
+
+def test_fig2a_covers_all_queries():
+    report = run_fig2a()
+    assert len(report.rows) == 25  # 16 TPC-H + 9 TPC-DS
+    for row in report.rows:
+        assert sum(row[2:]) == pytest.approx(1.0)
+    assert 0.14 <= min(report.column("index")) <= 0.2
+    assert max(report.column("index")) >= 0.85
+
+
+def test_fig2b_walk_dominates_on_average():
+    report = run_fig2b()
+    walks = report.column("walk")
+    assert sum(walks) / len(walks) > 0.5
+    # Hash exceeds 50% only for the L1-resident TPC-DS queries.
+    hash_heavy = [row[1] for row in report.rows if row[2] > 0.5]
+    assert set(hash_heavy) <= {"qry5", "qry37", "qry64", "qry82"}
+
+
+def test_fig4_reports_have_series():
+    assert len(run_fig4a().rows) == 11
+    assert len(run_fig4b().rows) == 10
+    assert len(run_fig4c().rows) == 10
+
+
+def test_fig5_report_has_three_depths():
+    report = run_fig5()
+    assert set(report.column("nodes_per_bucket")) == {1, 2, 3}
+
+
+def test_fig8_small_only(quick_cache):
+    report_a = run_fig8a(quick_cache, sizes=["Small"], walker_counts=[1, 2])
+    assert len(report_a.rows) == 2
+    # Normalized to Small@1 walker.
+    assert report_a.rows[0][-1] == pytest.approx(1.0)
+    report_b = run_fig8b(quick_cache, sizes=["Small"], walker_counts=[1, 2])
+    speedup_2w = report_b.cell("size", "Small", "2_walkers")
+    assert speedup_2w > 1.2
+
+
+def test_fig9b_l1_queries_idle(quick_cache):
+    report = run_fig9b(quick_cache, walker_counts=[4])
+    idle_37 = report.cell("query", "qry37", "idle")
+    total_37 = report.cell("query", "qry37", "total")
+    assert idle_37 > 0.15 * total_37
+
+
+def test_fig10_small_subset(quick_cache):
+    queries = [q for q in TPCDS_SIMULATED if q.number in (37, 82)]
+    report = run_fig10(quick_cache, walker_counts=[4], queries=queries)
+    for speedup in report.column("4_walkers"):
+        assert speedup > 1.0
+
+
+def test_area_report_matches_paper():
+    report = run_area()
+    complex_row = [r for r in report.rows if "complex" in r[0]][0]
+    assert complex_row[1] == pytest.approx(0.234, abs=0.01)
+
+
+def test_amdahl_projection():
+    assert amdahl_query_speedup(1.0, 4.0) == pytest.approx(4.0)
+    assert amdahl_query_speedup(0.5, 1e9) == pytest.approx(2.0, rel=1e-3)
+    with pytest.raises(ValueError):
+        amdahl_query_speedup(0.0, 2.0)
+    with pytest.raises(ValueError):
+        amdahl_query_speedup(0.5, 0.0)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_measurement_cache_memoizes(quick_cache):
+    spec = [q for q in TPCDS_SIMULATED if q.number == 37][0]
+    first = measure_query(quick_cache, spec, [1])
+    second = measure_query(quick_cache, spec, [1])
+    assert first.ooo is second.ooo
+    assert first.widx[1] is second.widx[1]

@@ -1,0 +1,53 @@
+"""Tests for the report formatter."""
+
+import pytest
+
+from repro.harness.report import Report
+
+
+@pytest.fixture
+def report():
+    r = Report("Demo", ["name", "value"])
+    r.add_row("alpha", 1.5)
+    r.add_row("beta", 2.0)
+    return r
+
+
+def test_add_row_validates_arity(report):
+    with pytest.raises(ValueError):
+        report.add_row("only-one")
+
+
+def test_column_extraction(report):
+    assert report.column("value") == [1.5, 2.0]
+
+
+def test_row_lookup(report):
+    assert report.row_by("name", "beta") == ("beta", 2.0)
+    with pytest.raises(KeyError):
+        report.row_by("name", "gamma")
+
+
+def test_cell_lookup(report):
+    assert report.cell("name", "alpha", "value") == 1.5
+
+
+def test_format_is_aligned(report):
+    report.add_note("a note")
+    text = report.format()
+    lines = text.splitlines()
+    assert lines[0] == "== Demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "note: a note" in text
+    # All body rows share the header's width.
+    assert len(lines[3]) == len(lines[1])
+
+
+def test_to_dict_roundtrip(report):
+    data = report.to_dict()
+    assert data["columns"] == ["name", "value"]
+    assert data["rows"] == [["alpha", 1.5], ["beta", 2.0]]
+
+
+def test_str_is_format(report):
+    assert str(report) == report.format()

@@ -1,0 +1,56 @@
+"""Tests for the measurement runner and its cache."""
+
+import pytest
+
+from repro.harness.runner import (DEFAULT_RUNS, MeasurementCache,
+                                  RunSettings, WorkloadMeasurement,
+                                  measure_kernel)
+
+
+def test_run_settings_measured():
+    settings = RunSettings(probes=1000, warmup=250)
+    assert settings.measured == 750
+
+
+def test_default_settings_sane():
+    assert DEFAULT_RUNS.probes > DEFAULT_RUNS.warmup > 0
+
+
+def test_workload_measurement_requires_data():
+    measurement = WorkloadMeasurement(name="empty")
+    with pytest.raises(KeyError):
+        measurement.speedup(4)
+
+
+def test_kernel_workload_cached_by_size():
+    cache = MeasurementCache(runs=RunSettings(probes=400, warmup=100))
+    first = cache.kernel_workload("Small")
+    second = cache.kernel_workload("Small")
+    assert first is second
+
+
+def test_baseline_and_widx_measurements_cached():
+    cache = MeasurementCache(runs=RunSettings(probes=400, warmup=100))
+    a = cache.baseline("kernel", "Small", "ooo")
+    b = cache.baseline("kernel", "Small", "ooo")
+    assert a is b
+    w1 = cache.widx("kernel", "Small", 2)
+    w2 = cache.widx("kernel", "Small", 2)
+    assert w1 is w2
+    assert cache.widx("kernel", "Small", 1) is not w1
+
+
+def test_unknown_query_name_rejected():
+    cache = MeasurementCache(runs=RunSettings(probes=400, warmup=100))
+    with pytest.raises(KeyError):
+        cache.baseline("query", "tpch:999", "ooo")
+
+
+def test_measure_kernel_populates_everything():
+    cache = MeasurementCache(runs=RunSettings(probes=400, warmup=100))
+    measurement = measure_kernel(cache, "Small", [1, 2])
+    assert measurement.ooo is not None
+    assert set(measurement.widx) == {1, 2}
+    assert measurement.speedup(2) > measurement.speedup(1) * 1.4
+    breakdown = measurement.walker_breakdown(1)
+    assert breakdown.total > 0

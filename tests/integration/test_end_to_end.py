@@ -1,0 +1,84 @@
+"""End-to-end integration: DB engine -> baseline sim -> Widx offload ->
+energy model, all on one shared simulated address space."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.cpu.timing import measure_indexing
+from repro.db.datagen import build_pair_tables
+from repro.db.executor import QueryExecutor
+from repro.db.operators.hashjoin import hash_join, reference_join
+from repro.db.plan import AggregateNode, HashJoinNode, ScanNode
+from repro.energy.metrics import energy_report
+from repro.mem.layout import AddressSpace
+from repro.widx.offload import offload_probe
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """The Figure 1 scenario: index table A on age, probe with table B."""
+    space = AddressSpace()
+    build, probe = build_pair_tables(8_000, 2_000, match_fraction=0.85,
+                                     seed=77)
+    result = hash_join(space, build, probe, "age", "age",
+                       payload_column="id")
+    return space, build, probe, result
+
+
+def test_join_is_correct(scenario):
+    space, build, probe, result = scenario
+    got = sorted(zip(result.table.column("probe_row").values.tolist(),
+                     result.table.column("payload").values.tolist()))
+    assert got == reference_join(build, probe, "age", "age", "id")
+
+
+def test_widx_agrees_with_join_on_same_index(scenario):
+    space, build, probe, result = scenario
+    outcome = offload_probe(result.index, result.probe_keys,
+                            config=DEFAULT_CONFIG, probes=800)
+    assert outcome.validated is True
+
+
+def test_all_three_designs_measured_consistently(scenario):
+    space, build, probe, result = scenario
+    ooo = measure_indexing(result.index, result.probe_keys, core="ooo",
+                           warmup_probes=200, measure_probes=1000)
+    inorder = measure_indexing(result.index, result.probe_keys,
+                               core="inorder", warmup_probes=200,
+                               measure_probes=1000)
+    widx = offload_probe(result.index, result.probe_keys,
+                         config=DEFAULT_CONFIG, probes=1200)
+    # Ordering invariant (the paper's Figure 11): Widx < OoO < in-order.
+    assert widx.cycles_per_tuple < ooo.cycles_per_tuple
+    assert ooo.cycles_per_tuple < inorder.cycles_per_tuple
+    # And the energy model turns those into Figure 11's shape.
+    report = energy_report({
+        "ooo": ooo.cycles_per_tuple,
+        "inorder": inorder.cycles_per_tuple,
+        "widx": widx.cycles_per_tuple,
+    })
+    assert report["widx"].energy < report["ooo"].energy
+    assert report["widx"].edp < report["inorder"].edp < report["ooo"].edp
+
+
+def test_query_plan_runs_on_top_of_same_substrate(scenario):
+    space, build, probe, result = scenario
+    executor = QueryExecutor({"A": build, "B": probe})
+    plan = AggregateNode(
+        HashJoinNode(ScanNode("A"), ScanNode("B"), "age", "age",
+                     payload_column="id"),
+        {"matches": "count:*"})
+    profile, out = executor.execute_with_result(plan, "fig1")
+    assert profile.cycles["index"] > 0
+    assert int(out.column("matches").values[0]) == result.matches
+
+
+def test_widx_scaling_shape_on_this_index(scenario):
+    space, build, probe, result = scenario
+    cycles = {}
+    for walkers in (1, 4):
+        config = DEFAULT_CONFIG.with_walkers(walkers)
+        cycles[walkers] = offload_probe(result.index, result.probe_keys,
+                                        config=config,
+                                        probes=800).cycles_per_tuple
+    assert 1.5 < cycles[1] / cycles[4] < 4.5

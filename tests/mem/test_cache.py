@@ -1,0 +1,140 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.mem.cache import CacheArray, CacheLevel
+
+
+def small_cache(**overrides):
+    params = dict(size_bytes=1024, block_bytes=64, associativity=2,
+                  latency_cycles=2, ports=2, mshrs=4)
+    params.update(overrides)
+    return CacheConfig(**params)
+
+
+class TestCacheArray:
+    def test_miss_then_hit(self):
+        array = CacheArray(small_cache())
+        block = array.block_of(0x1000)
+        assert not array.lookup(block)
+        array.insert(block)
+        assert array.lookup(block)
+
+    def test_lru_eviction_order(self):
+        cfg = small_cache()
+        array = CacheArray(cfg)
+        sets = cfg.num_sets
+        # Three blocks mapping to set 0 in a 2-way cache.
+        b0, b1, b2 = 0, sets, 2 * sets
+        array.insert(b0)
+        array.insert(b1)
+        victim = array.insert(b2)
+        assert victim == b0  # least recently used
+
+    def test_lookup_refreshes_lru(self):
+        cfg = small_cache()
+        array = CacheArray(cfg)
+        sets = cfg.num_sets
+        b0, b1, b2 = 0, sets, 2 * sets
+        array.insert(b0)
+        array.insert(b1)
+        array.lookup(b0)          # b0 becomes MRU
+        victim = array.insert(b2)
+        assert victim == b1
+
+    def test_present_does_not_touch_lru(self):
+        cfg = small_cache()
+        array = CacheArray(cfg)
+        sets = cfg.num_sets
+        b0, b1, b2 = 0, sets, 2 * sets
+        array.insert(b0)
+        array.insert(b1)
+        assert array.present(b0)
+        victim = array.insert(b2)
+        assert victim == b0       # presence check did not refresh b0
+
+    def test_reinsert_is_idempotent(self):
+        array = CacheArray(small_cache())
+        assert array.insert(7) is None
+        assert array.insert(7) is None
+        assert array.resident_blocks() == 1
+
+    def test_invalidate(self):
+        array = CacheArray(small_cache())
+        array.insert(9)
+        array.invalidate(9)
+        assert not array.present(9)
+
+    def test_different_sets_do_not_conflict(self):
+        cfg = small_cache()
+        array = CacheArray(cfg)
+        for block in range(cfg.num_sets):
+            array.insert(block)
+        assert array.resident_blocks() == cfg.num_sets
+
+
+class TestCacheLevel:
+    def test_hit_miss_accounting(self):
+        level = CacheLevel(small_cache(), "L1")
+        block = 42
+        outcome = level.probe(block, 0.0)
+        assert outcome == -1.0  # fresh miss
+        start = level.begin_miss(0.0)
+        level.finish_miss(block, start + 100.0)
+        assert level.probe(block, 200.0) is None  # hit after fill
+        level.stats.check()
+        assert level.stats.misses == 1 and level.stats.hits == 1
+
+    def test_combined_miss_shares_fill(self):
+        level = CacheLevel(small_cache(), "L1")
+        block = 42
+        level.probe(block, 0.0)
+        start = level.begin_miss(0.0)
+        level.finish_miss(block, start + 100.0)
+        pending = level.probe(block, 10.0)
+        assert pending == start + 100.0
+        assert level.stats.combined_misses == 1
+        level.stats.check()
+
+    def test_access_after_fill_time_is_a_hit(self):
+        level = CacheLevel(small_cache(), "L1")
+        block = 42
+        level.probe(block, 0.0)
+        level.finish_miss(block, 50.0)
+        assert level.probe(block, 60.0) is None
+
+    def test_mshr_exhaustion_delays_miss(self):
+        level = CacheLevel(small_cache(mshrs=1), "L1")
+        level.probe(1, 0.0)
+        first = level.begin_miss(0.0)
+        level.finish_miss(1, first + 100.0)
+        level.probe(2, 5.0)
+        second = level.begin_miss(5.0)
+        assert second == first + 100.0  # waited for the only MSHR
+
+    def test_ports_serialize_same_cycle_accesses(self):
+        level = CacheLevel(small_cache(ports=1), "L1")
+        assert level.port_grant(0.0) == 0.0
+        assert level.port_grant(0.0) == 1.0
+
+    def test_warm_installs_without_stats(self):
+        level = CacheLevel(small_cache(), "L1")
+        level.warm(5)
+        assert level.probe(5, 0.0) is None
+        assert level.stats.accesses == 1 and level.stats.hits == 1
+
+    def test_mshr_peak_tracked(self):
+        level = CacheLevel(small_cache(mshrs=4), "L1")
+        for block in range(3):
+            level.probe(block, 0.0)
+            level.begin_miss(0.0)
+            level.finish_miss(block, 100.0)
+        assert level.mshrs.peak == 3
+
+
+def test_cache_config_validation():
+    with pytest.raises(Exception):
+        CacheConfig(size_bytes=1000, block_bytes=48)  # not a power of two
+    with pytest.raises(Exception):
+        CacheConfig(size_bytes=1024, block_bytes=64, associativity=3)

@@ -1,0 +1,67 @@
+"""Tests for the memory-controller bandwidth model."""
+
+import pytest
+
+from repro.config import DramConfig
+from repro.mem.dram import MemoryControllers
+
+
+def controllers(**overrides):
+    params = dict(num_controllers=2, bandwidth_gbps=12.8, efficiency=0.70,
+                  access_latency_ns=45.0)
+    params.update(overrides)
+    return MemoryControllers(DramConfig(**params), freq_ghz=2.0, block_bytes=64)
+
+
+def test_latency_cycles_matches_table2():
+    mcs = controllers()
+    assert mcs.latency_cycles == 90  # 45 ns at 2 GHz
+
+
+def test_block_service_matches_effective_bandwidth():
+    mcs = controllers()
+    # 12.8 GB/s * 0.7 = 8.96 GB/s = 4.48 B/cycle -> 64 B / 4.48 ~ 14.3 cycles
+    assert mcs.service_cycles == pytest.approx(64 / 4.48, rel=1e-3)
+
+
+def test_interleave_by_block_address():
+    mcs = controllers()
+    assert mcs.controller_for(0) != mcs.controller_for(1)
+    assert mcs.controller_for(0) == mcs.controller_for(2)
+
+
+def test_back_to_back_same_controller_serializes():
+    mcs = controllers()
+    first = mcs.fetch(0, 0.0)
+    second = mcs.fetch(2, 0.0)  # same controller
+    assert second == pytest.approx(first + mcs.service_cycles)
+
+
+def test_different_controllers_overlap():
+    mcs = controllers()
+    first = mcs.fetch(0, 0.0)
+    second = mcs.fetch(1, 0.0)  # other controller
+    assert second == first
+
+
+def test_bandwidth_saturation_under_burst():
+    mcs = controllers(num_controllers=1)
+    times = [mcs.fetch(block * 2, 0.0) for block in range(10)]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(gap == pytest.approx(mcs.service_cycles) for gap in gaps)
+
+
+def test_utilization():
+    mcs = controllers()
+    mcs.fetch(0, 0.0)
+    mcs.fetch(1, 0.0)
+    util = mcs.utilization(elapsed_cycles=2 * mcs.service_cycles)
+    assert util == pytest.approx(0.5)
+    assert mcs.blocks_transferred == 2
+
+
+def test_config_validation():
+    with pytest.raises(Exception):
+        DramConfig(num_controllers=0)
+    with pytest.raises(Exception):
+        DramConfig(efficiency=1.5)

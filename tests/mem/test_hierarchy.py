@@ -1,0 +1,111 @@
+"""Tests for the assembled memory hierarchy."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import AddressSpace
+
+BASE = 0x1_0000
+
+
+@pytest.fixture
+def mh():
+    return MemoryHierarchy(DEFAULT_CONFIG)
+
+
+def test_cold_load_goes_to_dram(mh):
+    result = mh.load(BASE, 0.0)
+    assert result.level == "DRAM"
+    # TLB walk + crossbar both ways + DRAM latency at least.
+    assert result.complete >= 35 + 4 + 90 + 4
+
+
+def test_second_load_hits_l1(mh):
+    first = mh.load(BASE, 0.0)
+    second = mh.load(BASE, first.complete)
+    assert second.level == "L1"
+    assert second.complete == pytest.approx(
+        first.complete + DEFAULT_CONFIG.l1d.latency_cycles)
+
+
+def test_same_block_different_word_hits(mh):
+    first = mh.load(BASE, 0.0)
+    second = mh.load(BASE + 32, first.complete)
+    assert second.level == "L1"
+
+
+def test_concurrent_same_block_misses_combine(mh):
+    first = mh.load(BASE, 0.0)
+    combined = mh.load(BASE + 8, 1.0)
+    assert combined.complete == pytest.approx(first.complete, abs=4.0)
+    assert mh.stats.l1d.combined_misses == 1
+    mh.stats.check()
+
+
+def test_llc_hit_path_is_faster_than_dram(mh):
+    warm = MemoryHierarchy(DEFAULT_CONFIG)
+    warm.warm_block(BASE, level="llc")
+    llc = warm.load(BASE, 0.0)
+    cold = mh.load(BASE, 0.0)
+    assert llc.level == "LLC"
+    assert llc.complete < cold.complete
+
+
+def test_warm_l1_gives_load_to_use_latency(mh):
+    mh.warm_block(BASE, level="l1")
+    result = mh.load(BASE, 0.0)
+    assert result.level == "L1"
+    assert result.tlb_stall == 0.0
+    assert result.complete == DEFAULT_CONFIG.l1d.latency_cycles
+
+
+def test_tlb_stall_reported_separately(mh):
+    result = mh.load(BASE, 0.0)
+    assert result.tlb_stall == DEFAULT_CONFIG.tlb.miss_latency_cycles
+
+
+def test_mshr_limit_backpressures(caplog):
+    mh = MemoryHierarchy(DEFAULT_CONFIG)
+    mh.tlb.warm(BASE)
+    page = DEFAULT_CONFIG.tlb.page_bytes
+    # 11 distinct-block misses against 10 MSHRs (same page, warm TLB).
+    results = [mh.load(BASE + i * 64, 0.0) for i in range(11)]
+    assert mh.l1d.mshrs.peak <= DEFAULT_CONFIG.l1d.mshrs
+    # The 11th miss had to wait for an MSHR: strictly later than the 1st.
+    assert results[10].complete > results[0].complete
+
+
+def test_stores_counted(mh):
+    mh.store(BASE, 0.0)
+    assert mh.stats.stores == 1
+
+
+def test_touch_counts_prefetch_and_fills(mh):
+    prefetch = mh.touch(BASE, 0.0)
+    assert mh.stats.l1d.prefetches == 1
+    later = mh.load(BASE, prefetch.complete)
+    assert later.level == "L1"
+
+
+def test_warm_range_covers_all_blocks(mh):
+    mh.warm_range(BASE, 4 * 64, level="llc")
+    for i in range(4):
+        result = mh.load(BASE + i * 64, 1000.0 * i)
+        assert result.level == "LLC"
+
+
+def test_warm_rejects_unknown_level(mh):
+    with pytest.raises(ValueError):
+        mh.warm_block(BASE, level="l9")
+
+
+def test_stats_consistency_after_mixed_traffic(mh):
+    space = AddressSpace()
+    region = space.allocate("blob", 8192)
+    now = 0.0
+    for i in range(50):
+        result = mh.load(region.base + (i * 24) % 8192 // 8 * 8, now)
+        now = result.complete
+    mh.stats.check()
+    assert mh.stats.loads == 50

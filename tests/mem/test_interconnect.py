@@ -1,0 +1,26 @@
+"""Tests for the crossbar."""
+
+import pytest
+
+from repro.mem.interconnect import Crossbar
+
+
+def test_fixed_latency():
+    xbar = Crossbar(4)
+    assert xbar.traverse(10.0) == 14.0
+
+
+def test_traversals_counted():
+    xbar = Crossbar(4)
+    xbar.traverse(0.0)
+    xbar.traverse(1.0)
+    assert xbar.traversals == 2
+
+
+def test_zero_latency_allowed():
+    assert Crossbar(0).traverse(5.0) == 5.0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        Crossbar(-1)

@@ -1,0 +1,56 @@
+"""Tests for the named-region allocator."""
+
+import pytest
+
+from repro.mem.layout import AddressSpace
+
+
+def test_allocate_and_find():
+    space = AddressSpace()
+    region = space.allocate("buckets", 1024)
+    assert region.size == 1024
+    assert space.find(region.base) == region
+    assert space.find(region.end - 1) == region
+    assert space.find(region.end) is None
+
+
+def test_duplicate_names_rejected():
+    space = AddressSpace()
+    space.allocate("x", 64)
+    with pytest.raises(ValueError):
+        space.allocate("x", 64)
+
+
+def test_regions_do_not_overlap():
+    space = AddressSpace()
+    regions = [space.allocate(f"r{i}", 100) for i in range(5)]
+    for a, b in zip(regions, regions[1:]):
+        assert a.end <= b.base
+
+
+def test_region_lookup_by_name():
+    space = AddressSpace()
+    region = space.allocate("nodes", 256)
+    assert space.region("nodes") == region
+
+
+def test_footprint_sums_regions():
+    space = AddressSpace()
+    space.allocate("a", 100)
+    space.allocate("b", 200)
+    assert space.footprint_bytes == 300
+
+
+def test_allocations_are_backed_by_memory():
+    space = AddressSpace()
+    region = space.allocate("data", 64)
+    space.memory.write_u64(region.base, 0xFEED)
+    assert space.memory.read_u64(region.base) == 0xFEED
+
+
+def test_regions_listing_in_order():
+    space = AddressSpace()
+    names = ["one", "two", "three"]
+    for name in names:
+        space.allocate(name, 64)
+    assert [r.name for r in space.regions()] == names

@@ -1,0 +1,71 @@
+"""Tests for the TLB model."""
+
+from repro.config import TlbConfig
+from repro.mem.tlb import Tlb
+
+
+def small_tlb(**overrides):
+    params = dict(entries=4, page_bytes=4096, in_flight=2,
+                  miss_latency_cycles=30)
+    params.update(overrides)
+    return Tlb(TlbConfig(**params))
+
+
+def test_first_access_misses_then_hits():
+    tlb = small_tlb()
+    ready, stall = tlb.translate(0x10000, 0.0)
+    assert stall == 30.0 and ready == 30.0
+    ready, stall = tlb.translate(0x10008, 100.0)  # same page
+    assert stall == 0.0 and ready == 100.0
+    assert tlb.stats.misses == 1 and tlb.stats.accesses == 2
+
+
+def test_in_flight_limit_serializes_walks():
+    tlb = small_tlb(in_flight=1)
+    tlb.translate(0 * 4096 + 0x10000, 0.0)
+    ready, stall = tlb.translate(1 * 4096 + 0x10000, 0.0)
+    # The second walk waits for the only walker port.
+    assert ready == 60.0 and stall == 60.0
+
+
+def test_two_in_flight_walks_overlap():
+    tlb = small_tlb(in_flight=2)
+    tlb.translate(0x10000, 0.0)
+    ready, _ = tlb.translate(0x10000 + 4096, 0.0)
+    assert ready == 30.0  # no serialization
+
+
+def test_concurrent_misses_to_same_page_share_walk():
+    tlb = small_tlb()
+    tlb.translate(0x10000, 0.0)
+    ready, stall = tlb.translate(0x10010, 5.0)
+    assert ready == 30.0 and stall == 25.0
+    assert tlb.stats.misses == 1  # shared, not a second walk
+
+
+def test_lru_capacity_eviction():
+    tlb = small_tlb(entries=2)
+    pages = [0x10000 + i * 4096 for i in range(3)]
+    now = 0.0
+    for page in pages:
+        ready, _ = tlb.translate(page, now)
+        now = ready + 1
+    # First page was evicted by the third.
+    _, stall = tlb.translate(pages[0], now)
+    assert stall > 0
+    assert tlb.stats.misses == 4
+
+
+def test_warm_installs_translation():
+    tlb = small_tlb()
+    tlb.warm(0x10000)
+    _, stall = tlb.translate(0x10000, 0.0)
+    assert stall == 0.0
+    assert tlb.stats.misses == 0
+
+
+def test_miss_ratio():
+    tlb = small_tlb()
+    tlb.translate(0x10000, 0.0)
+    tlb.translate(0x10000, 100.0)
+    assert tlb.stats.miss_ratio == 0.5

@@ -1,0 +1,134 @@
+"""Tests for the Section 3.2 analytical model against the paper's anchors."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.model.analytical import (AnalyticalModel, fig4a_series,
+                                    fig4b_series, fig4c_series, fig5_series,
+                                    max_walkers_by_mshrs)
+from repro.model.params import ModelParams
+
+
+@pytest.fixture
+def model():
+    return AnalyticalModel()
+
+
+class TestEquation1:
+    def test_walk_cycles_grow_with_miss_ratio(self, model):
+        assert model.walk_cycles(0.0) < model.walk_cycles(0.5) \
+            < model.walk_cycles(1.0)
+
+    def test_hash_cycles_positive_and_fixed(self, model):
+        assert model.hash_cycles() > 0
+
+
+class TestEquation2_L1Bandwidth:
+    def test_more_walkers_more_pressure(self, model):
+        assert model.mem_ops_per_cycle(0.2, 4) > model.mem_ops_per_cycle(0.2, 2)
+
+    def test_pressure_falls_with_miss_ratio(self, model):
+        assert model.mem_ops_per_cycle(0.0, 8) > model.mem_ops_per_cycle(1.0, 8)
+
+    def test_single_port_bottleneck_above_six_walkers(self, model):
+        """Paper: 'a single-ported L1-D becomes the bottleneck for more
+        than six walkers' at low LLC miss ratios."""
+        assert model.mem_ops_per_cycle(0.0, 6) <= 1.0
+        assert model.mem_ops_per_cycle(0.0, 7) > 1.0
+
+    def test_two_ports_support_ten_walkers(self, model):
+        """Paper: 'a two-ported L1-D can comfortably support 10 walkers'."""
+        for miss in (0.0, 0.5, 1.0):
+            assert model.mem_ops_per_cycle(miss, 10) <= 2.0
+            assert model.l1_bandwidth_ok(miss, 10)
+
+
+class TestEquation3_MSHRs:
+    def test_outstanding_misses_linear_in_walkers(self, model):
+        series = fig4b_series(model)
+        per_walker = series[0][1]
+        for walkers, misses in series:
+            assert misses == pytest.approx(per_walker * walkers)
+
+    def test_mshr_budget_caps_at_four_or_five(self, model):
+        """Paper: 'the number of concurrent walkers is limited to four or
+        five' with 8-10 MSHRs."""
+        assert max_walkers_by_mshrs(model) in (4, 5)
+
+    def test_tighter_budget_fewer_walkers(self):
+        tight = AnalyticalModel(ModelParams(mshrs=8))
+        assert max_walkers_by_mshrs(tight) == 4
+
+
+class TestEquations45_OffChip:
+    def test_eight_walkers_at_low_miss(self, model):
+        """Paper: 'one memory controller can serve almost eight walkers'
+        when LLC misses are rare."""
+        assert model.walkers_per_mc(0.1) == pytest.approx(8.0, abs=1.0)
+
+    def test_four_to_five_walkers_at_high_miss(self, model):
+        """Paper: 'at high LLC miss ratios, the number of walkers per MC
+        drops to four'."""
+        assert model.walkers_per_mc(1.0) == pytest.approx(4.5, abs=0.7)
+
+    def test_monotonically_decreasing(self, model):
+        values = [value for _, value in fig4c_series(model)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestEquation6_Dispatcher:
+    def test_utilization_increases_with_miss_ratio(self, model):
+        assert model.walker_utilization(0.8, 4, 1) \
+            > model.walker_utilization(0.1, 4, 1)
+
+    def test_utilization_increases_with_bucket_depth(self, model):
+        assert model.walker_utilization(0.2, 4, 3) \
+            > model.walker_utilization(0.2, 4, 1)
+
+    def test_utilization_decreases_with_walkers(self, model):
+        assert model.walker_utilization(0.5, 2, 2) \
+            >= model.walker_utilization(0.5, 8, 2)
+
+    def test_utilization_capped_at_one(self, model):
+        assert model.walker_utilization(1.0, 1, 3) == 1.0
+
+    def test_dispatcher_feeds_four_walkers_in_main_regime(self, model):
+        """Paper: 'one dispatcher is able to feed up to four walkers,
+        except for very shallow buckets with low LLC miss ratios'."""
+        assert model.walker_utilization(0.5, 4, 2) >= 0.8
+        assert model.walker_utilization(0.9, 4, 1) >= 0.8
+
+    def test_shallow_bucket_low_miss_exception(self, model):
+        assert model.walker_utilization(0.0, 4, 1) < 0.5
+
+
+class TestSeriesGenerators:
+    def test_fig4a_has_all_walker_counts(self, model):
+        series = fig4a_series(model)
+        assert set(series) == {1, 2, 4, 8, 10}
+        for points in series.values():
+            assert points[0][0] == 0.0 and points[-1][0] == 1.0
+
+    def test_fig5_structure(self, model):
+        series = fig5_series(model)
+        assert set(series) == {1, 2, 3}
+        for by_walkers in series.values():
+            assert set(by_walkers) == {2, 4, 8}
+
+
+def test_params_from_config_match_table2():
+    params = ModelParams.from_config(DEFAULT_CONFIG)
+    assert params.l1_ports == 2
+    assert params.mshrs == 10
+    assert params.l1_latency == 2.0
+    assert params.llc_latency == 14.0   # 6 + 2x4 crossbar
+    assert params.dram_latency == pytest.approx(104.0)
+    assert params.mc_blocks_per_cycle == pytest.approx(0.07, abs=0.01)
+
+
+def test_hash_amat_mostly_l1():
+    params = ModelParams()
+    amat = params.hash_amat()
+    # Seven of eight key loads hit the L1.
+    assert amat < params.dram_latency / 4
+    assert amat > params.l1_latency

@@ -1,0 +1,113 @@
+"""Property-based tests for the assembler and the unit's ALU semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import AddressSpace
+from repro.sim.engine import Engine
+from repro.sim.resources import BoundedQueue
+from repro.widx.assembler import assemble
+from repro.widx.unit import WidxUnit
+
+M64 = (1 << 64) - 1
+
+value64 = st.integers(min_value=0, max_value=M64)
+shift = st.integers(min_value=1, max_value=63)
+
+
+def run_unit(source, constants=None):
+    """Assemble and execute an H-role program; return emitted tuples."""
+    space = AddressSpace()
+    engine = Engine()
+    program = assemble(source)
+    out = BoundedQueue(engine, 64)
+    unit = WidxUnit("u", program, engine, MemoryHierarchy(DEFAULT_CONFIG),
+                    space.memory, out_queue=out)
+    if constants:
+        unit.configure(constants)
+    engine.process(unit.run())
+    engine.run()
+    emitted = []
+    while len(out):
+        emitted.append(out.get().value)
+    return emitted
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value64, b=value64)
+def test_add_and_xor_match_python(a, b):
+    emitted = run_unit("""
+        .role H
+          add r4, r2, r3
+          xor r5, r2, r3
+          and r6, r2, r3
+          emit r4, r5, r6
+    """, constants={2: a, 3: b})
+    assert emitted == [((a + b) & M64, a ^ b, a & b)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value64, s=shift)
+def test_shifts_match_python(a, s):
+    emitted = run_unit(f"""
+        .role H
+          shl r4, r2, #{s}
+          shr r5, r2, #{s}
+          emit r4, r5
+    """, constants={2: a})
+    assert emitted == [((a << s) & M64, a >> s)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value64, b=value64, s=shift)
+def test_fused_ops_match_python(a, b, s):
+    emitted = run_unit(f"""
+        .role H
+          add-shf r4, r2, r3, #{s}
+          xor-shf r5, r2, r3, #-{s}
+          emit r4, r5
+    """, constants={2: a, 3: b})
+    assert emitted == [((a + ((b << s) & M64)) & M64, a ^ (b >> s))]
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=value64, b=value64)
+def test_compares_match_python(a, b):
+    emitted = run_unit("""
+        .role H
+          cmp r4, r2, r3
+          cmp-le r5, r2, r3
+          emit r4, r5
+    """, constants={2: a, 3: b})
+    assert emitted == [(int(a == b), int(a <= b))]
+
+
+@settings(max_examples=25, deadline=None)
+@given(count=st.integers(min_value=1, max_value=30))
+def test_counted_loop_iterates_exactly(count):
+    emitted = run_unit(f"""
+        .role H
+        .const r2 = {count}
+        loop:
+          add r3, r3, #1
+          add r2, r2, #-1
+          ble r2, r0, done
+          ba loop
+        done:
+          emit r3
+    """)
+    assert emitted == [(count,)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=st.lists(value64, min_size=1, max_size=8))
+def test_assembly_roundtrip_preserves_instruction_count(values):
+    lines = [".role H"]
+    for i, value in enumerate(values):
+        lines.append(f".const r{20 + (i % 10)} = {value}")
+    lines.append("  add r1, r1, #1")
+    program = assemble("\n".join(lines))
+    assert len(program.instructions) == 1
+    for index, value in program.constants.items():
+        assert 0 <= value <= M64

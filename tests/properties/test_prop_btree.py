@@ -1,0 +1,74 @@
+"""Property-based tests for the B+-tree and its Widx traversal."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.btree import BPlusTree, KEY_PAD
+from repro.db.column import Column
+from repro.db.types import DataType
+from repro.mem.layout import AddressSpace
+from repro.widx.offload import offload_tree_search
+
+tree_keys = st.lists(st.integers(min_value=1, max_value=KEY_PAD - 1),
+                     min_size=1, max_size=150, unique=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys)
+def test_search_equals_dict(keys):
+    space = AddressSpace()
+    payloads = list(range(1, len(keys) + 1))
+    tree = BPlusTree(space, keys, payloads)
+    truth = dict(zip(keys, payloads))
+    for key in keys:
+        assert tree.search(key) == truth[key]
+    for missing in (min(keys) - 1, max(keys) + 1):
+        if 0 < missing < KEY_PAD and missing not in truth:
+            assert tree.search(missing) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys,
+       bounds=st.tuples(st.integers(0, KEY_PAD - 1),
+                        st.integers(0, KEY_PAD - 1)))
+def test_range_scan_equals_sorted_filter(keys, bounds):
+    low, high = min(bounds), max(bounds)
+    space = AddressSpace()
+    payloads = list(range(len(keys)))
+    tree = BPlusTree(space, keys, payloads)
+    truth = dict(zip(keys, payloads))
+    expected = [(k, truth[k]) for k in sorted(keys) if low <= k <= high]
+    assert tree.range_scan(low, high) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=tree_keys)
+def test_tree_shape_invariants(keys):
+    space = AddressSpace()
+    tree = BPlusTree(space, keys, list(range(len(keys))))
+    stats = tree.stats()
+    assert stats.num_keys == len(keys)
+    assert stats.leaves >= (len(keys) + 3) // 4
+    assert stats.height >= 1
+    # Every leaf is reachable and the leaf chain covers all keys in order.
+    scan = tree.range_scan(0, KEY_PAD - 1)
+    assert [k for k, _ in scan] == sorted(keys)
+
+
+@settings(max_examples=12, deadline=None)
+@given(keys=st.lists(st.integers(min_value=1, max_value=2**30),
+                     min_size=1, max_size=60, unique=True),
+       extra=st.lists(st.integers(min_value=2**30 + 1, max_value=2**31),
+                      max_size=15),
+       walkers=st.sampled_from([1, 3]))
+def test_widx_tree_search_equals_software(keys, extra, walkers):
+    space = AddressSpace()
+    tree = BPlusTree(space, keys, list(range(1, len(keys) + 1)))
+    probes = keys + extra
+    column = Column("p", DataType.U32, np.asarray(probes, dtype=np.uint32))
+    column.materialize(space)
+    outcome = offload_tree_search(
+        tree, column, config=DEFAULT_CONFIG.with_walkers(walkers))
+    assert outcome.validated is True
+    assert outcome.matches == len(keys)

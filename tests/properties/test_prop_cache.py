@@ -1,0 +1,87 @@
+"""Property-based tests on cache/TLB/memory-system invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, DEFAULT_CONFIG
+from repro.mem.cache import CacheArray, CacheLevel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physmem import BASE_ADDRESS
+
+addresses = st.integers(min_value=BASE_ADDRESS,
+                        max_value=BASE_ADDRESS + (1 << 22))
+
+
+def tiny_cache():
+    return CacheConfig(size_bytes=2048, block_bytes=64, associativity=2,
+                       latency_cycles=1, ports=1, mshrs=2)
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=4096),
+                       min_size=1, max_size=400))
+def test_cache_never_exceeds_capacity(blocks):
+    cfg = tiny_cache()
+    array = CacheArray(cfg)
+    for block in blocks:
+        array.insert(block)
+    assert array.resident_blocks() <= cfg.num_blocks
+    # Per-set occupancy never exceeds associativity.
+    for entries in array._sets.values():
+        assert len(entries) <= cfg.associativity
+
+
+@settings(max_examples=50, deadline=None)
+@given(blocks=st.lists(st.integers(min_value=0, max_value=64),
+                       min_size=1, max_size=100))
+def test_insert_then_immediate_lookup_always_hits(blocks):
+    array = CacheArray(tiny_cache())
+    for block in blocks:
+        array.insert(block)
+        assert array.lookup(block)
+
+
+@settings(max_examples=30, deadline=None)
+@given(accesses=st.lists(st.tuples(st.integers(0, 200),
+                                   st.floats(min_value=0.5, max_value=20)),
+                         min_size=1, max_size=120))
+def test_level_accounting_identity(accesses):
+    level = CacheLevel(tiny_cache(), "L1")
+    now = 0.0
+    for block, gap in accesses:
+        now += gap
+        outcome = level.probe(block, now)
+        if outcome is not None and outcome < 0:
+            start = level.begin_miss(now)
+            level.finish_miss(block, start + 30.0)
+    level.stats.check()
+    assert level.mshrs.peak <= level.cfg.mshrs
+
+
+@settings(max_examples=20, deadline=None)
+@given(addrs=st.lists(addresses, min_size=1, max_size=150))
+def test_hierarchy_monotonic_completion_and_consistent_stats(addrs):
+    mh = MemoryHierarchy(DEFAULT_CONFIG)
+    now = 0.0
+    for addr in addrs:
+        aligned = addr & ~7
+        result = mh.load(aligned, now)
+        assert result.complete >= now  # no time travel
+        assert result.tlb_stall >= 0
+        assert result.level in ("L1", "LLC", "DRAM")
+        now = result.complete
+    mh.stats.check()
+    assert mh.stats.loads == len(addrs)
+    assert mh.stats.tlb.accesses == len(addrs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(addrs=st.lists(addresses, min_size=1, max_size=60))
+def test_rereading_is_never_slower_than_cold(addrs):
+    mh = MemoryHierarchy(DEFAULT_CONFIG)
+    now = 0.0
+    for addr in addrs:
+        aligned = addr & ~7
+        cold = mh.load(aligned, now)
+        warm = mh.load(aligned, cold.complete)
+        assert (warm.complete - cold.complete) <= (cold.complete - now) + 1
+        now = warm.complete

@@ -1,0 +1,78 @@
+"""Property-based tests: the hash index matches a dict reference exactly."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.hashfn import KERNEL_HASH, ROBUST_HASH_32, ROBUST_HASH_64
+from repro.db.hashtable import HashIndex, choose_num_buckets
+from repro.db.node import KERNEL_LAYOUT, WIDE_LAYOUT
+from repro.mem.layout import AddressSpace
+
+key32 = st.integers(min_value=1, max_value=2**31)
+key64 = st.integers(min_value=1, max_value=2**62)
+payload32 = st.integers(min_value=0, max_value=2**31)
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=st.lists(st.tuples(key32, payload32), min_size=1, max_size=200),
+       probes=st.lists(key32, max_size=50))
+def test_index_equals_dict_reference(entries, probes):
+    space = AddressSpace()
+    index = HashIndex(space, KERNEL_LAYOUT,
+                      choose_num_buckets(len(entries)), ROBUST_HASH_32,
+                      capacity=len(entries))
+    reference = defaultdict(list)
+    for key, payload in entries:
+        index.insert(key, payload)
+        reference[key].append(payload)
+    for key, _ in entries:
+        assert sorted(index.probe(key)) == sorted(reference[key])
+    for key in probes:
+        assert sorted(index.probe(key)) == sorted(reference.get(key, []))
+
+
+@settings(max_examples=30, deadline=None)
+@given(entries=st.lists(st.tuples(key64, key64), min_size=1, max_size=100,
+                        unique_by=lambda t: t[0]))
+def test_wide_layout_equals_reference(entries):
+    space = AddressSpace()
+    index = HashIndex(space, WIDE_LAYOUT, choose_num_buckets(len(entries)),
+                      ROBUST_HASH_64, capacity=len(entries))
+    for key, payload in entries:
+        index.insert(key, payload)
+    for key, payload in entries:
+        assert index.probe(key) == [payload]
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(key32, min_size=1, max_size=300, unique=True),
+       depth=st.sampled_from([0.5, 1.0, 2.0, 4.0]))
+def test_stats_invariants(keys, depth):
+    space = AddressSpace()
+    index = HashIndex(space, KERNEL_LAYOUT,
+                      choose_num_buckets(len(keys), depth), KERNEL_HASH,
+                      capacity=len(keys))
+    for row, key in enumerate(keys):
+        index.insert(key, row + 1)
+    stats = index.stats()
+    assert stats.num_keys == len(keys)
+    assert stats.used_buckets <= min(stats.num_buckets, len(keys))
+    assert stats.used_buckets + stats.overflow_nodes == len(keys)
+    assert stats.max_chain * stats.used_buckets >= len(keys) / 4
+    assert index.footprint_bytes >= stats.num_buckets * KERNEL_LAYOUT.stride
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(key32, min_size=2, max_size=120, unique=True))
+def test_chain_walk_terminates_and_covers_all_keys(keys):
+    space = AddressSpace()
+    index = HashIndex(space, KERNEL_LAYOUT, choose_num_buckets(len(keys)),
+                      ROBUST_HASH_32, capacity=len(keys))
+    for row, key in enumerate(keys):
+        index.insert(key, row)
+    # Every key is reachable by walking its own bucket chain.
+    for key in keys:
+        chain = list(index.walk_chain(key))
+        assert len(chain) <= len(keys)
+        assert any(index.node_key(node) == key for node in chain)

@@ -1,0 +1,96 @@
+"""Property-based tests: Widx execution is functionally identical to the
+software probe loop, across schemas, hash functions, organizations and key
+distributions.  This is the repository's central correctness invariant."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.column import Column
+from repro.db.hashfn import KERNEL_HASH, ROBUST_HASH_32
+from repro.db.hashtable import HashIndex, choose_num_buckets
+from repro.db.node import KERNEL_LAYOUT, monetdb_layout
+from repro.db.types import DataType
+from repro.mem.layout import AddressSpace
+from repro.widx.offload import offload_probe
+
+key32 = st.integers(min_value=1, max_value=2**31)
+
+
+def run_equivalence(build_keys, probe_values, *, indirect, mode, walkers,
+                    hash_spec):
+    space = AddressSpace()
+    if indirect:
+        base = Column("base", DataType.U32, np.asarray(build_keys,
+                                                       dtype=np.uint32))
+        base.materialize(space)
+        index = HashIndex(space, monetdb_layout(4),
+                          choose_num_buckets(len(build_keys)), hash_spec,
+                          capacity=len(build_keys), key_column=base)
+        for row, key in enumerate(build_keys):
+            index.insert(key, row)
+    else:
+        index = HashIndex(space, KERNEL_LAYOUT,
+                          choose_num_buckets(len(build_keys)), hash_spec,
+                          capacity=len(build_keys))
+        for row, key in enumerate(build_keys):
+            index.insert(key, row + 1)
+    column = Column("probes", DataType.U32,
+                    np.asarray(probe_values, dtype=np.uint32))
+    column.materialize(space)
+    config = DEFAULT_CONFIG.with_widx(mode=mode, num_walkers=walkers)
+    # offload_probe raises WidxFault if the accelerated result diverges
+    # from the functional reference.
+    outcome = offload_probe(index, column, config=config, validate=True)
+    assert outcome.validated is True
+    return outcome
+
+
+@settings(max_examples=25, deadline=None)
+@given(build=st.lists(key32, min_size=1, max_size=80, unique=True),
+       extra_probes=st.lists(key32, max_size=20),
+       mode=st.sampled_from(["shared", "private", "coupled"]),
+       walkers=st.sampled_from([1, 2, 4]))
+def test_widx_equals_software_probe(build, extra_probes, mode, walkers):
+    probes = build[: max(1, len(build) // 2)] + extra_probes
+    run_equivalence(build, probes, indirect=False, mode=mode,
+                    walkers=walkers, hash_spec=ROBUST_HASH_32)
+
+
+@settings(max_examples=15, deadline=None)
+@given(build=st.lists(key32, min_size=1, max_size=60, unique=True),
+       walkers=st.sampled_from([1, 3]))
+def test_widx_equals_software_probe_indirect(build, walkers):
+    probes = build + [max(build) + 5]
+    run_equivalence(build, probes, indirect=True, mode="shared",
+                    walkers=walkers, hash_spec=ROBUST_HASH_32)
+
+
+@settings(max_examples=15, deadline=None)
+@given(build=st.lists(key32, min_size=1, max_size=60, unique=True))
+def test_widx_handles_duplicate_probe_keys(build):
+    probes = [build[0]] * 7 + build
+    outcome = run_equivalence(build, probes, indirect=False, mode="shared",
+                              walkers=2, hash_spec=KERNEL_HASH)
+    assert outcome.matches >= 7
+
+
+@settings(max_examples=10, deadline=None)
+@given(build=st.lists(st.integers(min_value=1, max_value=50), min_size=2,
+                      max_size=40))
+def test_widx_emits_every_duplicate_build_match(build):
+    """Duplicate build keys form chains; every node must be emitted."""
+    probes = sorted(set(build))
+    space = AddressSpace()
+    index = HashIndex(space, KERNEL_LAYOUT, choose_num_buckets(len(build)),
+                      ROBUST_HASH_32, capacity=len(build))
+    expected = 0
+    for row, key in enumerate(build):
+        index.insert(key, row + 1)
+    for key in probes:
+        expected += len(index.probe(key))
+    column = Column("probes", DataType.U32,
+                    np.asarray(probes, dtype=np.uint32))
+    column.materialize(space)
+    outcome = offload_probe(index, column)
+    assert outcome.matches == expected

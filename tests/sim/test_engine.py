@@ -1,0 +1,171 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import CompositeEvent, Event
+
+
+def test_timeout_advances_clock():
+    engine = Engine()
+    log = []
+
+    def proc():
+        yield 5
+        log.append(engine.now)
+        yield 2.5
+        log.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert log == [5.0, 7.5]
+
+
+def test_processes_interleave_in_time_order():
+    engine = Engine()
+    log = []
+
+    def proc(name, delay):
+        yield delay
+        log.append((engine.now, name))
+        yield delay
+        log.append((engine.now, name))
+
+    engine.process(proc("a", 3))
+    engine.process(proc("b", 2))
+    engine.run()
+    assert log == [(2.0, "b"), (3.0, "a"), (4.0, "b"), (6.0, "a")]
+
+
+def test_event_wait_delivers_value():
+    engine = Engine()
+    event = Event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((engine.now, value))
+
+    def firer():
+        yield 4
+        event.succeed("payload")
+
+    engine.process(waiter())
+    engine.process(firer())
+    engine.run()
+    assert got == [(4.0, "payload")]
+
+
+def test_event_double_trigger_raises():
+    event = Event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+
+
+def test_event_callback_after_trigger_runs_immediately():
+    event = Event()
+    event.succeed(7)
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+def test_process_completion_is_an_event():
+    engine = Engine()
+
+    def child():
+        yield 3
+        return "done"
+
+    def parent():
+        result = yield engine.process(child())
+        assert result == "done"
+        assert engine.now == 3.0
+
+    engine.process(parent())
+    engine.run()
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+
+    def proc():
+        yield -1
+
+    engine.process(proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_bad_yield_type_rejected():
+    engine = Engine()
+
+    def proc():
+        yield "nonsense"
+
+    engine.process(proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_run_until_stops_early():
+    engine = Engine()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield 10
+            log.append(engine.now)
+
+    engine.process(proc())
+    engine.run(until=35)
+    assert log == [10.0, 20.0, 30.0]
+    assert engine.now == 35
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule_at(5, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1, lambda: None)
+
+
+def test_composite_event_waits_for_all():
+    engine = Engine()
+    children = [Event(), Event()]
+    combined = CompositeEvent(children)
+    fired = []
+
+    def waiter():
+        yield combined
+        fired.append(engine.now)
+
+    def firer():
+        yield 2
+        children[0].succeed()
+        yield 3
+        children[1].succeed()
+
+    engine.process(waiter())
+    engine.process(firer())
+    engine.run()
+    assert fired == [5.0]
+
+
+def test_composite_of_nothing_fires_immediately():
+    assert CompositeEvent([]).triggered
+
+
+def test_run_all_convenience():
+    engine = Engine()
+    log = []
+
+    def proc(n):
+        yield n
+        log.append(n)
+
+    engine.run_all([proc(1), proc(2)])
+    assert sorted(log) == [1, 2]

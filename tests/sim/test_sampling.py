@@ -1,0 +1,77 @@
+"""Tests for the SMARTS-style sampling helpers."""
+
+import pytest
+
+from repro.sim.sampling import BatchStats, confidence_interval
+
+
+def test_confidence_interval_of_constant_series():
+    mean, half = confidence_interval([5.0] * 10)
+    assert mean == 5.0
+    assert half == 0.0
+
+
+def test_confidence_interval_single_sample_is_unbounded():
+    mean, half = confidence_interval([3.0])
+    assert mean == 3.0
+    assert half == float("inf")
+
+
+def test_confidence_interval_known_case():
+    # Two samples, variance 2, t(df=1, 97.5%) = 12.706.
+    mean, half = confidence_interval([1.0, 3.0])
+    assert mean == 2.0
+    assert half == pytest.approx(12.706 * (2 / 2) ** 0.5, rel=1e-3)
+
+
+def test_confidence_interval_tightens_with_more_samples():
+    wide = confidence_interval([1.0, 3.0] * 2)[1]
+    narrow = confidence_interval([1.0, 3.0] * 50)[1]
+    assert narrow < wide
+
+
+def test_confidence_interval_rejects_empty():
+    with pytest.raises(ValueError):
+        confidence_interval([])
+
+
+def test_batch_stats_mean():
+    stats = BatchStats(batch_size=4)
+    stats.extend([1, 2, 3, 4, 5, 6, 7, 8])
+    assert stats.mean == 4.5
+    assert stats.count == 8
+
+
+def test_batch_stats_interval_uses_batch_means():
+    stats = BatchStats(batch_size=2)
+    stats.extend([1, 3, 1, 3, 1, 3])   # every batch mean is exactly 2
+    mean, half = stats.interval()
+    assert mean == pytest.approx(2.0)
+    assert half == pytest.approx(0.0)
+
+
+def test_batch_stats_partial_batch_included():
+    stats = BatchStats(batch_size=4)
+    stats.extend([2.0] * 9)  # two full batches + one partial
+    mean, half = stats.interval()
+    assert mean == pytest.approx(2.0)
+    assert half == pytest.approx(0.0)
+
+
+def test_batch_stats_relative_error_small_for_steady_stream():
+    stats = BatchStats(batch_size=16)
+    stats.extend([10.0 + (i % 3) for i in range(640)])
+    # The paper reports <5% error at 95% confidence; a steady stream
+    # should be far inside that.
+    assert stats.relative_error() < 0.05
+
+
+def test_batch_stats_requires_samples():
+    stats = BatchStats()
+    with pytest.raises(ValueError):
+        _ = stats.mean
+
+
+def test_batch_stats_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        BatchStats(batch_size=0)

@@ -1,0 +1,113 @@
+"""Tests for the system configuration (Table 2)."""
+
+import pytest
+
+from repro.config import (DEFAULT_CONFIG, CacheConfig, CoreConfig,
+                          DramConfig, SystemConfig, TlbConfig, WidxConfig,
+                          EVALUATED_WALKER_COUNTS, table2_rows)
+from repro.errors import ConfigError
+
+
+class TestTable2Defaults:
+    def test_core_parameters(self):
+        assert DEFAULT_CONFIG.freq_ghz == 2.0
+        assert DEFAULT_CONFIG.num_cores == 4
+        assert DEFAULT_CONFIG.ooo.issue_width == 4
+        assert DEFAULT_CONFIG.ooo.rob_entries == 128
+        assert DEFAULT_CONFIG.inorder.issue_width == 2
+        assert not DEFAULT_CONFIG.inorder.out_of_order
+
+    def test_l1_parameters(self):
+        l1 = DEFAULT_CONFIG.l1d
+        assert l1.size_bytes == 32 * 1024
+        assert l1.block_bytes == 64
+        assert l1.ports == 2
+        assert l1.mshrs == 10
+        assert l1.latency_cycles == 2
+
+    def test_llc_parameters(self):
+        llc = DEFAULT_CONFIG.llc
+        assert llc.size_bytes == 4 * 1024 * 1024
+        assert llc.latency_cycles == 6
+
+    def test_memory_parameters(self):
+        dram = DEFAULT_CONFIG.dram
+        assert dram.num_controllers == 2
+        assert dram.bandwidth_gbps == 12.8
+        assert dram.access_latency_ns == 45.0
+        assert DEFAULT_CONFIG.interconnect_cycles == 4
+
+    def test_tlb_in_flight_limit(self):
+        assert DEFAULT_CONFIG.tlb.in_flight == 2
+
+    def test_evaluated_walker_counts(self):
+        assert EVALUATED_WALKER_COUNTS == (1, 2, 4)
+
+    def test_table2_rows_cover_every_parameter(self):
+        rows = dict(table2_rows())
+        assert "CMP Features" in rows
+        assert "4 cores" in rows["CMP Features"]
+        assert "10 MSHRs" in rows["L1-I/D Caches"]
+        assert "2 in-flight" in rows["TLB"]
+
+
+class TestDerivedValues:
+    def test_cache_geometry(self):
+        l1 = DEFAULT_CONFIG.l1d
+        assert l1.num_blocks == 512
+        assert l1.num_sets == 64
+
+    def test_dram_latency_cycles(self):
+        assert DEFAULT_CONFIG.dram.latency_cycles(2.0) == 90
+
+    def test_block_service_cycles_positive(self):
+        assert DEFAULT_CONFIG.dram.block_service_cycles(2.0, 64) > 0
+
+
+class TestValidation:
+    def test_cache_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=-1)
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1024, block_bytes=64, mshrs=0)
+
+    def test_tlb_validation(self):
+        with pytest.raises(ConfigError):
+            TlbConfig(in_flight=0)
+        with pytest.raises(ConfigError):
+            TlbConfig(page_bytes=3000)
+
+    def test_dram_validation(self):
+        with pytest.raises(ConfigError):
+            DramConfig(efficiency=0.0)
+
+    def test_core_validation(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0)
+
+    def test_widx_validation(self):
+        with pytest.raises(ConfigError):
+            WidxConfig(num_walkers=0)
+        with pytest.raises(ConfigError):
+            WidxConfig(mode="turbo")
+        with pytest.raises(ConfigError):
+            WidxConfig(num_producers=2)
+
+    def test_block_sizes_must_match(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(l1d=CacheConfig(size_bytes=32 * 1024,
+                                         block_bytes=32),
+                         llc=CacheConfig(size_bytes=4 * 1024 * 1024,
+                                         block_bytes=64, associativity=16))
+
+
+class TestOverrides:
+    def test_with_walkers(self):
+        two = DEFAULT_CONFIG.with_walkers(2)
+        assert two.widx.num_walkers == 2
+        assert DEFAULT_CONFIG.widx.num_walkers == 4  # original untouched
+
+    def test_with_widx(self):
+        coupled = DEFAULT_CONFIG.with_widx(mode="coupled", num_walkers=8)
+        assert coupled.widx.mode == "coupled"
+        assert coupled.widx.num_walkers == 8

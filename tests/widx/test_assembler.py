@@ -1,0 +1,168 @@
+"""Tests for the Widx assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.widx.assembler import assemble
+from repro.widx.isa import Opcode
+
+
+def test_full_walker_program_assembles():
+    program = assemble("""
+        .name walk_test
+        .role W
+        .input r1, r2
+        walk:
+          ld.4 r3, [r2+0]
+          cmp r4, r3, r1
+          ble r4, r0, next
+          ld.4 r5, [r2+4]
+          emit r5
+        next:
+          ld.8 r2, [r2+8]
+          ble r2, r0, done
+          ba walk
+        done:
+          halt
+    """)
+    assert program.name == "walk_test"
+    assert str(program.role) == "walker"
+    assert [r.index for r in program.inputs] == [1, 2]
+    assert program.instructions[-1].opcode is Opcode.HALT
+
+
+def test_labels_resolve_to_pc():
+    program = assemble("""
+        .role H
+        top:
+          add r1, r1, #1
+          ba top
+    """)
+    assert program.instructions[1].target == 0
+
+
+def test_const_directive_parses_hex_and_decimal():
+    program = assemble("""
+        .role H
+        .const r5 = 0xFF
+        .const r6 = 42
+          and r1, r1, r5
+          add r1, r1, r6
+    """)
+    assert program.constants == {5: 0xFF, 6: 42}
+
+
+def test_negative_immediates():
+    program = assemble("""
+        .role H
+          add r1, r1, #-1
+    """)
+    assert program.instructions[0].imm == -1
+
+
+def test_fused_negative_shift_means_right():
+    program = assemble("""
+        .role H
+          xor-shf r1, r1, r1, #-24
+    """)
+    instruction = program.instructions[0]
+    assert instruction.opcode is Opcode.XOR_SHF
+    assert instruction.imm == -24
+
+
+def test_load_store_widths():
+    program = assemble("""
+        .role P
+        .input r1
+        .persist r9
+          st.4 [r9+0], r1
+          st.8 [r9+8], r1
+          halt
+    """)
+    assert program.instructions[0].width == 4
+    assert program.instructions[1].width == 8
+    assert [r.index for r in program.persistent] == [9]
+
+
+def test_touch_operand():
+    program = assemble("""
+        .role H
+          touch [r1+64]
+    """)
+    instruction = program.instructions[0]
+    assert instruction.opcode is Opcode.TOUCH
+    assert instruction.imm == 64
+
+
+def test_comments_stripped():
+    program = assemble("""
+        .role W   ; role comment
+          add r1, r1, #1  ; add one
+    """)
+    assert len(program.instructions) == 1
+
+
+def test_missing_role_rejected():
+    with pytest.raises(AssemblerError, match="role"):
+        assemble("add r1, r1, #1")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError, match="mul"):
+        assemble(".role H\n mul r1, r2, r3")  # no multiply on Widx!
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblerError, match="nowhere"):
+        assemble(".role H\n ba nowhere")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError, match="duplicate"):
+        assemble(".role H\nx:\n add r1, r1, #1\nx:\n halt")
+
+
+def test_st_in_walker_rejected():
+    with pytest.raises(AssemblerError, match="Table 1"):
+        assemble(".role W\n st.8 [r1+0], r2")
+
+
+def test_and_shf_walker_rejected():
+    # AND-SHF is dispatcher-only per Table 1.
+    with pytest.raises(AssemblerError, match="Table 1"):
+        assemble(".role W\n and-shf r1, r1, r2, #3")
+
+
+def test_bad_operand_counts():
+    for text in (
+        ".role H\n add r1, r2",
+        ".role H\n ble r1, done",
+        ".role H\n ld.4 r1",
+        ".role H\n shl r1, #3",
+    ):
+        with pytest.raises(AssemblerError):
+            assemble(text)
+
+
+def test_bad_memory_operand():
+    with pytest.raises(AssemblerError, match=r"\[rN\+imm\]"):
+        assemble(".role H\n ld.4 r1, r2")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError, match="empty"):
+        assemble(".role H\n ; nothing\n")
+
+
+def test_label_on_same_line_as_instruction():
+    program = assemble("""
+        .role H
+        loop: add r1, r1, #1
+          ba loop
+    """)
+    assert program.instructions[1].target == 0
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblerError, match="directive"):
+        assemble(".bogus x\n.role H\n halt")

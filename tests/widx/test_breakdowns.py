@@ -1,0 +1,72 @@
+"""Tests for cycle-breakdown accounting (the Figure 8a/9 bars)."""
+
+import pytest
+
+from repro.widx.machine import WidxRunResult
+from repro.widx.unit import UnitCycleBreakdown, UnitStats
+
+
+def breakdown(**kwargs):
+    return UnitCycleBreakdown(**kwargs)
+
+
+class TestUnitCycleBreakdown:
+    def test_total_sums_all_categories(self):
+        b = breakdown(comp=1, mem=2, tlb=3, idle=4, queue=5)
+        assert b.total == 15
+
+    def test_merged_is_elementwise(self):
+        a = breakdown(comp=1, mem=2)
+        b = breakdown(comp=10, tlb=5)
+        merged = a.merged(b)
+        assert merged.comp == 11 and merged.mem == 2 and merged.tlb == 5
+
+    def test_scaled(self):
+        b = breakdown(comp=4, mem=8).scaled(0.5)
+        assert b.comp == 2 and b.mem == 4
+
+
+class TestWalkerBreakdown:
+    def make_result(self, walker_cycles, total=100.0, tuples=10):
+        stats = {}
+        for index, cycles in enumerate(walker_cycles):
+            unit = UnitStats()
+            unit.cycles = cycles
+            stats[f"walker{index}"] = unit
+        stats["dispatcher"] = UnitStats()
+        stats["dispatcher"].cycles = breakdown(comp=999)  # must be ignored
+        return WidxRunResult(total_cycles=total, tuples=tuples, matches=0,
+                             config_cycles=0.0, unit_stats=stats)
+
+    def test_slack_is_folded_into_idle(self):
+        result = self.make_result([breakdown(comp=30, mem=30)], total=100.0)
+        merged = result.walker_breakdown()
+        assert merged.idle == pytest.approx(40.0)
+        assert merged.total == pytest.approx(100.0)
+
+    def test_average_over_walkers(self):
+        result = self.make_result(
+            [breakdown(comp=100), breakdown(comp=50, mem=50)], total=100.0)
+        merged = result.walker_breakdown()
+        assert merged.comp == pytest.approx(75.0)
+        assert merged.total == pytest.approx(100.0)
+
+    def test_dispatcher_excluded(self):
+        result = self.make_result([breakdown(comp=100)], total=100.0)
+        assert result.walker_breakdown().comp == 100.0
+
+    def test_per_tuple_scaling(self):
+        result = self.make_result([breakdown(comp=100)], total=100.0,
+                                  tuples=10)
+        assert result.walker_cycles_per_tuple().comp == pytest.approx(10.0)
+
+    def test_zero_tuples_degenerate(self):
+        result = WidxRunResult(total_cycles=0, tuples=0, matches=0,
+                               config_cycles=0)
+        assert result.cycles_per_tuple == 0.0
+        assert result.walker_cycles_per_tuple().total == 0.0
+
+    def test_no_walkers_degenerate(self):
+        result = WidxRunResult(total_cycles=10, tuples=1, matches=0,
+                               config_cycles=0)
+        assert result.walker_breakdown().total == 0.0

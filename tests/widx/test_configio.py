@@ -1,0 +1,136 @@
+"""Tests for the Widx control block (Section 4.3)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.hashfn import KERNEL_HASH, ROBUST_HASH_32, ROBUST_HASH_64
+from repro.db.node import KERNEL_LAYOUT, MONETDB_LAYOUT, WIDE_LAYOUT
+from repro.errors import WidxFault
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import AddressSpace
+from repro.widx.configio import (decode_instruction,
+                                 deserialize_control_block,
+                                 encode_instruction,
+                                 measured_configuration_cycles,
+                                 serialize_control_block)
+from repro.widx.isa import Instruction, Opcode, Register
+from repro.widx.programs import (dispatcher_program, producer_program,
+                                 tree_walker_program, walker_program)
+
+
+def all_production_programs():
+    programs = []
+    for layout in (KERNEL_LAYOUT, MONETDB_LAYOUT, WIDE_LAYOUT):
+        for spec in (KERNEL_HASH, ROBUST_HASH_32, ROBUST_HASH_64):
+            programs.append(dispatcher_program(spec, layout).program)
+        programs.append(walker_program(layout).program)
+    programs.append(producer_program(8).program)
+    programs.append(tree_walker_program().program)
+    return programs
+
+
+class TestInstructionEncoding:
+    def cases(self):
+        return [
+            Instruction(Opcode.ADD, rd=Register(1), ra=Register(2),
+                        rb=Register(3)),
+            Instruction(Opcode.ADD, rd=Register(1), ra=Register(2), imm=-1),
+            Instruction(Opcode.LD, rd=Register(5), ra=Register(6), imm=24,
+                        width=4),
+            Instruction(Opcode.LD, rd=Register(5), ra=Register(6), imm=0,
+                        width=8),
+            Instruction(Opcode.ST, ra=Register(9), imm=8, rb=Register(1),
+                        width=8),
+            Instruction(Opcode.TOUCH, ra=Register(1), imm=64),
+            Instruction(Opcode.SHL, rd=Register(2), ra=Register(3), imm=17),
+            Instruction(Opcode.XOR_SHF, rd=Register(2), ra=Register(3),
+                        rb=Register(4), imm=-33),
+            Instruction(Opcode.BA, target=7),
+            Instruction(Opcode.BLE, ra=Register(1), rb=Register(0),
+                        target=0),
+            Instruction(Opcode.EMIT, sources=(Register(5), Register(7))),
+            Instruction(Opcode.EMIT, sources=(Register(1), Register(2),
+                                              Register(3), Register(4))),
+            Instruction(Opcode.HALT),
+        ]
+
+    def test_roundtrip_every_shape(self):
+        for original in self.cases():
+            word, immediate = encode_instruction(original)
+            decoded = decode_instruction(word, immediate)
+            assert decoded.opcode is original.opcode
+            assert decoded.width == original.width
+            assert decoded.imm == original.imm
+            assert decoded.target == original.target
+            assert decoded.sources == original.sources
+            for field in ("rd", "ra", "rb"):
+                a, b = getattr(original, field), getattr(decoded, field)
+                assert (a is None) == (b is None) or original.sources
+                if a is not None and not original.sources:
+                    assert a.index == b.index
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(WidxFault):
+            decode_instruction(63, None)  # ordinal beyond the ISA
+
+
+class TestControlBlock:
+    def test_roundtrip_all_production_programs(self):
+        programs = all_production_programs()
+        space = AddressSpace()
+        region = serialize_control_block(space, programs)
+        restored = deserialize_control_block(space, region)
+        assert len(restored) == len(programs)
+        for original, decoded in zip(programs, restored):
+            assert decoded.role.letter == original.role.letter
+            assert decoded.constants == {
+                k: v & ((1 << 64) - 1)
+                for k, v in original.constants.items()}
+            assert len(decoded.instructions) == len(original.instructions)
+            for a, b in zip(original.instructions, decoded.instructions):
+                assert a.opcode is b.opcode
+                assert a.target == b.target
+                assert a.imm == b.imm
+
+    def test_bad_magic_rejected(self):
+        space = AddressSpace()
+        region = space.allocate("junk", 64)
+        with pytest.raises(WidxFault, match="magic"):
+            deserialize_control_block(space, region)
+
+    def test_block_size_is_modest(self):
+        """The control block is a few hundred bytes — it lives in the
+        application binary, not in dedicated storage."""
+        space = AddressSpace()
+        programs = [dispatcher_program(ROBUST_HASH_32,
+                                       KERNEL_LAYOUT).program,
+                    walker_program(KERNEL_LAYOUT).program,
+                    producer_program(8).program]
+        region = serialize_control_block(space, programs)
+        assert region.size < 1024
+
+
+class TestMeasuredConfiguration:
+    def test_loads_go_through_the_memory_system(self):
+        space = AddressSpace()
+        programs = [walker_program(KERNEL_LAYOUT).program]
+        region = serialize_control_block(space, programs)
+        hierarchy = MemoryHierarchy(DEFAULT_CONFIG)
+        cycles = measured_configuration_cycles(hierarchy, region)
+        assert cycles > 0
+        assert hierarchy.stats.loads == region.size // 8
+
+    def test_configuration_amortized_over_bulk_probe(self):
+        """Section 4.3: 'the latency cost of configuring Widx is amortized
+        over the millions of hash table probes'."""
+        space = AddressSpace()
+        programs = [dispatcher_program(ROBUST_HASH_64,
+                                       MONETDB_LAYOUT).program,
+                    walker_program(MONETDB_LAYOUT).program,
+                    producer_program(8).program]
+        region = serialize_control_block(space, programs)
+        hierarchy = MemoryHierarchy(DEFAULT_CONFIG)
+        config_cycles = measured_configuration_cycles(hierarchy, region)
+        # Even a modest 10K-probe offload dwarfs configuration by >100x.
+        probe_cycles = 10_000 * 30.0
+        assert config_cycles * 100 < probe_cycles

@@ -1,0 +1,113 @@
+"""Tests for the Widx ISA definitions and program validation."""
+
+import pytest
+
+from repro.errors import AssemblerError, RegisterBudgetExceeded
+from repro.widx.isa import (Instruction, NUM_REGISTERS, Opcode, Register,
+                            UNIT_USAGE)
+from repro.widx.program import (DISPATCHER, PRODUCER, Program, UnitRole,
+                                WALKER)
+
+
+def test_table1_instruction_set_is_complete():
+    # Exactly the 15 Table 1 rows plus the two modelling additions.
+    names = {op.value for op in Opcode}
+    table1 = {"add", "and", "ba", "ble", "cmp", "cmp-le", "ld", "shl",
+              "shr", "st", "touch", "xor", "add-shf", "and-shf", "xor-shf"}
+    assert table1 <= names
+    assert names - table1 == {"emit", "halt"}
+
+
+def test_table1_usage_matrix():
+    # ST is producer-only; fused shift-ops are restricted per Table 1.
+    assert UNIT_USAGE[Opcode.ST] == frozenset("P")
+    assert UNIT_USAGE[Opcode.ADD_SHF] == frozenset("HW")
+    assert UNIT_USAGE[Opcode.AND_SHF] == frozenset("H")
+    assert UNIT_USAGE[Opcode.XOR_SHF] == frozenset("HW")
+    for opcode in (Opcode.ADD, Opcode.AND, Opcode.BA, Opcode.BLE,
+                   Opcode.CMP, Opcode.CMP_LE, Opcode.LD, Opcode.SHL,
+                   Opcode.SHR, Opcode.TOUCH, Opcode.XOR):
+        assert UNIT_USAGE[opcode] == frozenset("HWP"), opcode
+
+
+def test_register_bounds():
+    Register(0)
+    Register(NUM_REGISTERS - 1)
+    with pytest.raises(AssemblerError):
+        Register(NUM_REGISTERS)
+    with pytest.raises(AssemblerError):
+        Register(-1)
+
+
+def test_instruction_validation():
+    with pytest.raises(AssemblerError):
+        Instruction(Opcode.SHL, rd=Register(1), ra=Register(2), imm=64)
+    with pytest.raises(AssemblerError):
+        Instruction(Opcode.ADD_SHF, rd=Register(1), ra=Register(2),
+                    rb=Register(3), imm=99)
+    with pytest.raises(AssemblerError):
+        Instruction(Opcode.LD, rd=Register(1), ra=Register(2), imm=0,
+                    width=2)
+    with pytest.raises(AssemblerError):
+        Instruction(Opcode.EMIT, sources=())
+
+
+def test_role_names():
+    assert str(DISPATCHER) == "dispatcher"
+    assert str(WALKER) == "walker"
+    assert str(PRODUCER) == "producer"
+    with pytest.raises(AssemblerError):
+        UnitRole("X")
+
+
+def _program(role, instructions, **kwargs):
+    return Program(name="t", role=role, instructions=tuple(instructions),
+                   **kwargs)
+
+
+def test_program_rejects_st_outside_producer():
+    store = Instruction(Opcode.ST, ra=Register(1), imm=0, rb=Register(2))
+    with pytest.raises(AssemblerError, match="Table 1"):
+        _program(WALKER, [store])
+    _program(PRODUCER, [store])  # fine
+
+
+def test_program_rejects_unresolved_branch():
+    branch = Instruction(Opcode.BA, target=5)
+    halt = Instruction(Opcode.HALT)
+    with pytest.raises(AssemblerError, match="branch target"):
+        _program(WALKER, [branch, halt])
+
+
+def test_program_rejects_r0_constant():
+    halt = Instruction(Opcode.HALT)
+    with pytest.raises(AssemblerError, match="r0"):
+        _program(WALKER, [halt], constants={0: 5})
+
+
+def test_program_register_budget():
+    # A valid 32-register program is fine; the Register class itself stops
+    # anything beyond r31 (the architecture has no push/pop).
+    add = Instruction(Opcode.ADD, rd=Register(31), ra=Register(30),
+                      rb=Register(29))
+    program = _program(WALKER, [add])
+    assert program.static_instruction_count == 1
+    with pytest.raises((AssemblerError, RegisterBudgetExceeded)):
+        Register(32)
+
+
+def test_program_opcode_histogram():
+    instructions = [
+        Instruction(Opcode.ADD, rd=Register(1), ra=Register(1), imm=1),
+        Instruction(Opcode.ADD, rd=Register(1), ra=Register(1), imm=1),
+        Instruction(Opcode.HALT),
+    ]
+    program = _program(WALKER, instructions)
+    assert program.opcode_histogram() == {"add": 2, "halt": 1}
+    assert program.uses_opcode(Opcode.ADD)
+    assert not program.uses_opcode(Opcode.LD)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(AssemblerError):
+        _program(WALKER, [])

@@ -1,0 +1,307 @@
+"""Tests for the Widx unit interpreter (semantics and timing)."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import WidxFault
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import AddressSpace
+from repro.sim.engine import Engine
+from repro.sim.resources import BoundedQueue
+from repro.widx.assembler import assemble
+from repro.widx.unit import WidxUnit
+
+M64 = (1 << 64) - 1
+
+
+class Runner:
+    """Executes a single unit standalone (optionally with queues)."""
+
+    def __init__(self, source, config=None, in_items=None, out_capacity=64):
+        self.space = AddressSpace()
+        self.engine = Engine()
+        self.hierarchy = MemoryHierarchy(DEFAULT_CONFIG)
+        program = assemble(source)
+        self.in_queue = None
+        if in_items is not None:
+            self.in_queue = BoundedQueue(self.engine, max(1, len(in_items)))
+            for item in in_items:
+                self.in_queue.put(item)
+            self.in_queue.close()
+        self.out_queue = BoundedQueue(self.engine, out_capacity)
+        self.unit = WidxUnit("u", program, self.engine, self.hierarchy,
+                             self.space.memory, in_queue=self.in_queue,
+                             out_queue=self.out_queue)
+        if config:
+            self.unit.configure(config)
+
+    def run(self):
+        self.engine.process(self.unit.run())
+        self.engine.run()
+        return self.unit
+
+    def drain_out(self):
+        items = []
+        while len(self.out_queue):
+            event = self.out_queue.get()
+            items.append(event.value)
+        return items
+
+
+def test_alu_semantics_add_and_xor():
+    runner = Runner("""
+        .role H
+        .const r2 = 10
+        .const r3 = 0b1100
+          add r4, r2, r3
+          and r5, r3, #0b0110
+          xor r6, r3, #0b0110
+          emit r4, r5, r6
+    """)
+    unit = runner.run()
+    assert runner.drain_out() == [(22, 0b0100, 0b1010)]
+
+
+def test_add_wraps_at_64_bits():
+    runner = Runner(f"""
+        .role H
+        .const r2 = {M64}
+          add r3, r2, #1
+          emit r3
+    """)
+    runner.run()
+    assert runner.drain_out() == [(0,)]
+
+
+def test_negative_immediate_decrements():
+    runner = Runner("""
+        .role H
+        .const r2 = 5
+          add r2, r2, #-1
+          emit r2
+    """)
+    runner.run()
+    assert runner.drain_out() == [(4,)]
+
+
+def test_cmp_and_cmp_le():
+    runner = Runner("""
+        .role H
+        .const r2 = 7
+        .const r3 = 7
+        .const r4 = 9
+          cmp r5, r2, r3
+          cmp r6, r2, r4
+          cmp-le r7, r2, r4
+          cmp-le r8, r4, r2
+          emit r5, r6, r7, r8
+    """)
+    runner.run()
+    assert runner.drain_out() == [(1, 0, 1, 0)]
+
+
+def test_shifts_and_fused_ops():
+    runner = Runner("""
+        .role H
+        .const r2 = 0x0F0
+          shl r3, r2, #4
+          shr r4, r2, #4
+          add-shf r5, r2, r2, #1
+          xor-shf r6, r2, r2, #-4
+          and-shf r7, r2, r2, #0
+          emit r3, r4
+          emit r5, r6, r7
+    """)
+    runner.run()
+    first, second = runner.drain_out()
+    assert first == (0xF00, 0x0F)
+    assert second == (0x0F0 + 0x1E0, 0x0F0 ^ 0x0F, 0x0F0)
+
+
+def test_r0_is_hardwired_zero():
+    runner = Runner("""
+        .role H
+        .const r2 = 5
+          add r0, r2, r2
+          emit r0
+    """)
+    runner.run()
+    assert runner.drain_out() == [(0,)]
+
+
+def test_ble_branches_on_less_equal():
+    runner = Runner("""
+        .role H
+        .const r2 = 3
+        loop:
+          add r3, r3, #1
+          add r2, r2, #-1
+          ble r2, r0, done
+          ba loop
+        done:
+          emit r3
+    """)
+    runner.run()
+    assert runner.drain_out() == [(3,)]
+
+
+def test_load_reads_simulated_memory():
+    runner = Runner("""
+        .role W
+        .input r1
+          ld.8 r2, [r1+0]
+          ld.4 r3, [r1+8]
+          emit r2, r3
+    """, in_items=[(0,)])  # placeholder, patched below
+    region = runner.space.allocate("data", 64)
+    runner.space.memory.write_u64(region.base, 0xCAFEBABE)
+    runner.space.memory.write_u32(region.base + 8, 77)
+    # Re-point the input to the real region.
+    runner.in_queue._items.clear()
+    runner.in_queue._items.append((region.base,))
+    runner.run()
+    assert runner.drain_out() == [(0xCAFEBABE, 77)]
+
+
+def test_store_writes_memory_producer_only():
+    runner = Runner("""
+        .role P
+        .input r1
+        .persist r9
+          st.8 [r9+0], r1
+          add r9, r9, #8
+          halt
+    """, in_items=[(111,), (222,)])
+    region = runner.space.allocate("out", 64)
+    runner.unit.configure({9: region.base})
+    unit = runner.run()
+    assert runner.space.memory.read_u64(region.base) == 111
+    assert runner.space.memory.read_u64(region.base + 8) == 222
+    assert unit.stats.invocations == 2
+    assert unit.stats.stores == 2
+
+
+def test_touch_prefetches_without_blocking():
+    runner = Runner("""
+        .role H
+        .const r1 = 0x10000
+          touch [r1+0]
+          emit r1
+    """)
+    unit = runner.run()
+    assert unit.stats.touches == 1
+    assert runner.hierarchy.stats.l1d.prefetches == 1
+    # A touch never blocks: comp-only time.
+    assert unit.stats.cycles.mem == 0
+
+
+def test_load_miss_attributed_to_mem_cycles():
+    runner = Runner("""
+        .role W
+        .input r1
+          ld.8 r2, [r1+0]
+          halt
+    """, in_items=None)
+    region = runner.space.allocate("data", 64)
+    runner.in_queue = BoundedQueue(runner.engine, 1)
+    runner.in_queue.put((region.base,))
+    runner.in_queue.close()
+    runner.unit.in_queue = runner.in_queue
+    unit = runner.run()
+    assert unit.stats.cycles.mem > 50   # DRAM-bound load
+    assert unit.stats.cycles.tlb > 0    # cold translation
+
+
+def test_idle_time_counted_while_waiting_for_input():
+    engine = Engine()
+    space = AddressSpace()
+    hierarchy = MemoryHierarchy(DEFAULT_CONFIG)
+    program = assemble("""
+        .role W
+        .input r1
+          add r2, r1, #0
+          halt
+    """)
+    queue = BoundedQueue(engine, 2)
+    unit = WidxUnit("w", program, engine, hierarchy, space.memory,
+                    in_queue=queue)
+
+    def feeder():
+        yield 50
+        yield queue.put((1,))
+        queue.close()
+
+    engine.process(unit.run())
+    engine.process(feeder())
+    engine.run()
+    assert unit.stats.cycles.idle >= 50
+
+
+def test_emit_blocks_on_full_queue():
+    engine = Engine()
+    space = AddressSpace()
+    hierarchy = MemoryHierarchy(DEFAULT_CONFIG)
+    program = assemble("""
+        .role H
+        .const r1 = 1
+          emit r1
+          emit r1
+          emit r1
+    """)
+    out = BoundedQueue(engine, 1)
+    unit = WidxUnit("h", program, engine, hierarchy, space.memory,
+                    out_queue=out)
+
+    def slow_consumer():
+        yield 30
+        yield out.get()
+        yield 30
+        yield out.get()
+        yield out.get()
+
+    engine.process(unit.run())
+    engine.process(slow_consumer())
+    engine.run()
+    assert unit.stats.cycles.queue > 0
+    assert unit.stats.emitted == 3
+
+
+def test_emit_without_queue_faults():
+    runner = Runner("""
+        .role H
+        .const r1 = 1
+          emit r1
+    """)
+    runner.unit.out_queue = None
+    runner.engine.process(runner.unit.run())
+    with pytest.raises(WidxFault):
+        runner.engine.run()
+
+
+def test_wrong_input_arity_faults():
+    runner = Runner("""
+        .role W
+        .input r1, r2
+          halt
+    """, in_items=[(1,)])
+    runner.engine.process(runner.unit.run())
+    with pytest.raises(WidxFault):
+        runner.engine.run()
+
+
+def test_configure_rejects_r0():
+    runner = Runner(".role H\n halt")
+    with pytest.raises(WidxFault):
+        runner.unit.configure({0: 5})
+
+
+def test_instruction_and_invocation_counters():
+    runner = Runner("""
+        .role W
+        .input r1
+          add r2, r1, #1
+          halt
+    """, in_items=[(1,), (2,), (3,)])
+    unit = runner.run()
+    assert unit.stats.invocations == 3
+    assert unit.stats.instructions == 6

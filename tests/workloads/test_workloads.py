@@ -1,0 +1,146 @@
+"""Tests for the workload suites."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import WorkloadError
+from repro.workloads.hashjoin_kernel import (KERNEL_SIZES,
+                                             build_kernel_workload)
+from repro.workloads.queryspec import (IndexClass, QuerySpec,
+                                       build_query_index, derive_volumes)
+from repro.workloads.tpcds import TPCDS_QUERIES, TPCDS_SIMULATED
+from repro.workloads.tpch import TPCH_QUERIES, TPCH_SIMULATED
+
+
+class TestKernel:
+    def test_three_sizes_defined(self):
+        assert set(KERNEL_SIZES) == {"Small", "Medium", "Large"}
+
+    def test_locality_classes_preserved(self):
+        l1 = DEFAULT_CONFIG.l1d.size_bytes
+        llc = DEFAULT_CONFIG.llc.size_bytes
+        small = KERNEL_SIZES["Small"].tuples * 16 * 1.5
+        medium = KERNEL_SIZES["Medium"].tuples * 16 * 1.5
+        large = KERNEL_SIZES["Large"].tuples * 16 * 1.5
+        assert small < llc           # Small: cache resident
+        assert medium < 2 * llc      # Medium: around LLC capacity
+        assert large > 3 * llc       # Large: DRAM resident
+
+    def test_small_builds_and_probes(self):
+        index, probes = build_kernel_workload("Small", probe_count=200)
+        assert index.num_keys == 4096
+        assert len(probes.values) == 200
+        assert probes.is_materialized
+        # Full-match probe stream: every probe finds its tuple.
+        for key in probes.values[:50]:
+            assert index.probe(int(key)), key
+
+    def test_kernel_uses_listing1_hash(self):
+        index, _ = build_kernel_workload("Small", probe_count=10)
+        assert index.hash_spec.compute_cycles == 2  # mask ^ prime
+
+    def test_kernel_bucket_depth_up_to_two(self):
+        index, _ = build_kernel_workload("Small", probe_count=10)
+        stats = index.stats()
+        assert 1.5 < stats.nodes_per_used_bucket < 3.0
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_kernel_workload("Huge", probe_count=10)
+
+    def test_deterministic_by_seed(self):
+        a, _ = build_kernel_workload("Small", probe_count=10, seed=1)
+        b, _ = build_kernel_workload("Small", probe_count=10, seed=1)
+        assert a.stats().used_buckets == b.stats().used_buckets
+
+
+class TestSuites:
+    def test_figure2a_query_counts(self):
+        assert len(TPCH_QUERIES) == 16   # >5% indexing time (paper §5)
+        assert len(TPCDS_QUERIES) == 9   # the selected TPC-DS subset
+
+    def test_simulated_subsets_match_paper(self):
+        assert [q.number for q in TPCH_SIMULATED] == [2, 11, 17, 19, 20, 22]
+        assert [q.number for q in TPCDS_SIMULATED] == [5, 37, 40, 52, 64, 82]
+
+    def test_index_fraction_aggregates_match_paper(self):
+        tpch = [q.index_fraction for q in TPCH_QUERIES]
+        tpcds = [q.index_fraction for q in TPCDS_QUERIES]
+        assert 0.30 < sum(tpch) / len(tpch) < 0.42      # paper: 35% avg
+        assert max(tpch) == pytest.approx(0.94)         # paper: 94% (q17)
+        assert 0.40 < sum(tpcds) / len(tpcds) < 0.50    # paper: 45% avg
+        assert max(tpcds) == pytest.approx(0.77)        # paper: 77% (q64)
+
+    def test_query37_anchor(self):
+        q37 = [q for q in TPCDS_QUERIES if q.number == 37][0]
+        assert q37.index_fraction == pytest.approx(0.29)
+        assert q37.index_class is IndexClass.L1
+
+    def test_query20_has_wide_keys(self):
+        q20 = [q for q in TPCH_QUERIES if q.number == 20][0]
+        assert q20.key_bytes == 8
+        assert q20.hash_spec.name == "robust64"
+
+    def test_memory_intensive_tpch_queries_are_dram_class(self):
+        for number in (19, 20, 22):
+            spec = [q for q in TPCH_QUERIES if q.number == number][0]
+            assert spec.index_class is IndexClass.DRAM
+
+    def test_l1_resident_tpcds_queries(self):
+        for number in (5, 37, 64, 82):
+            spec = [q for q in TPCDS_QUERIES if q.number == number][0]
+            assert spec.index_class is IndexClass.L1
+
+    def test_fractions_sum_to_one(self):
+        for spec in TPCH_QUERIES + TPCDS_QUERIES:
+            assert sum(spec.fractions) == pytest.approx(1.0)
+
+
+class TestBuildQueryIndex:
+    def test_builds_indirect_index(self):
+        spec = TPCDS_SIMULATED[0]
+        index, probes = build_query_index(spec, probe_count=100)
+        assert index.layout.indirect
+        assert index.num_keys == spec.index_keys
+
+    def test_probe_match_fraction_respected(self):
+        spec = TPCH_SIMULATED[0]
+        index, probes = build_query_index(spec, probe_count=2000)
+        hits = sum(1 for key in probes.values if index.probe(int(key)))
+        assert abs(hits / 2000 - spec.match_fraction) < 0.05
+
+    def test_l1_class_indexes_fit_l1(self):
+        for spec in TPCDS_SIMULATED:
+            if spec.index_class is IndexClass.L1:
+                index, _ = build_query_index(spec, probe_count=10)
+                assert index.footprint_bytes <= \
+                    2 * DEFAULT_CONFIG.l1d.size_bytes
+
+    def test_dram_class_indexes_exceed_llc(self):
+        spec = [q for q in TPCH_SIMULATED if q.number == 19][0]
+        index, _ = build_query_index(spec, probe_count=10)
+        assert index.footprint_bytes > DEFAULT_CONFIG.llc.size_bytes
+
+
+class TestDeriveVolumes:
+    def test_forward_computation_reproduces_fractions(self):
+        for spec in (TPCH_QUERIES[0], TPCDS_QUERIES[1], TPCH_QUERIES[10]):
+            volumes = derive_volumes(spec)
+            cycles = volumes.breakdown(
+                probe_cycles_per_tuple=spec.index_class.baseline_probe_cycles)
+            total = sum(cycles.values())
+            for fraction, category in zip(spec.fractions,
+                                          ("index", "scan", "sortjoin",
+                                           "other")):
+                assert cycles[category] / total == pytest.approx(
+                    fraction, abs=0.05), (spec.label, category)
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            QuerySpec(benchmark="tpch", number=1, index_keys=10,
+                      index_class=IndexClass.L1,
+                      fractions=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(WorkloadError):
+            QuerySpec(benchmark="oltp", number=1, index_keys=10,
+                      index_class=IndexClass.L1,
+                      fractions=(0.25, 0.25, 0.25, 0.25))
