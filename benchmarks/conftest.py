@@ -13,10 +13,15 @@ import os
 
 import pytest
 
+from repro.harness.cachestore import CacheStore
 from repro.harness.report import Report
 from repro.harness.runner import MeasurementCache, RunSettings
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: Measurements persist here across benchmark sessions; delete the
+#: directory (or set REPRO_BENCH_NO_CACHE=1) to force fresh simulation.
+CACHE_DIR = os.path.join(OUTPUT_DIR, "cache")
 
 
 @pytest.fixture(scope="session")
@@ -24,9 +29,16 @@ def cache() -> MeasurementCache:
     """One measurement cache for the whole benchmark session.
 
     Figure 10 reuses Figure 9's runs and Figure 11 reuses both, exactly as
-    the paper derives its summary figures from the per-query results.
+    the paper derives its summary figures from the per-query results.  The
+    cache is backed by a persistent store under ``benchmarks/output/cache``
+    so re-running a subset of the figure benchmarks reuses earlier
+    sessions' measurements.
     """
-    return MeasurementCache(runs=RunSettings(probes=3000, warmup=600))
+    store = None
+    if not os.environ.get("REPRO_BENCH_NO_CACHE"):
+        store = CacheStore(CACHE_DIR)
+    return MeasurementCache(runs=RunSettings(probes=3000, warmup=600),
+                            store=store)
 
 
 @pytest.fixture(scope="session")

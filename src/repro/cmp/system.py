@@ -177,6 +177,10 @@ def run_multicore_offload(index: HashIndex, probe_column: Column, *,
         region = out_regions[core_index]
         payloads.extend(space.memory.read_u64(region.base + 8 * i)
                         for i in range(result.matches))
+    # Output buffers are scratch: release them (LIFO) so repeated runs on
+    # one workload space see identical address layouts.
+    for region in reversed(out_regions):
+        space.release(region)
 
     validated: Optional[bool] = None
     if validate:

@@ -25,9 +25,26 @@ drive all results are preserved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from .errors import ConfigError
+
+
+def stable_json(value: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace, exact float round-trip.
+
+    ``json`` serializes floats with ``repr``, which round-trips exactly, so
+    two equal configurations always produce byte-identical text — the
+    property the persistent measurement cache keys rely on.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: object) -> str:
+    """Hex SHA-256 of a value's canonical JSON."""
+    return hashlib.sha256(stable_json(value).encode("utf-8")).hexdigest()
 
 
 def _require(cond: bool, message: str) -> None:
@@ -224,6 +241,19 @@ class SystemConfig:
     def with_widx(self, **kwargs: object) -> "SystemConfig":
         """A copy of this config with Widx fields overridden."""
         return replace(self, widx=replace(self.widx, **kwargs))
+
+    def canonical_dict(self) -> dict:
+        """A plain nested dict of every parameter, for stable serialization."""
+        return asdict(self)
+
+    def cache_key(self) -> str:
+        """Content hash identifying this exact configuration.
+
+        Equal configs hash equally regardless of how they were built
+        (``SystemConfig()`` vs ``replace``-chains), so the persistent
+        measurement cache survives process restarts and config round-trips.
+        """
+        return stable_digest(self.canonical_dict())
 
 
 DEFAULT_CONFIG = SystemConfig()

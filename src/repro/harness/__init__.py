@@ -6,13 +6,19 @@ paper plots.  The benchmarks under ``benchmarks/`` call these drivers and
 print the reports; EXPERIMENTS.md records paper-vs-measured for each.
 """
 
+from .campaign import Campaign, MeasurementPoint
+from .cachestore import CacheStore
 from .report import Report
-from .runner import (MeasurementCache, measure_kernel, measure_query,
-                     geomean, DEFAULT_RUNS)
+from .runner import (MeasurementCache, RunSettings, measure_kernel,
+                     measure_query, geomean, DEFAULT_RUNS)
 
 __all__ = [
     "Report",
+    "Campaign",
+    "MeasurementPoint",
+    "CacheStore",
     "MeasurementCache",
+    "RunSettings",
     "measure_kernel",
     "measure_query",
     "geomean",

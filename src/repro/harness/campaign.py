@@ -1,0 +1,204 @@
+"""Campaign layer: enumerate, parallelize and prefetch measurements.
+
+A *campaign* is the set of (workload x core x walker-count) measurement
+points an experiment selection needs.  Figures share points (Figure 10's
+speedups reuse Figure 9's runs; Figure 11 aggregates both), so the CLI
+first asks every selected driver to declare its points, dedups them, and
+prefetches the misses — optionally across worker processes — before any
+driver runs.  The drivers then execute unchanged against a warm
+:class:`~repro.harness.runner.MeasurementCache`.
+
+**Determinism.**  The simulator is deterministic given a seed, and each
+measurement is hermetic: offloads release their scratch output regions
+(see :meth:`repro.mem.layout.AddressSpace.release`), so a point measures
+identically whether it runs first, last, alone or in another process.
+Serial, parallel and cache-hit runs therefore produce bit-identical
+reports.  Points are still grouped per workload — one index build serves
+the whole group — and measured in the drivers' canonical order (baselines
+first, then Widx by ascending walker count).
+
+Parallel results cross process boundaries as the same JSON payloads the
+persistent store uses (:mod:`repro.harness.cachestore`); JSON floats
+round-trip exactly, so no precision is lost on the way back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..workloads.queryspec import QuerySpec
+from .cachestore import decode_measurement, encode_measurement
+from .runner import MeasurementCache, RunSettings
+
+#: Baselines measure before offloads; OoO before in-order (driver order).
+_CORE_ORDER = {"ooo": 0, "inorder": 1}
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """One simulator run a figure needs: a workload on a core or on Widx."""
+
+    kind: str          # "kernel" | "query"
+    name: str          # kernel size ("Small") or query id ("tpch:20")
+    op: str            # "baseline" | "widx"
+    core: str = ""     # baseline only: "ooo" | "inorder"
+    walkers: int = 0   # widx only
+    mode: str = ""     # widx only: Widx organization
+
+    def cache_tuple(self) -> Tuple:
+        """The :class:`MeasurementCache` key this point populates."""
+        if self.op == "baseline":
+            return ("baseline", self.kind, self.name, self.core)
+        return ("widx", self.kind, self.name, self.walkers, self.mode)
+
+    @property
+    def workload(self) -> Tuple[str, str]:
+        return (self.kind, self.name)
+
+    def order_key(self) -> Tuple:
+        """Canonical within-workload measurement order (see module doc)."""
+        if self.op == "baseline":
+            return (0, _CORE_ORDER.get(self.core, 99), self.core)
+        return (1, self.walkers, self.mode)
+
+
+def baseline_point(kind: str, name: str, core: str) -> MeasurementPoint:
+    """A baseline-core measurement point."""
+    return MeasurementPoint(kind=kind, name=name, op="baseline", core=core)
+
+
+def widx_point(kind: str, name: str, walkers: int,
+               mode: str = "shared") -> MeasurementPoint:
+    """A Widx-offload measurement point."""
+    return MeasurementPoint(kind=kind, name=name, op="widx",
+                            walkers=walkers, mode=mode)
+
+
+def kernel_points(sizes: Iterable[str], walker_counts: Iterable[int],
+                  ) -> List[MeasurementPoint]:
+    """Points for the hash-join kernel figures (8a/8b)."""
+    points = []
+    for size in sizes:
+        points.append(baseline_point("kernel", size, "ooo"))
+        for walkers in walker_counts:
+            points.append(widx_point("kernel", size, walkers))
+    return points
+
+
+def query_points(specs: Iterable[QuerySpec], walker_counts: Iterable[int],
+                 include_inorder: bool = False) -> List[MeasurementPoint]:
+    """Points for the DSS-query figures (9/10/11)."""
+    points = []
+    for spec in specs:
+        name = f"{spec.benchmark}:{spec.number}"
+        points.append(baseline_point("query", name, "ooo"))
+        if include_inorder:
+            points.append(baseline_point("query", name, "inorder"))
+        for walkers in walker_counts:
+            points.append(widx_point("query", name, walkers))
+    return points
+
+
+def dedup_points(points: Iterable[MeasurementPoint]) -> List[MeasurementPoint]:
+    """Unique points, first occurrence wins, order preserved."""
+    seen = set()
+    unique = []
+    for point in points:
+        if point not in seen:
+            seen.add(point)
+            unique.append(point)
+    return unique
+
+
+def group_by_workload(points: Iterable[MeasurementPoint],
+                      ) -> List[List[MeasurementPoint]]:
+    """Points grouped per workload, each group canonically ordered."""
+    groups: Dict[Tuple[str, str], List[MeasurementPoint]] = {}
+    for point in dedup_points(points):
+        groups.setdefault(point.workload, []).append(point)
+    return [sorted(group, key=MeasurementPoint.order_key)
+            for _workload, group in sorted(groups.items())]
+
+
+@dataclass
+class CampaignResult:
+    """What a prefetch pass did, for reporting."""
+
+    total_points: int = 0
+    cached_points: int = 0    # already in memory or the persistent store
+    measured_points: int = 0  # simulated this pass
+    jobs: int = 1
+
+    def summary(self) -> str:
+        """One-line human-readable account (printed by the CLI)."""
+        return (f"campaign: {self.total_points} points, "
+                f"{self.cached_points} cached, "
+                f"{self.measured_points} measured, jobs={self.jobs}")
+
+
+def _measure_group(args: Tuple[SystemConfig, RunSettings,
+                               Sequence[MeasurementPoint]]):
+    """Worker: measure one workload's points in canonical order.
+
+    Runs in a separate process; results travel back as JSON payloads
+    (module-level so it pickles under every multiprocessing start method).
+    """
+    config, runs, points = args
+    cache = MeasurementCache(config=config, runs=runs)
+    return [(point, encode_measurement(_measure_point(cache, point)))
+            for point in points]
+
+
+def _measure_point(cache: MeasurementCache, point: MeasurementPoint):
+    if point.op == "baseline":
+        return cache.baseline(point.kind, point.name, point.core)
+    return cache.widx(point.kind, point.name, point.walkers, point.mode)
+
+
+def default_jobs() -> int:
+    """The CLI default for ``--jobs``: every available core."""
+    return os.cpu_count() or 1
+
+
+class Campaign:
+    """Prefetches a point set into a :class:`MeasurementCache`."""
+
+    def __init__(self, cache: MeasurementCache) -> None:
+        self.cache = cache
+
+    def run(self, points: Iterable[MeasurementPoint],
+            jobs: Optional[int] = None) -> CampaignResult:
+        """Ensure every point is cached; fan misses out over ``jobs``."""
+        unique = dedup_points(points)
+        jobs = default_jobs() if jobs is None else max(1, jobs)
+        result = CampaignResult(total_points=len(unique), jobs=jobs)
+
+        # fetch() pulls persistent-store hits into memory as a side effect.
+        pending = [p for p in unique if self.cache.fetch(p.cache_tuple()) is None]
+        result.cached_points = len(unique) - len(pending)
+        result.measured_points = len(pending)
+        if not pending:
+            return result
+
+        groups = group_by_workload(pending)
+        if jobs == 1 or len(groups) == 1:
+            for group in groups:
+                for point in group:
+                    _measure_point(self.cache, point)
+            return result
+
+        tasks = [(self.cache.config, self.cache.runs, group)
+                 for group in groups]
+        workers = min(jobs, len(tasks))
+        # fork (where available) shares the imported modules; spawn also
+        # works since the worker and its arguments are all picklable.
+        with multiprocessing.Pool(processes=workers) as pool:
+            for group_results in pool.imap_unordered(_measure_group, tasks):
+                for point, payload in group_results:
+                    self.cache.install(point.cache_tuple(),
+                                       decode_measurement(payload))
+        return result

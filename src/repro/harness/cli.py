@@ -5,7 +5,13 @@ Usage::
     python -m repro --list
     python -m repro --figure 8b
     python -m repro --figure 10 --probes 3000 --warmup 600
-    python -m repro --all
+    python -m repro --all --jobs 4 --cache-dir ~/.cache/repro
+
+Before any simulated figure runs, a campaign pre-pass enumerates every
+measurement point the selection needs, dedups the overlap between figures,
+and fans the misses out over ``--jobs`` worker processes.  With
+``--cache-dir`` the measurements persist on disk, so a repeated or resumed
+invocation reports cache hits instead of re-simulating.
 """
 
 from __future__ import annotations
@@ -13,31 +19,35 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
+from .campaign import Campaign, MeasurementPoint, default_jobs
+from .cachestore import CacheStore
 from .report import Report
 from .runner import MeasurementCache, RunSettings
 from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11
 
-#: Experiment registry: name -> (needs_measurements, runner).
+#: Experiment registry: name -> (needs_measurements, runner, points).
+#: ``points`` declares the measurement points the runner will consume so
+#: the campaign pre-pass can prefetch them; ``None`` for analytic figures.
 EXPERIMENTS: Dict[str, tuple] = {
-    "2a": (False, lambda cache: fig2.run_fig2a()),
-    "2b": (False, lambda cache: fig2.run_fig2b()),
-    "4a": (False, lambda cache: fig4.run_fig4a()),
-    "4b": (False, lambda cache: fig4.run_fig4b()),
-    "4c": (False, lambda cache: fig4.run_fig4c()),
-    "5": (False, lambda cache: fig5.run_fig5()),
-    "8a": (True, fig8.run_fig8a),
-    "8b": (True, fig8.run_fig8b),
-    "9a": (True, fig9.run_fig9a),
-    "9b": (True, fig9.run_fig9b),
-    "10": (True, fig10.run_fig10),
-    "query-level": (True, fig10.run_query_level),
-    "11": (True, fig11.run_fig11),
-    "area": (False, lambda cache: fig11.run_area()),
+    "2a": (False, lambda cache: fig2.run_fig2a(), None),
+    "2b": (False, lambda cache: fig2.run_fig2b(), None),
+    "4a": (False, lambda cache: fig4.run_fig4a(), None),
+    "4b": (False, lambda cache: fig4.run_fig4b(), None),
+    "4c": (False, lambda cache: fig4.run_fig4c(), None),
+    "5": (False, lambda cache: fig5.run_fig5(), None),
+    "8a": (True, fig8.run_fig8a, fig8.points_fig8),
+    "8b": (True, fig8.run_fig8b, fig8.points_fig8),
+    "9a": (True, fig9.run_fig9a, fig9.points_fig9a),
+    "9b": (True, fig9.run_fig9b, fig9.points_fig9b),
+    "10": (True, fig10.run_fig10, fig10.points_fig10),
+    "query-level": (True, fig10.run_query_level, fig10.points_query_level),
+    "11": (True, fig11.run_fig11, fig11.points_fig11),
+    "area": (False, lambda cache: fig11.run_area(), None),
 }
 
-_FAST = {name for name, (needs, _) in EXPERIMENTS.items() if not needs}
+_FAST = {name for name, (needs, _, _) in EXPERIMENTS.items() if not needs}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="warm-up probes excluded from measurement")
     parser.add_argument("--seed", type=int, default=42,
                         help="workload generation seed")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the measurement campaign "
+                             "(default: all cores)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist measurements under DIR; repeated runs "
+                             "reuse them instead of re-simulating")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir (measure everything fresh)")
     return parser
 
 
@@ -68,7 +86,7 @@ def list_experiments() -> str:
     """Human-readable list of experiment ids and kinds."""
     lines = ["available experiments:"]
     for name in sorted(EXPERIMENTS, key=_sort_key):
-        needs, _ = EXPERIMENTS[name]
+        needs, _, _ = EXPERIMENTS[name]
         kind = "simulation" if needs else "analytic"
         lines.append(f"  {name:<12} ({kind})")
     return "\n".join(lines)
@@ -79,13 +97,35 @@ def _sort_key(name: str):
     return (int(digits) if digits else 99, name)
 
 
+def campaign_points(names: List[str]) -> List[MeasurementPoint]:
+    """Every measurement point the named experiments declare (with dups)."""
+    points: List[MeasurementPoint] = []
+    for name in names:
+        _needs, _runner, declare = EXPERIMENTS[name]
+        if declare is not None:
+            points.extend(declare())
+    return points
+
+
 def run_experiments(names: List[str], settings: RunSettings,
-                    out=sys.stdout) -> List[Report]:
-    """Run the named experiments, printing each report."""
-    cache = MeasurementCache(runs=settings)
+                    out=sys.stdout, store: Optional[CacheStore] = None,
+                    jobs: int = 1) -> List[Report]:
+    """Run the named experiments, printing each report.
+
+    A campaign pre-pass prefetches every declared measurement point
+    (parallel across workloads when ``jobs > 1``) so the figure drivers
+    below only read the warm cache.
+    """
+    cache = MeasurementCache(runs=settings, store=store)
+    points = campaign_points(names)
+    if points:
+        started = time.time()
+        result = Campaign(cache).run(points, jobs=jobs)
+        elapsed = time.time() - started
+        print(f"[{result.summary()}, {elapsed:.1f}s]\n", file=out)
     reports = []
     for name in names:
-        _needs, runner = EXPERIMENTS[name]
+        _needs, runner, _points = EXPERIMENTS[name]
         started = time.time()
         report = runner(cache)
         elapsed = time.time() - started
@@ -116,9 +156,16 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if args.probes <= args.warmup:
         print("error: --probes must exceed --warmup", file=out)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=out)
+        return 2
     settings = RunSettings(probes=args.probes, warmup=args.warmup,
                            seed=args.seed)
-    run_experiments(names, settings, out=out)
+    store = None
+    if args.cache_dir and not args.no_cache:
+        store = CacheStore(args.cache_dir)
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    run_experiments(names, settings, out=out, store=store, jobs=jobs)
     return 0
 
 

@@ -18,10 +18,22 @@ from typing import Iterable, List
 from ..workloads.queryspec import QuerySpec
 from ..workloads.tpcds import TPCDS_SIMULATED
 from ..workloads.tpch import TPCH_SIMULATED
+from .campaign import MeasurementPoint, query_points
 from .report import Report
 from .runner import MeasurementCache, geomean, measure_query
 
 SIMULATED: List[QuerySpec] = TPCH_SIMULATED + TPCDS_SIMULATED
+
+
+def points_fig10(walker_counts: Iterable[int] = (1, 2, 4),
+                 ) -> List[MeasurementPoint]:
+    """Measurement points Figure 10 needs."""
+    return query_points(SIMULATED, walker_counts)
+
+
+def points_query_level(walkers: int = 4) -> List[MeasurementPoint]:
+    """Measurement points the Section 6.2 projection needs."""
+    return query_points(SIMULATED, [walkers])
 
 
 def run_fig10(cache: MeasurementCache,

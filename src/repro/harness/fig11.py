@@ -20,10 +20,16 @@ from ..energy.power import PowerModel
 from ..workloads.queryspec import QuerySpec
 from ..workloads.tpcds import TPCDS_SIMULATED
 from ..workloads.tpch import TPCH_SIMULATED
+from .campaign import MeasurementPoint, query_points
 from .report import Report
 from .runner import MeasurementCache, geomean, measure_query
 
 SIMULATED: List[QuerySpec] = TPCH_SIMULATED + TPCDS_SIMULATED
+
+
+def points_fig11(walkers: int = 4) -> List[MeasurementPoint]:
+    """Measurement points Figure 11 needs (adds the in-order baseline)."""
+    return query_points(SIMULATED, [walkers], include_inorder=True)
 
 
 def measured_runtimes(cache: MeasurementCache, walkers: int = 4,

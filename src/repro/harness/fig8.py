@@ -16,10 +16,18 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from .campaign import MeasurementPoint, kernel_points
 from .report import Report
 from .runner import MeasurementCache, geomean, measure_kernel
 
 KERNEL_ORDER = ("Small", "Medium", "Large")
+
+
+def points_fig8(sizes: Iterable[str] = KERNEL_ORDER,
+                walker_counts: Iterable[int] = (1, 2, 4),
+                ) -> "list[MeasurementPoint]":
+    """Measurement points Figures 8a/8b need (identical for both)."""
+    return kernel_points(sizes, walker_counts)
 
 
 def run_fig8a(cache: MeasurementCache,

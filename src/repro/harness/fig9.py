@@ -16,8 +16,21 @@ from typing import Iterable, List
 from ..workloads.queryspec import QuerySpec
 from ..workloads.tpcds import TPCDS_SIMULATED
 from ..workloads.tpch import TPCH_SIMULATED
+from .campaign import MeasurementPoint, query_points
 from .report import Report
 from .runner import MeasurementCache, measure_query
+
+
+def points_fig9a(walker_counts: Iterable[int] = (1, 2, 4),
+                 ) -> "List[MeasurementPoint]":
+    """Measurement points Figure 9a needs."""
+    return query_points(TPCH_SIMULATED, walker_counts)
+
+
+def points_fig9b(walker_counts: Iterable[int] = (1, 2, 4),
+                 ) -> "List[MeasurementPoint]":
+    """Measurement points Figure 9b needs."""
+    return query_points(TPCDS_SIMULATED, walker_counts)
 
 
 def _run(cache: MeasurementCache, queries: List[QuerySpec], title: str,

@@ -3,22 +3,33 @@
 Building a scaled index takes seconds and several figures reuse the same
 measurements (Figure 10's speedups come from Figure 9's runs; Figure 11
 aggregates both), so measurements are memoized in a process-wide
-:class:`MeasurementCache`.
+:class:`MeasurementCache`.  The cache can additionally be backed by a
+persistent :class:`~repro.harness.cachestore.CacheStore`: on an in-memory
+miss the store is consulted first, and freshly measured points are written
+back, so repeated or resumed campaigns are near-instant.
+
+Cache keys are content hashes over the full :class:`SystemConfig`, the
+:class:`RunSettings` and the measurement point (see :func:`measurement_key`)
+— never positional, so a store directory can be shared across
+configurations, seeds and probe volumes without collisions.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
-from ..config import SystemConfig, DEFAULT_CONFIG
+from ..config import SystemConfig, DEFAULT_CONFIG, stable_digest
 from ..cpu.timing import CoreTimingResult, measure_indexing
+from ..errors import ConfigError
 from ..mem.layout import AddressSpace
 from ..widx.offload import OffloadOutcome, offload_probe
 from ..widx.unit import UnitCycleBreakdown
 from ..workloads.hashjoin_kernel import build_kernel_workload
 from ..workloads.queryspec import QuerySpec, build_query_index
+from .cachestore import (CacheDecodeError, CacheStore, decode_measurement,
+                         encode_measurement)
 
 
 @dataclass(frozen=True)
@@ -29,6 +40,18 @@ class RunSettings:
     warmup: int = 600
     seed: int = 42
 
+    def __post_init__(self) -> None:
+        # Mirrors the CLI's --probes/--warmup guard: direct constructors
+        # must not be able to produce a zero/negative measured count.
+        if self.probes <= 0:
+            raise ConfigError(f"probes must be positive, got {self.probes}")
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be >= 0, got {self.warmup}")
+        if self.warmup >= self.probes:
+            raise ConfigError(
+                f"probes ({self.probes}) must exceed warmup ({self.warmup}); "
+                f"nothing would be measured")
+
     @property
     def measured(self) -> int:
         return self.probes - self.warmup
@@ -38,6 +61,22 @@ DEFAULT_RUNS = RunSettings()
 
 #: A lighter setting for unit tests and quick sanity runs.
 QUICK_RUNS = RunSettings(probes=1_200, warmup=300)
+
+
+def measurement_key(config: SystemConfig, runs: RunSettings,
+                    point: Tuple) -> str:
+    """Stable content hash identifying one measurement.
+
+    ``point`` is the in-memory cache tuple, e.g. ``("baseline", "kernel",
+    "Small", "ooo")`` or ``("widx", "query", "tpch:20", 4, "shared")``.
+    The hash covers the complete system configuration and run settings, so
+    any parameter change re-measures instead of aliasing.
+    """
+    return stable_digest({
+        "config": config.canonical_dict(),
+        "runs": asdict(runs),
+        "point": list(point),
+    })
 
 
 @dataclass
@@ -61,15 +100,24 @@ class WorkloadMeasurement:
 
 
 class MeasurementCache:
-    """Memoizes workload builds and measurements across figure drivers."""
+    """Memoizes workload builds and measurements across figure drivers.
+
+    With a ``store``, the memory cache is write-through: misses consult the
+    store before simulating, and fresh measurements are persisted.  A
+    corrupt or stale store entry is silently discarded and re-measured.
+    """
 
     def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
-                 runs: RunSettings = DEFAULT_RUNS) -> None:
+                 runs: RunSettings = DEFAULT_RUNS,
+                 store: Optional[CacheStore] = None) -> None:
         self.config = config
         self.runs = runs
+        self.store = store
         self._kernel_workloads: Dict[str, tuple] = {}
         self._query_workloads: Dict[str, tuple] = {}
         self._measurements: Dict[Tuple, object] = {}
+        self.measured_points = 0   # simulated in this process
+        self.store_hits = 0        # loaded from the persistent store
 
     # --- workload construction (cached) --------------------------------
 
@@ -88,31 +136,66 @@ class MeasurementCache:
                 spec, probe_count=self.runs.probes, seed=self.runs.seed)
         return self._query_workloads[key]
 
+    # --- cache plumbing -------------------------------------------------
+
+    def point_key(self, point: Tuple) -> str:
+        """The persistent-store key for one in-memory cache tuple."""
+        return measurement_key(self.config, self.runs, point)
+
+    def fetch(self, point: Tuple):
+        """A cached result (memory, then store), or ``None``."""
+        if point in self._measurements:
+            return self._measurements[point]
+        if self.store is not None:
+            payload = self.store.get(self.point_key(point))
+            if payload is not None:
+                try:
+                    result = decode_measurement(payload)
+                except CacheDecodeError:
+                    return None  # treat like corruption: re-measure
+                self._measurements[point] = result
+                self.store_hits += 1
+                return result
+        return None
+
+    def install(self, point: Tuple, result: object,
+                persist: bool = True) -> None:
+        """Adopt a result (measured here or by a campaign worker)."""
+        self._measurements[point] = result
+        if persist and self.store is not None:
+            self.store.put(self.point_key(point), encode_measurement(result))
+
     # --- measurements (cached) ------------------------------------------
 
     def baseline(self, kind: str, name: str, core: str) -> CoreTimingResult:
         """Measure (or reuse) a baseline core on one workload."""
-        key = ("baseline", kind, name, core)
-        if key not in self._measurements:
+        point = ("baseline", kind, name, core)
+        result = self.fetch(point)
+        if result is None:
             index, probes = (self.kernel_workload(name) if kind == "kernel"
                              else self.query_workload(self._spec_by_name(name)))
-            self._measurements[key] = measure_indexing(
+            result = measure_indexing(
                 index, probes, core=core, config=self.config,
                 warmup_probes=self.runs.warmup,
                 measure_probes=self.runs.measured)
-        return self._measurements[key]  # type: ignore[return-value]
+            self.measured_points += 1
+            self.install(point, result)
+        return result  # type: ignore[return-value]
 
     def widx(self, kind: str, name: str, walkers: int,
              mode: str = "shared") -> OffloadOutcome:
         """Measure (or reuse) a Widx offload on one workload."""
-        key = ("widx", kind, name, walkers, mode)
-        if key not in self._measurements:
+        point = ("widx", kind, name, walkers, mode)
+        result = self.fetch(point)
+        if result is None:
             index, probes = (self.kernel_workload(name) if kind == "kernel"
                              else self.query_workload(self._spec_by_name(name)))
             config = self.config.with_widx(num_walkers=walkers, mode=mode)
-            self._measurements[key] = offload_probe(
+            result = offload_probe(
                 index, probes, config=config, probes=self.runs.probes)
-        return self._measurements[key]  # type: ignore[return-value]
+            self.measured_points += 1
+            self.install(point, result)
+        return result  # type: ignore[return-value]
 
     def _spec_by_name(self, name: str) -> QuerySpec:
         from ..workloads.tpch import TPCH_QUERIES
@@ -149,8 +232,14 @@ def measure_query(cache: MeasurementCache, spec: QuerySpec,
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean (raises on an empty sequence)."""
+    """Geometric mean (raises on an empty sequence or non-positive value)."""
     values = list(values)
     if not values:
         raise ValueError("geomean of nothing")
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(
+                f"geomean requires positive values, got {value!r}")
+        total += math.log(value)
+    return math.exp(total / len(values))

@@ -48,6 +48,23 @@ class AddressSpace:
         self._ordered.append(region)
         return region
 
+    def release(self, region: Region) -> None:
+        """Free the most recent allocation, rewinding the break (LIFO only).
+
+        Scratch regions — Widx output buffers — are released after use so
+        the next allocation on this space lands at the same base address.
+        That keeps each measurement hermetic: a workload's Nth offload sees
+        exactly the address layout its first offload saw, which is what
+        lets the campaign cache measure points in any order (or in
+        parallel) and still produce bit-identical results.
+        """
+        if not self._ordered or self._ordered[-1] != region:
+            raise ValueError(
+                f"region {region.name!r} is not the most recent allocation")
+        self._ordered.pop()
+        del self._regions[region.name]
+        self.memory.sbrk_rewind(region.base)
+
     def region(self, name: str) -> Region:
         """Look up a region by name."""
         return self._regions[name]

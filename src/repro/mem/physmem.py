@@ -55,6 +55,23 @@ class PhysicalMemory:
         self._brk = end
         return base
 
+    def sbrk_rewind(self, base: int) -> None:
+        """Roll the break back to ``base``, undoing the latest allocations.
+
+        The released range is zeroed so a subsequent :meth:`sbrk` hands out
+        memory indistinguishable from a fresh extension — scratch buffers
+        (Widx output regions) can be released and reallocated without the
+        simulation observing reuse.
+        """
+        if not self._base <= base <= self._brk:
+            raise ValueError(
+                f"cannot rewind break to {base:#x}: outside "
+                f"[{self._base:#x}, {self._brk:#x}]")
+        start = base - self._base
+        end = self._brk - self._base
+        self._store[start:end] = b"\x00" * (end - start)
+        self._brk = base
+
     def _offset(self, addr: int, size: int) -> int:
         if addr == NULL_PTR:
             raise SegmentationFault("NULL pointer dereference")

@@ -214,7 +214,15 @@ class BoundedQueue:
         return len(self._items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        """Enqueue ``item``; the returned event fires when it is accepted."""
+        """Enqueue ``item``; the returned event fires when it is accepted.
+
+        Raises :class:`SimulationError` if the queue is closed: a producer
+        must never silently drop items into a stream consumers have already
+        seen end (the close/put race would otherwise lose tuples).
+        """
+        if self.closed:
+            raise SimulationError(
+                f"put() on closed queue {self.name!r}")
         event = Event()
         if self._getters:
             # Hand off directly to a waiting consumer.
@@ -246,10 +254,19 @@ class BoundedQueue:
         return event
 
     def close(self) -> None:
-        """Signal end-of-stream: waiting and future getters receive QUEUE_CLOSED."""
+        """Signal end-of-stream: waiting and future getters receive
+        QUEUE_CLOSED, and producers blocked in ``put()`` are woken with
+        QUEUE_CLOSED too — their items are rejected, not silently parked
+        forever on a queue nobody will drain.  Closing twice is a no-op.
+        """
+        if self.closed:
+            return
         self.closed = True
         while self._getters:
             self._getters.popleft().succeed(QUEUE_CLOSED)
+        while self._putters:
+            put_event, _rejected = self._putters.popleft()
+            put_event.succeed(QUEUE_CLOSED)
 
 
 class _QueueClosed:

@@ -97,8 +97,28 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
         reference.extend(index.probe(int(probe_column.values[row])))
 
     run_id = next(_offload_counter)
+    # The output buffer is scratch: released (and the space's break rewound)
+    # before returning, so every offload against this workload sees the
+    # same address layout no matter how many offloads ran before it.
     out_region = space.allocate(f"{index.name}:out{run_id}",
                                 max(64, 8 * (len(reference) + 1)), align=64)
+    try:
+        return _offload_probe_with_region(
+            index, probe_column, probes, config, warm, validate, memory,
+            fallback_to_host, configure_hook, reference, out_region)
+    finally:
+        space.release(out_region)
+
+
+def _offload_probe_with_region(index, probe_column, probes, config, warm,
+                               validate, memory, fallback_to_host,
+                               configure_hook, reference, out_region
+                               ) -> OffloadOutcome:
+    space = index.space
+    layout = index.layout
+    widx = config.widx
+    n = widx.num_walkers
+    key_bytes = layout.key_bytes
 
     # --- program generation -------------------------------------------
     programs: Dict[str, GeneratedProgram] = {}
@@ -250,53 +270,56 @@ def offload_tree_search(tree, probe_column: Column, *,
     run_id = next(_offload_counter)
     out_region = space.allocate(f"{tree.name}:out{run_id}",
                                 max(64, 8 * (len(reference) + 1)), align=64)
+    try:
+        stride = n if widx.mode == "private" else 1
+        dispatcher = tree_dispatcher_program(key_bytes, stride_keys=stride)
+        walker = tree_walker_program()
+        producer = producer_program(8)
 
-    stride = n if widx.mode == "private" else 1
-    dispatcher = tree_dispatcher_program(key_bytes, stride_keys=stride)
-    walker = tree_walker_program()
-    producer = producer_program(8)
+        hierarchy = memory if memory is not None else _hierarchy_for(config)
+        if warm:
+            hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
+        machine = WidxMachine(config, hierarchy, space.memory)
+        machine.build(dispatcher, walker, producer)
 
-    hierarchy = memory if memory is not None else _hierarchy_for(config)
-    if warm:
-        hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
-    machine = WidxMachine(config, hierarchy, space.memory)
-    machine.build(dispatcher, walker, producer)
+        base = probe_column.region.base
+        regs = dispatcher.config_registers
 
-    base = probe_column.region.base
-    regs = dispatcher.config_registers
+        def dispatch_config(unit_index: int, unit_stride: int):
+            first = unit_index
+            count = 0 if first >= probes else \
+                (probes - first + unit_stride - 1) // unit_stride
+            return {
+                regs["key_cursor"]: base + first * key_bytes,
+                regs["key_count"]: count,
+                regs["root"]: tree.root,
+            }
 
-    def dispatch_config(unit_index: int, unit_stride: int):
-        first = unit_index
-        count = 0 if first >= probes else \
-            (probes - first + unit_stride - 1) // unit_stride
-        return {
-            regs["key_cursor"]: base + first * key_bytes,
-            regs["key_count"]: count,
-            regs["root"]: tree.root,
-        }
+        if widx.mode == "shared":
+            machine.configure_unit("dispatcher", dispatch_config(0, 1))
+        else:
+            for i in range(n):
+                machine.configure_unit(f"dispatcher{i}", dispatch_config(i, n))
+        machine.configure_unit(
+            "producer",
+            {producer.config_registers["out_cursor"]: out_region.base})
 
-    if widx.mode == "shared":
-        machine.configure_unit("dispatcher", dispatch_config(0, 1))
-    else:
-        for i in range(n):
-            machine.configure_unit(f"dispatcher{i}", dispatch_config(i, n))
-    machine.configure_unit(
-        "producer", {producer.config_registers["out_cursor"]: out_region.base})
-
-    run = machine.run(expected_tuples=probes)
-    payloads = [space.memory.read_u64(out_region.base + 8 * i)
-                for i in range(run.matches)]
-    validated: Optional[bool] = None
-    if validate:
-        validated = sorted(payloads) == sorted(reference)
-        if not validated:
-            raise WidxFault(
-                f"tree offload diverged: {len(payloads)} emitted vs "
-                f"{len(reference)} expected")
-    return OffloadOutcome(run=run, payloads=payloads, validated=validated,
-                          memory=hierarchy,
-                          programs={"dispatcher": dispatcher,
-                                    "walker": walker, "producer": producer})
+        run = machine.run(expected_tuples=probes)
+        payloads = [space.memory.read_u64(out_region.base + 8 * i)
+                    for i in range(run.matches)]
+        validated: Optional[bool] = None
+        if validate:
+            validated = sorted(payloads) == sorted(reference)
+            if not validated:
+                raise WidxFault(
+                    f"tree offload diverged: {len(payloads)} emitted vs "
+                    f"{len(reference)} expected")
+        return OffloadOutcome(run=run, payloads=payloads, validated=validated,
+                              memory=hierarchy,
+                              programs={"dispatcher": dispatcher,
+                                        "walker": walker, "producer": producer})
+    finally:
+        space.release(out_region)
 
 
 def offload_tree_ranges(tree, ranges, *,
@@ -336,41 +359,49 @@ def offload_tree_ranges(tree, ranges, *,
 
     range_region = space.allocate(f"{tree.name}:ranges{run_id}",
                                   max(64, 8 * len(ranges)), align=64)
-    for offset, (low, high) in enumerate(ranges):
-        space.memory.write_u32(range_region.base + 8 * offset, low)
-        space.memory.write_u32(range_region.base + 8 * offset + 4, high)
-    out_region = space.allocate(f"{tree.name}:rout{run_id}",
-                                max(64, 8 * (len(reference) + 1)), align=64)
+    try:
+        for offset, (low, high) in enumerate(ranges):
+            space.memory.write_u32(range_region.base + 8 * offset, low)
+            space.memory.write_u32(range_region.base + 8 * offset + 4, high)
+        out_region = space.allocate(f"{tree.name}:rout{run_id}",
+                                    max(64, 8 * (len(reference) + 1)),
+                                    align=64)
+        try:
+            dispatcher = range_dispatcher_program()
+            walker = tree_range_walker_program()
+            producer = producer_program(8)
 
-    dispatcher = range_dispatcher_program()
-    walker = tree_range_walker_program()
-    producer = producer_program(8)
+            hierarchy = memory if memory is not None else _hierarchy_for(config)
+            if warm:
+                hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
+            machine = WidxMachine(config, hierarchy, space.memory)
+            machine.build(dispatcher, walker, producer)
+            regs = dispatcher.config_registers
+            machine.configure_unit("dispatcher", {
+                regs["range_cursor"]: range_region.base,
+                regs["range_count"]: len(ranges),
+                regs["root"]: tree.root,
+            })
+            machine.configure_unit(
+                "producer",
+                {producer.config_registers["out_cursor"]: out_region.base})
 
-    hierarchy = memory if memory is not None else _hierarchy_for(config)
-    if warm:
-        hierarchy.warm_range(tree.region.base, tree.footprint_bytes)
-    machine = WidxMachine(config, hierarchy, space.memory)
-    machine.build(dispatcher, walker, producer)
-    regs = dispatcher.config_registers
-    machine.configure_unit("dispatcher", {
-        regs["range_cursor"]: range_region.base,
-        regs["range_count"]: len(ranges),
-        regs["root"]: tree.root,
-    })
-    machine.configure_unit(
-        "producer", {producer.config_registers["out_cursor"]: out_region.base})
-
-    run = machine.run(expected_tuples=len(ranges))
-    payloads = [space.memory.read_u64(out_region.base + 8 * i)
-                for i in range(run.matches)]
-    validated: Optional[bool] = None
-    if validate:
-        validated = sorted(payloads) == sorted(reference)
-        if not validated:
-            raise WidxFault(
-                f"range offload diverged: {len(payloads)} emitted vs "
-                f"{len(reference)} expected")
-    return OffloadOutcome(run=run, payloads=payloads, validated=validated,
-                          memory=hierarchy,
-                          programs={"dispatcher": dispatcher,
-                                    "walker": walker, "producer": producer})
+            run = machine.run(expected_tuples=len(ranges))
+            payloads = [space.memory.read_u64(out_region.base + 8 * i)
+                        for i in range(run.matches)]
+            validated: Optional[bool] = None
+            if validate:
+                validated = sorted(payloads) == sorted(reference)
+                if not validated:
+                    raise WidxFault(
+                        f"range offload diverged: {len(payloads)} emitted vs "
+                        f"{len(reference)} expected")
+            return OffloadOutcome(run=run, payloads=payloads,
+                                  validated=validated, memory=hierarchy,
+                                  programs={"dispatcher": dispatcher,
+                                            "walker": walker,
+                                            "producer": producer})
+        finally:
+            space.release(out_region)
+    finally:
+        space.release(range_region)

@@ -1,0 +1,140 @@
+"""Tests for the persistent measurement store and its codec."""
+
+import json
+import os
+
+import pytest
+
+from repro.cpu.timing import CoreTimingResult
+from repro.harness.cachestore import (CACHE_FORMAT, CacheDecodeError,
+                                      CacheStore, decode_measurement,
+                                      encode_measurement)
+from repro.widx.machine import WidxRunResult
+from repro.widx.offload import OffloadOutcome
+from repro.widx.unit import UnitCycleBreakdown, UnitStats
+
+
+def sample_timing() -> CoreTimingResult:
+    return CoreTimingResult(
+        core="ooo", cycles_per_tuple=123.456789012345, ci_half_width=1.5,
+        tuples=300, total_cycles=37037.0367, mem_stall_per_tuple=55.5,
+        tlb_stall_per_tuple=0.25, l1_miss_ratio=0.125, llc_miss_ratio=0.5)
+
+
+def sample_offload() -> OffloadOutcome:
+    stats = {
+        "dispatcher": UnitStats(invocations=1, instructions=900, loads=300,
+                                cycles=UnitCycleBreakdown(comp=10.5, mem=2.0)),
+        "walker0": UnitStats(invocations=300, instructions=2400, loads=900,
+                             emitted=280,
+                             cycles=UnitCycleBreakdown(
+                                 comp=100.25, mem=555.125, tlb=3.5,
+                                 idle=20.0, queue=7.75)),
+    }
+    run = WidxRunResult(total_cycles=4096.0009765625, tuples=300,
+                        matches=280, config_cycles=24.0, unit_stats=stats)
+    return OffloadOutcome(run=run, validated=True)
+
+
+class TestCodec:
+    def test_core_timing_round_trip(self):
+        timing = sample_timing()
+        clone = decode_measurement(
+            json.loads(json.dumps(encode_measurement(timing))))
+        assert clone == timing  # dataclass equality: every field, bit-exact
+
+    def test_offload_round_trip_preserves_everything_reports_use(self):
+        outcome = sample_offload()
+        clone = decode_measurement(
+            json.loads(json.dumps(encode_measurement(outcome))))
+        assert clone.cycles_per_tuple == outcome.cycles_per_tuple
+        assert clone.matches == outcome.matches
+        assert clone.validated is True
+        assert clone.fell_back is False
+        original = outcome.run.walker_cycles_per_tuple()
+        restored = clone.run.walker_cycles_per_tuple()
+        assert restored == original  # frozen dataclass, bit-exact floats
+        assert clone.run.unit_stats["walker0"].emitted == 280
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CacheDecodeError):
+            decode_measurement({"type": "mystery"})
+        with pytest.raises(CacheDecodeError):
+            decode_measurement({"type": "offload"})  # missing fields
+        with pytest.raises(CacheDecodeError):
+            encode_measurement(object())
+
+
+class TestCacheStore:
+    def test_round_trip(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        payload = encode_measurement(sample_timing())
+        store.put("k1", payload)
+        assert store.get("k1") == payload
+        assert store.hits == 1
+        assert "k1" in store
+        assert len(store) == 1
+
+    def test_missing_key(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        assert store.get("absent") is None
+        assert store.misses == 1
+
+    def test_overwrite(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k", {"type": "core_timing", "data": {}})
+        newer = encode_measurement(sample_timing())
+        store.put("k", newer)
+        assert store.get("k") == newer
+        assert len(store) == 1
+
+    def test_truncated_file_rejected(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k", encode_measurement(sample_timing()))
+        path = store.path("k")
+        with open(path, "r+") as handle:
+            handle.truncate(os.path.getsize(path) // 2)
+        assert store.get("k") is None
+        assert store.rejected == 1
+
+    def test_garbage_file_rejected(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        with open(store.path("k"), "w") as handle:
+            handle.write("not json at all {{{")
+        assert store.get("k") is None
+        assert store.rejected == 1
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k", encode_measurement(sample_timing()))
+        with open(store.path("k")) as handle:
+            wrapper = json.load(handle)
+        wrapper["payload"]["data"]["cycles_per_tuple"] = 1.0  # doctor it
+        with open(store.path("k"), "w") as handle:
+            json.dump(wrapper, handle)
+        assert store.get("k") is None
+        assert store.rejected == 1
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        """An entry copied/renamed to the wrong key must not alias."""
+        store = CacheStore(str(tmp_path))
+        store.put("original", encode_measurement(sample_timing()))
+        os.rename(store.path("original"), store.path("imposter"))
+        assert store.get("imposter") is None
+
+    def test_stale_format_rejected(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("k", encode_measurement(sample_timing()))
+        with open(store.path("k")) as handle:
+            wrapper = json.load(handle)
+        wrapper["format"] = CACHE_FORMAT + 1
+        with open(store.path("k"), "w") as handle:
+            json.dump(wrapper, handle)
+        assert store.get("k") is None
+
+    def test_no_temp_file_debris(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        for index in range(5):
+            store.put(f"k{index}", {"type": "core_timing", "data": {}})
+        assert not [name for name in os.listdir(str(tmp_path))
+                    if name.startswith(".tmp-")]

@@ -74,3 +74,66 @@ def test_experiment_registry_covers_every_paper_artifact():
 def test_list_experiments_marks_kinds():
     text = list_experiments()
     assert "analytic" in text and "simulation" in text
+
+
+def test_every_simulated_experiment_declares_points():
+    for name, (needs, _runner, points) in EXPERIMENTS.items():
+        if needs:
+            declared = points()
+            assert declared, f"{name} declares no measurement points"
+        else:
+            assert points is None
+
+
+def test_jobs_must_be_positive():
+    code, _text = run_cli("--figure", "4b", "--jobs", "0")
+    assert code == 2
+
+
+def test_campaign_pre_pass_reported():
+    code, text = run_cli("--figure", "8b", "--probes", "400",
+                         "--warmup", "100", "--jobs", "1")
+    assert code == 0
+    assert "campaign: 12 points, 0 cached, 12 measured" in text
+
+
+def test_cache_dir_second_run_hits(tmp_path):
+    """The acceptance property: a repeat run with --cache-dir re-measures
+    nothing and prints a byte-identical report."""
+    args = ("--figure", "8b", "--probes", "400", "--warmup", "100",
+            "--cache-dir", str(tmp_path), "--jobs", "1")
+    code1, first = run_cli(*args)
+    code2, second = run_cli(*args)
+    assert code1 == code2 == 0
+    assert "12 measured" in first
+    assert "12 cached, 0 measured" in second
+
+    def report_body(text):
+        lines = text.splitlines()
+        return [line for line in lines
+                if not line.startswith("[")]  # drop timing/campaign lines
+
+    assert report_body(first) == report_body(second)
+
+
+def test_no_cache_disables_the_store(tmp_path, monkeypatch):
+    import repro.harness.cli as cli
+    captured = {}
+
+    def fake_run(names, settings, out=None, store=None, jobs=1):
+        captured["store"] = store
+        captured["jobs"] = jobs
+        return []
+
+    monkeypatch.setattr(cli, "run_experiments", fake_run)
+    code, _ = run_cli("--figure", "8b", "--cache-dir", str(tmp_path),
+                      "--no-cache", "--jobs", "3")
+    assert code == 0
+    assert captured["store"] is None
+    assert captured["jobs"] == 3
+
+    code, _ = run_cli("--figure", "8b", "--cache-dir", str(tmp_path),
+                      "--jobs", "2")
+    assert code == 0
+    assert captured["store"] is not None
+    assert captured["store"].directory == str(tmp_path)

@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.errors import ConfigError
+from repro.harness.cachestore import CacheStore
 from repro.harness.runner import (DEFAULT_RUNS, MeasurementCache,
-                                  RunSettings, WorkloadMeasurement,
-                                  measure_kernel)
+                                  RunSettings, WorkloadMeasurement, geomean,
+                                  measurement_key, measure_kernel)
 
 
 def test_run_settings_measured():
@@ -14,6 +16,62 @@ def test_run_settings_measured():
 
 def test_default_settings_sane():
     assert DEFAULT_RUNS.probes > DEFAULT_RUNS.warmup > 0
+
+
+def test_run_settings_rejects_warmup_at_or_above_probes():
+    with pytest.raises(ConfigError):
+        RunSettings(probes=100, warmup=100)
+    with pytest.raises(ConfigError):
+        RunSettings(probes=100, warmup=200)
+
+
+def test_run_settings_rejects_nonpositive_probes_and_negative_warmup():
+    with pytest.raises(ConfigError):
+        RunSettings(probes=0, warmup=0)
+    with pytest.raises(ConfigError):
+        RunSettings(probes=100, warmup=-1)
+
+
+def test_geomean_basic_and_empty():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_geomean_names_the_offending_value():
+    with pytest.raises(ValueError, match="0.0"):
+        geomean([1.0, 0.0, 2.0])
+    with pytest.raises(ValueError, match="-3.5"):
+        geomean([1.0, -3.5])
+
+
+def test_measurement_key_is_stable_and_discriminating():
+    from repro.config import DEFAULT_CONFIG, SystemConfig
+
+    point = ("baseline", "kernel", "Small", "ooo")
+    runs = RunSettings(probes=400, warmup=100)
+    key = measurement_key(DEFAULT_CONFIG, runs, point)
+    assert key == measurement_key(SystemConfig(), RunSettings(
+        probes=400, warmup=100), point)
+    assert key != measurement_key(DEFAULT_CONFIG, runs,
+                                  ("baseline", "kernel", "Small", "inorder"))
+    assert key != measurement_key(DEFAULT_CONFIG, RunSettings(
+        probes=400, warmup=100, seed=7), point)
+    assert key != measurement_key(DEFAULT_CONFIG.with_walkers(2), runs, point)
+
+
+def test_store_backed_cache_survives_process_restart(tmp_path):
+    runs = RunSettings(probes=400, warmup=100)
+    first = MeasurementCache(runs=runs, store=CacheStore(str(tmp_path)))
+    measured = first.baseline("kernel", "Small", "ooo")
+    assert first.measured_points == 1
+
+    # A fresh cache (new "process") on the same store must not re-measure.
+    second = MeasurementCache(runs=runs, store=CacheStore(str(tmp_path)))
+    restored = second.baseline("kernel", "Small", "ooo")
+    assert second.measured_points == 0
+    assert second.store_hits == 1
+    assert restored == measured  # CoreTimingResult round-trips exactly
 
 
 def test_workload_measurement_requires_data():

@@ -185,3 +185,55 @@ class TestBoundedQueue:
     def test_capacity_validated(self):
         with pytest.raises(SimulationError):
             BoundedQueue(Engine(), capacity=0)
+
+    def test_put_after_close_raises(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, capacity=2)
+        queue.close()
+        with pytest.raises(SimulationError):
+            queue.put("dropped")
+
+    def test_put_after_close_raises_inside_process(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, capacity=2)
+        failures = []
+
+        def producer():
+            yield queue.put("ok")
+            queue.close()
+            try:
+                yield queue.put("late")
+            except SimulationError:
+                failures.append(engine.now)
+
+        engine.process(producer())
+        engine.run()
+        assert failures == [0.0]
+
+    def test_close_wakes_blocked_putters_with_sentinel(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, capacity=1)
+        outcomes = []
+
+        def producer():
+            yield queue.put(1)           # fills the queue
+            outcomes.append((yield queue.put(2)))  # blocks until close
+
+        def closer():
+            yield 4
+            queue.close()
+
+        engine.process(producer())
+        engine.process(closer())
+        engine.run()
+        # The producer was woken (no hang) and told its item was rejected.
+        assert outcomes == [QUEUE_CLOSED]
+        # The rejected item must not linger in the queue or putter list.
+        assert len(queue) == 1
+
+    def test_close_is_idempotent(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, capacity=1)
+        queue.close()
+        queue.close()
+        assert queue.closed
