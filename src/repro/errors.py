@@ -19,6 +19,73 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class SimulationHang(SimulationError):
+    """The simulation stopped making progress (deadlock, livelock or a
+    blown cycle/wall-clock budget).
+
+    ``diagnostics`` carries a human-readable dump of the engine state at
+    detection time: runnable processes and what they wait on, pending
+    events, and the occupancy of every monitored resource.
+    """
+
+    def __init__(self, message: str, diagnostics: str = "") -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.diagnostics:
+            return f"{base}\n{self.diagnostics}"
+        return base
+
+
+class ProcessError(SimulationError):
+    """An exception escaped a process generator.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` when the failure was not
+    handled by any waiting process; ``process_name`` identifies the process
+    whose generator raised, and ``__cause__`` is the original exception.
+    (The engine re-raises the *original* exception — annotated with the
+    process name — whenever its type matters to callers; this wrapper
+    exists for failures with no better home, e.g. a broken callback.)
+    """
+
+    def __init__(self, message: str, process_name: str = "") -> None:
+        super().__init__(message)
+        self.process_name = process_name
+
+
+class InvariantViolation(SimulationError):
+    """An end-of-run invariant check failed (leaked MSHR slots, undrained
+    queues, live processes after the event queue emptied).
+
+    A measurement that trips this produced garbage cycles; the harness
+    fails it loudly instead of reporting the numbers.
+    """
+
+
+class MeasurementFailed(ReproError):
+    """A measurement point exhausted its retries and was marked failed.
+
+    Carried by the campaign failure manifest; figure drivers asking for a
+    poisoned point get this immediately instead of re-simulating (or
+    re-hanging) in-process.
+    """
+
+
+class CampaignInterrupted(ReproError):
+    """The user interrupted a campaign (Ctrl-C).
+
+    Completed points were already flushed to the measurement cache, so the
+    message carries a resume hint instead of a multiprocessing traceback.
+    """
+
+    def __init__(self, message: str, completed: int = 0, total: int = 0) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+
+
 class MemoryError_(ReproError):
     """An access to the simulated memory system was malformed.
 

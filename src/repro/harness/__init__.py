@@ -6,8 +6,10 @@ paper plots.  The benchmarks under ``benchmarks/`` call these drivers and
 print the reports; EXPERIMENTS.md records paper-vs-measured for each.
 """
 
-from .campaign import Campaign, MeasurementPoint
+from .campaign import (Campaign, CampaignResult, MeasurementPoint,
+                       PointFailure, RetryPolicy)
 from .cachestore import CacheStore
+from .chaos import ChaosSpec
 from .report import Report
 from .runner import (MeasurementCache, RunSettings, measure_kernel,
                      measure_query, geomean, DEFAULT_RUNS)
@@ -15,7 +17,11 @@ from .runner import (MeasurementCache, RunSettings, measure_kernel,
 __all__ = [
     "Report",
     "Campaign",
+    "CampaignResult",
     "MeasurementPoint",
+    "PointFailure",
+    "RetryPolicy",
+    "ChaosSpec",
     "CacheStore",
     "MeasurementCache",
     "RunSettings",

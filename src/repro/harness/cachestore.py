@@ -14,9 +14,11 @@ Design points:
   its payload.  A truncated, corrupted or hand-edited file fails
   verification and :meth:`CacheStore.get` returns ``None``; the caller
   transparently re-measures.  A cache can never make a run crash.
-* **Writes are atomic** (temp file + ``os.replace``), so concurrent
-  campaign workers or parallel pytest sessions cannot observe a partial
-  entry.
+* **Writes are atomic and durable**: entries are written to a temp file,
+  flushed and fsync'd, then ``os.replace``d into place — a killed worker
+  (or power cut) can never leave a half-written entry under a live key;
+  at worst it abandons a ``.tmp-*`` file, which :meth:`CacheStore.__init__`
+  sweeps once it is old enough that no live writer can own it.
 
 Only the numbers the figure drivers consume are persisted: a
 :class:`~repro.cpu.timing.CoreTimingResult` round-trips completely; an
@@ -33,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict
 from typing import Any, Dict, Optional
 
@@ -44,6 +47,11 @@ from ..widx.unit import UnitCycleBreakdown, UnitStats
 
 #: Bump when the payload schema changes; old entries are then ignored.
 CACHE_FORMAT = 1
+
+#: Orphaned temp files older than this are swept on store open.  Any live
+#: writer finishes a put in well under an hour; anything older was
+#: abandoned by a killed process.
+STALE_TEMP_SECONDS = 3600.0
 
 
 class CacheDecodeError(ValueError):
@@ -125,6 +133,32 @@ class CacheStore:
         self.hits = 0
         self.misses = 0
         self.rejected = 0  # corrupted / stale-format entries skipped
+        self.swept_temps = self._sweep_stale_temps()
+
+    def _sweep_stale_temps(self,
+                           max_age_seconds: float = STALE_TEMP_SECONDS) -> int:
+        """Remove temp files abandoned by killed writers; returns a count.
+
+        Only files older than ``max_age_seconds`` go — a younger temp may
+        belong to a concurrent campaign worker mid-:meth:`put`.
+        """
+        swept = 0
+        cutoff = time.time() - max_age_seconds
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.startswith(".tmp-"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.getmtime(path) < cutoff:
+                    os.unlink(path)
+                    swept += 1
+            except OSError:
+                continue  # raced with another sweeper or a live writer
+        return swept
 
     def path(self, key: str) -> str:
         """The file backing one key."""
@@ -174,6 +208,12 @@ class CacheStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(stable_json(wrapper))
+                handle.flush()
+                # Force the bytes to disk *before* the rename publishes the
+                # entry: os.replace is atomic in the namespace, but without
+                # the fsync a crash could still surface a torn entry under
+                # the final name.
+                os.fsync(handle.fileno())
             os.replace(temp_path, self.path(key))
         except BaseException:
             try:

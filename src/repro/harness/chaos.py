@@ -1,0 +1,175 @@
+"""Deterministic fault injection for the campaign layer.
+
+Proving a recovery path works requires *causing* the failure on demand —
+and causing it the same way every time, so a recovered bug stays
+reproducible.  :class:`ChaosSpec` is a seeded, picklable description of
+which faults to inject where:
+
+* **worker kill** — a campaign worker calls ``os._exit`` before measuring
+  a point (models an OOM-killed or segfaulted worker process).
+* **worker hang** — a worker sleeps past any reasonable deadline before
+  measuring (models a wedged simulation; the campaign's per-point
+  progress timeout must reap it).
+* **measurement error** — the measurement raises :class:`ChaosError`
+  (models a deterministic-looking transient failure; injected in both
+  worker and serial executors).
+* **transient IO error** — a cache-store read raises :class:`OSError`
+  (models NFS flakes / disk pressure; the cache treats it as a miss).
+* **corrupt entry** — a just-written cache entry is truncated mid-file
+  (models a torn write; the store's checksum must reject it on read).
+
+**Determinism.**  Whether a fault fires for a given (site, key) pair is a
+pure function of the seed — a content-hash draw compared against the
+site's rate — never of wall-clock time, scheduling or iteration order.
+The same seed therefore injects the same faults no matter how many
+workers run or in what order points complete.  Each (site, key) injects
+at most ``max_injections`` times, after which the operation succeeds, so
+every injected fault has a bounded recovery path: a campaign with retries
+enabled converges to the same results as a fault-free run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..config import stable_digest
+
+#: Exit code a chaos-killed worker dies with (recognizable in crash logs).
+CHAOS_KILL_EXIT = 43
+
+
+class ChaosError(RuntimeError):
+    """The error the injector raises for an 'error'-site fault."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded description of which faults to inject (picklable, frozen)."""
+
+    seed: int
+    kill_rate: float = 0.0        # worker process self-kills
+    hang_rate: float = 0.0        # worker sleeps past the progress timeout
+    error_rate: float = 0.0       # measurement raises ChaosError
+    io_error_rate: float = 0.0    # store.get raises OSError
+    corrupt_rate: float = 0.0     # store.put leaves a truncated entry
+    max_injections: int = 1       # per (site, key) injection budget
+    hang_seconds: float = 120.0   # how long a hung worker sleeps
+    target: str = ""              # only fault keys containing this substring
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "hang_rate", "error_rate",
+                     "io_error_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_injections < 0:
+            raise ValueError("max_injections must be >= 0")
+
+    def draw(self, site: str, key: str) -> float:
+        """Deterministic uniform draw in [0, 1) for one (site, key)."""
+        digest = stable_digest({"chaos": self.seed, "site": site, "key": key})
+        return int(digest[:13], 16) / 16.0 ** 13
+
+    def wants(self, site: str, key: str, rate: float) -> bool:
+        """Whether this (site, key) is selected for injection at ``rate``."""
+        if rate <= 0.0:
+            return False
+        if self.target and self.target not in key:
+            return False
+        return self.draw(site, key) < rate
+
+    def should_inject(self, site: str, key: str, attempt: int,
+                      rate: float) -> bool:
+        """Selected *and* within the per-(site, key) injection budget.
+
+        ``attempt`` is how many times this operation has already been
+        tried; retries past ``max_injections`` run clean, which is what
+        makes every injected fault recoverable.
+        """
+        return attempt < self.max_injections and self.wants(site, key, rate)
+
+
+def inject_worker_faults(spec: Optional[ChaosSpec], key: str,
+                         attempt: int) -> None:
+    """Process-level faults; call at the top of a campaign worker's point
+    loop (never from the campaign parent)."""
+    if spec is None:
+        return
+    if spec.should_inject("kill", key, attempt, spec.kill_rate):
+        os._exit(CHAOS_KILL_EXIT)
+    if spec.should_inject("hang", key, attempt, spec.hang_rate):
+        time.sleep(spec.hang_seconds)
+
+
+def inject_measurement_error(spec: Optional[ChaosSpec], key: str,
+                             attempt: int) -> None:
+    """Raise :class:`ChaosError` if this measurement is selected."""
+    if spec is None:
+        return
+    if spec.should_inject("error", key, attempt, spec.error_rate):
+        raise ChaosError(f"chaos(seed={spec.seed}): injected measurement "
+                         f"error for {key} (attempt {attempt})")
+
+
+class ChaosStore:
+    """A :class:`~repro.harness.cachestore.CacheStore` proxy injecting
+    storage faults.
+
+    Drop-in for the real store (same ``get``/``put``/``path`` surface);
+    injection counting lives here because the store proxy is long-lived in
+    the campaign parent, unlike the per-attempt worker helpers.
+    """
+
+    def __init__(self, store: Any, spec: ChaosSpec) -> None:
+        self.store = store
+        self.spec = spec
+        self.injected: Counter = Counter()   # site -> injection count
+
+    def _take(self, site: str, key: str, rate: float) -> bool:
+        budget_key = (site, key)
+        if (self.injected[budget_key] < self.spec.max_injections
+                and self.spec.wants(site, key, rate)):
+            self.injected[budget_key] += 1
+            self.injected[site] += 1
+            return True
+        return False
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Delegate to the store, possibly raising a transient OSError."""
+        if self._take("io-read", key, self.spec.io_error_rate):
+            raise OSError(f"chaos(seed={self.spec.seed}): transient read "
+                          f"error for {key}")
+        return self.store.get(key)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Write through, then possibly tear the just-written entry."""
+        self.store.put(key, payload)
+        if self._take("corrupt", key, self.spec.corrupt_rate):
+            self._truncate(self.store.path(key))
+
+    @staticmethod
+    def _truncate(path: str) -> None:
+        """Tear the entry in half, as a crash mid-write would have."""
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+", encoding="utf-8") as handle:
+                handle.truncate(size // 2)
+        except OSError:
+            pass
+
+    def path(self, key: str) -> str:
+        """The file backing one key (delegated)."""
+        return self.store.path(key)
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.store
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.store, name)

@@ -12,6 +12,14 @@ measurement point the selection needs, dedups the overlap between figures,
 and fans the misses out over ``--jobs`` worker processes.  With
 ``--cache-dir`` the measurements persist on disk, so a repeated or resumed
 invocation reports cache hits instead of re-simulating.
+
+The campaign is fault-tolerant: crashed or wedged workers forfeit only
+their in-flight point, which retries up to ``--retries`` times with
+exponential backoff (``--point-timeout`` bounds how long a silent worker
+is trusted).  Points that exhaust their retries land in a failure
+manifest and the surviving figures still render.  ``--chaos SEED``
+deterministically injects worker kills, hangs, measurement errors and
+cache corruption to exercise exactly those paths.
 """
 
 from __future__ import annotations
@@ -21,9 +29,11 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from .campaign import Campaign, MeasurementPoint, default_jobs
+from ..errors import CampaignInterrupted, MeasurementFailed
+from .campaign import Campaign, MeasurementPoint, RetryPolicy, default_jobs
 from .cachestore import CacheStore
-from .report import Report
+from .chaos import ChaosSpec, ChaosStore
+from .report import Report, failure_report
 from .runner import MeasurementCache, RunSettings
 from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11
 
@@ -79,6 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "reuse them instead of re-simulating")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir (measure everything fresh)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry attempts per failing measurement point "
+                             "(default: 2)")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="reap a campaign worker that makes no progress "
+                             "for this long (default: no timeout)")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="inject deterministic faults seeded by SEED "
+                             "(kills, hangs, errors, store corruption) to "
+                             "exercise the recovery paths")
+    parser.add_argument("--chaos-rate", type=float, default=0.25, metavar="R",
+                        help="per-fault-site injection probability for "
+                             "--chaos (default: 0.25)")
     return parser
 
 
@@ -109,29 +133,47 @@ def campaign_points(names: List[str]) -> List[MeasurementPoint]:
 
 def run_experiments(names: List[str], settings: RunSettings,
                     out=sys.stdout, store: Optional[CacheStore] = None,
-                    jobs: int = 1) -> List[Report]:
+                    jobs: int = 1, policy: Optional[RetryPolicy] = None,
+                    chaos: Optional[ChaosSpec] = None) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
     (parallel across workloads when ``jobs > 1``) so the figure drivers
-    below only read the warm cache.
+    below only read the warm cache.  A campaign with failed points still
+    renders every figure it can: a driver whose points are poisoned is
+    reported as failed (with the failure manifest) instead of aborting
+    the whole run.
     """
+    if chaos is not None and store is not None:
+        store = ChaosStore(store, chaos)
     cache = MeasurementCache(runs=settings, store=store)
     points = campaign_points(names)
+    failures = []
     if points:
         started = time.time()
-        result = Campaign(cache).run(points, jobs=jobs)
+        result = Campaign(cache, policy=policy, chaos=chaos).run(
+            points, jobs=jobs)
         elapsed = time.time() - started
         print(f"[{result.summary()}, {elapsed:.1f}s]\n", file=out)
+        failures = result.failures
     reports = []
     for name in names:
         _needs, runner, _points = EXPERIMENTS[name]
         started = time.time()
-        report = runner(cache)
+        try:
+            report = runner(cache)
+        except MeasurementFailed as exc:
+            elapsed = time.time() - started
+            print(f"[{name}: FAILED after {elapsed:.1f}s — {exc}]\n",
+                  file=out)
+            continue
         elapsed = time.time() - started
         print(report.format(), file=out)
         print(f"[{name}: {elapsed:.1f}s]\n", file=out)
         reports.append(report)
+    if failures:
+        print(failure_report(failures).format(), file=out)
+        print(file=out)
     return reports
 
 
@@ -159,13 +201,39 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if args.jobs is not None and args.jobs < 1:
         print("error: --jobs must be >= 1", file=out)
         return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=out)
+        return 2
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        print("error: --point-timeout must be positive", file=out)
+        return 2
+    if not 0.0 <= args.chaos_rate <= 1.0:
+        print("error: --chaos-rate must be in [0, 1]", file=out)
+        return 2
     settings = RunSettings(probes=args.probes, warmup=args.warmup,
                            seed=args.seed)
     store = None
     if args.cache_dir and not args.no_cache:
         store = CacheStore(args.cache_dir)
     jobs = default_jobs() if args.jobs is None else args.jobs
-    run_experiments(names, settings, out=out, store=store, jobs=jobs)
+    policy = RetryPolicy(max_retries=args.retries,
+                         point_timeout=args.point_timeout)
+    chaos = None
+    if args.chaos is not None:
+        rate = args.chaos_rate
+        chaos = ChaosSpec(seed=args.chaos, kill_rate=rate, hang_rate=rate,
+                          error_rate=rate, io_error_rate=rate,
+                          corrupt_rate=rate, hang_seconds=30.0)
+        if args.point_timeout is None:
+            # Injected hangs need a reaper to be recoverable.
+            policy = RetryPolicy(max_retries=max(2, args.retries),
+                                 point_timeout=20.0)
+    try:
+        run_experiments(names, settings, out=out, store=store, jobs=jobs,
+                        policy=policy, chaos=chaos)
+    except CampaignInterrupted as exc:
+        print(f"\n{exc}", file=out)
+        return 130
     return 0
 
 

@@ -81,3 +81,23 @@ class Report:
 
     def __str__(self) -> str:
         return self.format()
+
+
+def failure_report(failures: Sequence[Any]) -> Report:
+    """The campaign failure manifest as a printable table.
+
+    ``failures`` is a sequence of
+    :class:`~repro.harness.campaign.PointFailure` (duck-typed to avoid an
+    import cycle).  Rendered by the CLI after a degraded campaign so the
+    reader sees exactly which points are missing from the figures and why.
+    """
+    report = Report(
+        title="Campaign failures",
+        columns=("point", "kind", "attempts", "detail"))
+    for failure in failures:
+        report.add_row("/".join(str(part) for part
+                                in failure.point.cache_tuple()),
+                       failure.kind, failure.attempts, failure.detail)
+    report.add_note("failed points are excluded from the figure reports; "
+                    "re-running the same command retries them")
+    return report

@@ -22,8 +22,10 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from ..config import SystemConfig, DEFAULT_CONFIG, stable_digest
 from ..cpu.timing import CoreTimingResult, measure_indexing
-from ..errors import ConfigError
+from ..errors import (ConfigError, InvariantViolation, MeasurementFailed,
+                      SimulationHang)
 from ..mem.layout import AddressSpace
+from ..sim.watchdog import Watchdog, WatchdogLimits
 from ..widx.offload import OffloadOutcome, offload_probe
 from ..widx.unit import UnitCycleBreakdown
 from ..workloads.hashjoin_kernel import build_kernel_workload
@@ -104,20 +106,39 @@ class MeasurementCache:
 
     With a ``store``, the memory cache is write-through: misses consult the
     store before simulating, and fresh measurements are persisted.  A
-    corrupt or stale store entry is silently discarded and re-measured.
+    corrupt or stale store entry is silently discarded and re-measured; a
+    transient store IO error (flaky NFS, disk pressure) is swallowed and
+    counted rather than crashing a campaign — the store is an
+    optimization, never a point of failure.
+
+    ``watchdog_limits`` budgets each simulated measurement (livelock,
+    cycle and wall-clock ceilings; see
+    :class:`~repro.sim.watchdog.WatchdogLimits`).  Budgets are *not* part
+    of the cache key: they bound how long a measurement may take, not what
+    it computes.
+
+    Points that exhausted their campaign retries are *poisoned* via
+    :meth:`poison`: asking for one raises
+    :class:`~repro.errors.MeasurementFailed` immediately, so a figure
+    driver reports the failure instead of silently re-simulating (or
+    re-hanging) in-process.
     """
 
     def __init__(self, config: SystemConfig = DEFAULT_CONFIG,
                  runs: RunSettings = DEFAULT_RUNS,
-                 store: Optional[CacheStore] = None) -> None:
+                 store: Optional[CacheStore] = None,
+                 watchdog_limits: Optional[WatchdogLimits] = None) -> None:
         self.config = config
         self.runs = runs
         self.store = store
+        self.watchdog_limits = watchdog_limits
         self._kernel_workloads: Dict[str, tuple] = {}
         self._query_workloads: Dict[str, tuple] = {}
         self._measurements: Dict[Tuple, object] = {}
+        self._poisoned: Dict[Tuple, str] = {}
         self.measured_points = 0   # simulated in this process
         self.store_hits = 0        # loaded from the persistent store
+        self.store_errors = 0      # transient store IO errors survived
 
     # --- workload construction (cached) --------------------------------
 
@@ -147,7 +168,11 @@ class MeasurementCache:
         if point in self._measurements:
             return self._measurements[point]
         if self.store is not None:
-            payload = self.store.get(self.point_key(point))
+            try:
+                payload = self.store.get(self.point_key(point))
+            except OSError:
+                self.store_errors += 1
+                return None  # transient store trouble == cache miss
             if payload is not None:
                 try:
                     result = decode_measurement(payload)
@@ -163,7 +188,36 @@ class MeasurementCache:
         """Adopt a result (measured here or by a campaign worker)."""
         self._measurements[point] = result
         if persist and self.store is not None:
-            self.store.put(self.point_key(point), encode_measurement(result))
+            try:
+                self.store.put(self.point_key(point), encode_measurement(result))
+            except OSError:
+                self.store_errors += 1  # keep the in-memory copy; move on
+
+    # --- poisoning ------------------------------------------------------
+
+    def poison(self, point: Tuple, reason: str) -> None:
+        """Mark a point as failed-beyond-retry; measuring it raises."""
+        self._poisoned[point] = reason
+
+    def clear_poison(self, point: Tuple) -> None:
+        """Give a failed point another chance (a new campaign starts)."""
+        self._poisoned.pop(point, None)
+
+    @property
+    def poisoned(self) -> Dict[Tuple, str]:
+        return dict(self._poisoned)
+
+    def _check_poisoned(self, point: Tuple) -> None:
+        reason = self._poisoned.get(point)
+        if reason is not None:
+            raise MeasurementFailed(
+                f"measurement {point!r} failed its campaign retries and is "
+                f"poisoned: {reason}")
+
+    def _watchdog(self) -> Optional[Watchdog]:
+        if self.watchdog_limits is None:
+            return None
+        return Watchdog(self.watchdog_limits)
 
     # --- measurements (cached) ------------------------------------------
 
@@ -172,6 +226,7 @@ class MeasurementCache:
         point = ("baseline", kind, name, core)
         result = self.fetch(point)
         if result is None:
+            self._check_poisoned(point)
             index, probes = (self.kernel_workload(name) if kind == "kernel"
                              else self.query_workload(self._spec_by_name(name)))
             result = measure_indexing(
@@ -188,11 +243,18 @@ class MeasurementCache:
         point = ("widx", kind, name, walkers, mode)
         result = self.fetch(point)
         if result is None:
+            self._check_poisoned(point)
             index, probes = (self.kernel_workload(name) if kind == "kernel"
                              else self.query_workload(self._spec_by_name(name)))
             config = self.config.with_widx(num_walkers=walkers, mode=mode)
-            result = offload_probe(
-                index, probes, config=config, probes=self.runs.probes)
+            try:
+                result = offload_probe(
+                    index, probes, config=config, probes=self.runs.probes,
+                    watchdog=self._watchdog())
+            except (SimulationHang, InvariantViolation) as exc:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(f"while measuring point {point!r}")
+                raise
             self.measured_points += 1
             self.install(point, result)
         return result  # type: ignore[return-value]

@@ -34,6 +34,11 @@ class Tlb:
         # page share a single walk.
         self._inflight: dict = {}
 
+    @property
+    def walks(self) -> OccupancyPool:
+        """The bounded page-walk pool (exposed for leak checks/diagnostics)."""
+        return self._walks
+
     def page_of(self, addr: int) -> int:
         """The page number an address falls in."""
         return addr >> self._page_bits

@@ -4,20 +4,31 @@ Processes are generators.  Yield semantics:
 
 * ``yield <number>`` — suspend for that many cycles.
 * ``yield <Event>`` — suspend until the event fires; the yield expression
-  evaluates to the event's value.
+  evaluates to the event's value.  If the event *failed*, the exception is
+  thrown into the generator at the yield point instead.
 
 The engine guarantees that wakeups are processed in non-decreasing time
 order, which is what makes the passive (analytic) resource models in
 :mod:`repro.mem` causally correct: every resource reservation is issued at a
 simulation time no earlier than any previously issued reservation's time.
+
+**Failure model.**  An exception raised inside a process generator fails
+that process's completion event instead of corrupting whichever callback
+happened to resume it.  Waiting processes receive the exception at their
+yield point (and may catch it); a failure no process handles is re-raised
+by :meth:`Engine.run` with the failing process's name attached, after the
+event queue drains.  A drained queue with live (blocked) processes is a
+deadlock and raises :class:`~repro.errors.SimulationHang` with a diagnostic
+dump; livelock and budget overruns are policed by an attachable
+:class:`~repro.sim.watchdog.Watchdog`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Dict, Generator, Iterable, List, Optional
 
-from ..errors import SimulationError
+from ..errors import ProcessError, SimulationError, SimulationHang
 from .events import Event
 
 ProcessGenerator = Generator[Any, Any, Any]
@@ -26,7 +37,7 @@ ProcessGenerator = Generator[Any, Any, Any]
 class Process(Event):
     """A running process; it is itself an event that fires on completion."""
 
-    __slots__ = ("_generator", "_engine", "name")
+    __slots__ = ("_generator", "_engine", "name", "waiting_on")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -34,45 +45,103 @@ class Process(Event):
         self._generator = generator
         self._engine = engine
         self.name = name or getattr(generator, "__name__", "process")
+        self.waiting_on: Any = None
 
-    def _resume(self, value: Any = None) -> None:
+    def _resume(self, value: Any = None, exc: Optional[BaseException] = None,
+                ) -> None:
         engine = self._engine
+        self.waiting_on = None
         try:
-            target = self._generator.send(value)
+            if exc is not None:
+                engine._mark_failure_handled(exc)
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
         except StopIteration as stop:
             self.succeed(getattr(stop, "value", None))
             return
+        except Exception as error:
+            engine._process_failed(self, error)
+            return
         if isinstance(target, Event):
-            target.add_callback(lambda event: engine._schedule_resume(self, event.value))
+            self.waiting_on = target
+            target.add_callback(self._wait_done)
         elif isinstance(target, (int, float)):
             if target < 0:
                 raise SimulationError(
                     f"process {self.name!r} yielded a negative delay: {target}")
+            self.waiting_on = ("delay", engine.now + target)
             engine._schedule_resume_at(self, engine.now + target, None)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {target!r}")
 
+    def _wait_done(self, event: Event) -> None:
+        if event.failed:
+            self._engine._schedule_resume_exc(self, event.exception)
+        else:
+            self._engine._schedule_resume(self, event.value)
+
+    def _describe_wait(self) -> str:
+        target = self.waiting_on
+        if target is None:
+            return "runnable"
+        if isinstance(target, tuple) and target and target[0] == "delay":
+            return f"sleeping until t={target[1]}"
+        if isinstance(target, Process):
+            return f"waiting on process {target.name!r}"
+        return f"waiting on {type(target).__name__}"
+
+
+class _Failure:
+    """Bookkeeping for one process failure (handled = thrown into a waiter)."""
+
+    __slots__ = ("process", "error", "handled")
+
+    def __init__(self, process: Process, error: BaseException) -> None:
+        self.process = process
+        self.error = error
+        self.handled = False
+
 
 class Engine:
     """Event queue and clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, detect_deadlock: bool = True) -> None:
         self.now: float = 0.0
         self._queue: list = []
         self._sequence = 0
         self._active_processes = 0
+        self._live: Dict[int, Process] = {}
+        self._failures: List[_Failure] = []
+        self.dispatched = 0          # events popped off the queue, ever
+        self.detect_deadlock = detect_deadlock
+        self.watchdog = None         # attached via Watchdog.attach()
+        #: Resources registered for diagnostic dumps (name -> object with
+        #: an optional ``describe()``); see :mod:`repro.sim.watchdog`.
+        self.monitored_resources: Dict[str, Any] = {}
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Register a generator as a process starting at the current time."""
         process = Process(self, generator, name)
         self._active_processes += 1
-        process.add_callback(lambda _e: self._process_finished())
+        self._live[id(process)] = process
+        process.add_callback(self._process_finished)
         self._schedule_resume_at(process, self.now, None)
         return process
 
-    def _process_finished(self) -> None:
+    def _process_finished(self, event: Event) -> None:
         self._active_processes -= 1
+        self._live.pop(id(event), None)
+
+    def _process_failed(self, process: Process, error: BaseException) -> None:
+        self._failures.append(_Failure(process, error))
+        process.fail(error)
+
+    def _mark_failure_handled(self, exc: BaseException) -> None:
+        for failure in self._failures:
+            if failure.error is exc:
+                failure.handled = True
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires ``delay`` cycles from now."""
@@ -91,15 +160,34 @@ class Engine:
     def _schedule_resume(self, process: Process, value: Any) -> None:
         self._schedule_resume_at(process, self.now, value)
 
+    def _schedule_resume_exc(self, process: Process,
+                             exc: Optional[BaseException]) -> None:
+        self.schedule_at(self.now, lambda: process._resume(None, exc))
+
     def _schedule_resume_at(self, process: Process, when: float, value: Any) -> None:
         self.schedule_at(when, lambda: process._resume(value))
+
+    def monitor_resource(self, name: str, resource: Any) -> None:
+        """Register a resource for diagnostic dumps (unique-ified name)."""
+        key = name
+        suffix = 1
+        while key in self.monitored_resources:
+            suffix += 1
+            key = f"{name}#{suffix}"
+        self.monitored_resources[key] = resource
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue (optionally stopping at time ``until``).
 
-        Returns the final simulation time.
+        Returns the final simulation time.  After the queue drains, any
+        unhandled process failure is re-raised (annotated with the process
+        name); if failure-free but blocked processes remain, a deadlock is
+        reported as :class:`~repro.errors.SimulationHang`.  Neither check
+        runs when an ``until`` bound stops the run early — the simulation
+        is not over.
         """
         queue = self._queue
+        watchdog = self.watchdog
         while queue:
             when, _seq, callback = queue[0]
             if until is not None and when > until:
@@ -107,8 +195,53 @@ class Engine:
                 return self.now
             heapq.heappop(queue)
             self.now = when
+            self.dispatched += 1
+            if watchdog is not None:
+                watchdog.check(self)
             callback()
+        self._raise_unhandled_failures()
+        if self.detect_deadlock and self._active_processes > 0:
+            raise SimulationHang(
+                f"deadlock: {self._active_processes} live process(es) with "
+                f"an empty event queue", self.diagnostics())
         return self.now
+
+    def _raise_unhandled_failures(self) -> None:
+        for failure in self._failures:
+            if failure.handled:
+                continue
+            failure.handled = True   # a re-run must not re-raise it
+            error = failure.error
+            note = f"raised in simulation process {failure.process.name!r}"
+            if hasattr(error, "add_note"):
+                error.add_note(note)
+                raise error
+            raise ProcessError(f"{note}: {error}",
+                               failure.process.name) from error
+
+    def live_processes(self) -> List[Process]:
+        """Processes that have started but not yet finished or failed."""
+        return list(self._live.values())
+
+    def diagnostics(self) -> str:
+        """A human-readable dump of engine state (for hang reports)."""
+        lines = [f"engine: now={self.now} dispatched={self.dispatched} "
+                 f"pending_events={len(self._queue)} "
+                 f"live_processes={self._active_processes}"]
+        for process in self._live.values():
+            lines.append(f"  process {process.name!r}: "
+                         f"{process._describe_wait()}")
+        for when, _seq, _callback in sorted(self._queue)[:8]:
+            lines.append(f"  pending event at t={when}")
+        for name, resource in self.monitored_resources.items():
+            describe = getattr(resource, "describe", None)
+            detail = describe() if callable(describe) else repr(resource)
+            lines.append(f"  resource {name}: {detail}")
+        for failure in self._failures:
+            status = "handled" if failure.handled else "unhandled"
+            lines.append(f"  failure in {failure.process.name!r} ({status}): "
+                         f"{type(failure.error).__name__}: {failure.error}")
+        return "\n".join(lines)
 
     def run_all(self, processes: Iterable[ProcessGenerator]) -> float:
         """Convenience: register each generator and run to completion."""

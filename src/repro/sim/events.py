@@ -11,14 +11,20 @@ class Event:
     Processes wait on an event by yielding it; the engine resumes every
     waiter when the event is succeeded.  Succeeding an event twice is an
     error — events are single-use, like simpy's.
+
+    An event can alternatively *fail* with an exception: waiters then have
+    the exception thrown into their generator at the yield point, so a
+    process can catch a child's failure with an ordinary try/except.
     """
 
-    __slots__ = ("_callbacks", "_triggered", "value")
+    __slots__ = ("_callbacks", "_triggered", "value", "failed", "exception")
 
     def __init__(self) -> None:
         self._callbacks: List[Callable[["Event"], None]] = []
         self._triggered = False
         self.value: Any = None
+        self.failed = False
+        self.exception: Optional[BaseException] = None
 
     @property
     def triggered(self) -> bool:
@@ -35,6 +41,18 @@ class Event:
             callback(self)
         return self
 
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed, delivering ``exception`` to waiters."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self.failed = True
+        self.exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` on trigger (immediately if already fired)."""
         if self._triggered:
@@ -44,7 +62,12 @@ class Event:
 
 
 class CompositeEvent(Event):
-    """An event that fires when all of its children have fired."""
+    """An event that fires when all of its children have fired.
+
+    If any child fails, the composite fails with that child's exception
+    (first failure wins); waiters see the failure immediately rather than
+    blocking on children that will never matter.
+    """
 
     __slots__ = ("_pending",)
 
@@ -57,7 +80,12 @@ class CompositeEvent(Event):
         for child in children:
             child.add_callback(self._child_done)
 
-    def _child_done(self, _child: Event) -> None:
+    def _child_done(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.failed:
+            self.fail(child.exception)
+            return
         self._pending -= 1
-        if self._pending == 0 and not self.triggered:
+        if self._pending == 0:
             self.succeed()

@@ -65,6 +65,12 @@ class PipelinedResource:
             self._floors: List[float] = [0.0] * servers
             self._horizon = max(60.0 * service, 2_000.0)
 
+    def describe(self) -> str:
+        """One-line occupancy summary for diagnostic dumps."""
+        return (f"PipelinedResource(servers={self.servers}, "
+                f"service={self.service}, grants={self.grants}, "
+                f"busy_cycles={self.busy_cycles})")
+
     def request(self, now: float) -> float:
         """Reserve the earliest capacity at or after ``now``; returns the
         grant (start-of-service) time."""
@@ -144,7 +150,8 @@ class OccupancyPool:
         pool.release_at(start + duration)
     """
 
-    __slots__ = ("capacity", "_releases", "peak", "acquisitions", "wait_cycles")
+    __slots__ = ("capacity", "_releases", "peak", "acquisitions", "releases",
+                 "wait_cycles")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -153,7 +160,20 @@ class OccupancyPool:
         self._releases: List[float] = []
         self.peak = 0
         self.acquisitions = 0
+        self.releases = 0
         self.wait_cycles = 0.0
+
+    @property
+    def outstanding(self) -> int:
+        """Slots acquired but never released — a leak if nonzero at end of
+        run (every :meth:`acquire` must pair with a :meth:`release_at`)."""
+        return self.acquisitions - self.releases
+
+    def describe(self) -> str:
+        """One-line occupancy summary for diagnostic dumps."""
+        return (f"OccupancyPool(capacity={self.capacity}, peak={self.peak}, "
+                f"acquisitions={self.acquisitions}, "
+                f"outstanding={self.outstanding})")
 
     def occupancy(self, now: float) -> int:
         """Number of slots held at time ``now``."""
@@ -182,6 +202,7 @@ class OccupancyPool:
 
     def release_at(self, when: float) -> None:
         """Mark the slot acquired by the latest :meth:`acquire` as held until ``when``."""
+        self.releases += 1
         heapq.heappush(self._releases, when)
         if len(self._releases) > self.peak:
             self.peak = len(self._releases)
@@ -212,6 +233,20 @@ class BoundedQueue:
     @property
     def full(self) -> bool:
         return len(self._items) >= self.capacity
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+    @property
+    def waiting_putters(self) -> int:
+        return len(self._putters)
+
+    def describe(self) -> str:
+        """One-line occupancy summary for diagnostic dumps."""
+        return (f"BoundedQueue({self.name!r}, items={len(self._items)}/"
+                f"{self.capacity}, getters={len(self._getters)}, "
+                f"putters={len(self._putters)}, closed={self.closed})")
 
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; the returned event fires when it is accepted.

@@ -1,0 +1,86 @@
+"""End-of-run invariant sanitizer.
+
+A simulation can terminate "successfully" and still have produced garbage:
+a leaked MSHR slot means a miss was issued whose fill never completed, an
+undrained inter-unit queue means tuples were dispatched but never walked,
+and a live process after the event queue empties means a unit silently
+wedged.  These checks run after every measurement (wired into
+:meth:`repro.widx.machine.WidxMachine.run` and consumed by the harness
+runner) so a wedged run fails loudly instead of reporting bogus cycles.
+
+All functions raise :class:`~repro.errors.InvariantViolation` on the first
+violated invariant, naming the resource and its end state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+from ..errors import InvariantViolation
+from .engine import Engine
+from .resources import BoundedQueue, OccupancyPool
+
+
+def check_engine_drained(engine: Engine) -> None:
+    """The event queue must be empty and every process finished."""
+    if engine._queue:
+        raise InvariantViolation(
+            f"engine finished with {len(engine._queue)} pending event(s)")
+    live = engine.live_processes()
+    if live:
+        names = ", ".join(repr(p.name) for p in live)
+        raise InvariantViolation(
+            f"engine finished with live process(es): {names}")
+
+
+def check_queue_drained(queue: BoundedQueue) -> None:
+    """A finished run must leave no items or blocked parties in a queue."""
+    if len(queue):
+        raise InvariantViolation(
+            f"queue {queue.name!r} finished with {len(queue)} undrained "
+            f"item(s)")
+    if queue.waiting_getters or queue.waiting_putters:
+        raise InvariantViolation(
+            f"queue {queue.name!r} finished with {queue.waiting_getters} "
+            f"blocked getter(s) and {queue.waiting_putters} blocked "
+            f"putter(s)")
+
+
+def check_pool_released(name: str, pool: OccupancyPool) -> None:
+    """Every acquired slot must have been released (MSHR/TLB leak check)."""
+    if pool.outstanding != 0:
+        raise InvariantViolation(
+            f"pool {name!r} leaked {pool.outstanding} slot(s): "
+            f"{pool.acquisitions} acquired, {pool.releases} released")
+
+
+def hierarchy_pools(hierarchy: Any) -> Iterable[Tuple[str, OccupancyPool]]:
+    """The named occupancy pools of a memory hierarchy (duck-typed so the
+    core-coupled and LLC-side paths both work)."""
+    l1d = getattr(hierarchy, "l1d", None)
+    if l1d is not None:
+        yield f"{l1d.name} MSHRs", l1d.mshrs
+    llc = getattr(hierarchy, "llc", None)
+    if llc is not None:
+        yield f"{llc.name} MSHRs", llc.mshrs
+    tlb = getattr(hierarchy, "tlb", None)
+    if tlb is not None:
+        yield "TLB page walks", tlb.walks
+
+
+def check_hierarchy(hierarchy: Any) -> None:
+    """Leak-check every occupancy pool in a memory hierarchy."""
+    for name, pool in hierarchy_pools(hierarchy):
+        check_pool_released(name, pool)
+
+
+def sanitize_run(engine: Engine,
+                 queues: Iterable[Optional[BoundedQueue]] = (),
+                 hierarchy: Any = None) -> None:
+    """Full post-run sweep: engine drained, queues drained, no pool leaks."""
+    check_engine_drained(engine)
+    for queue in queues:
+        if queue is not None:
+            check_queue_drained(queue)
+    if hierarchy is not None:
+        check_hierarchy(hierarchy)

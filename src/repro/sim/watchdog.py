@@ -1,0 +1,111 @@
+"""Progress watchdog for the discrete-event engine.
+
+Long campaigns die three ways that an exception never reports:
+
+* **deadlock** — live processes with an empty event queue.  The engine
+  itself detects this at the end of :meth:`~repro.sim.engine.Engine.run`
+  (no watchdog needed: it is visible in the final state).
+* **livelock** — the queue never empties but ``now`` stops advancing
+  (e.g. two processes endlessly handing a zero-delay event back and
+  forth).  Only visible *while* running, so the watchdog counts events
+  dispatched without a time advance.
+* **blown budgets** — the run advances but will never finish within the
+  campaign's patience.  The watchdog enforces optional simulated-cycle
+  and wall-clock ceilings per measurement.
+
+All three raise :class:`~repro.errors.SimulationHang` carrying the
+engine's diagnostic dump (runnable processes, pending events, monitored
+resource occupancy), so a wedged measurement fails loudly with enough
+context to reproduce.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationHang
+from .engine import Engine
+
+#: Livelock threshold: the Widx machine dispatches bursts of same-cycle
+#: events (one per unit step), but a bounded number — a million events
+#: without the clock moving means nobody is getting anywhere.
+DEFAULT_MAX_STALL_EVENTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class WatchdogLimits:
+    """Budgets a :class:`Watchdog` enforces (``None`` disables a check)."""
+
+    max_stall_events: Optional[int] = DEFAULT_MAX_STALL_EVENTS
+    max_cycles: Optional[float] = None        # simulated-cycle ceiling
+    max_wall_seconds: Optional[float] = None  # wall-clock ceiling
+    wall_check_interval: int = 4096           # events between clock reads
+
+    def __post_init__(self) -> None:
+        if self.max_stall_events is not None and self.max_stall_events < 1:
+            raise ValueError("max_stall_events must be >= 1")
+        if self.max_cycles is not None and self.max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive")
+        if self.wall_check_interval < 1:
+            raise ValueError("wall_check_interval must be >= 1")
+
+
+DEFAULT_LIMITS = WatchdogLimits()
+
+
+class Watchdog:
+    """Per-run progress monitor; attach one per :class:`Engine` run.
+
+    The engine calls :meth:`check` once per dispatched event.  The hot
+    path is two comparisons; wall-clock reads are amortized over
+    ``wall_check_interval`` events.
+    """
+
+    def __init__(self, limits: WatchdogLimits = DEFAULT_LIMITS) -> None:
+        self.limits = limits
+        self._last_now: Optional[float] = None
+        self._stall_events = 0
+        self._events_since_wall_check = 0
+        self._started_wall: Optional[float] = None
+
+    def attach(self, engine: Engine) -> "Watchdog":
+        """Install on an engine (returns self for chaining)."""
+        engine.watchdog = self
+        return self
+
+    def check(self, engine: Engine) -> None:
+        """Called by the engine after popping each event."""
+        limits = self.limits
+        now = engine.now
+        if limits.max_stall_events is not None:
+            if self._last_now is None or now > self._last_now:
+                self._last_now = now
+                self._stall_events = 0
+            else:
+                self._stall_events += 1
+                if self._stall_events > limits.max_stall_events:
+                    self._hang(engine,
+                               f"livelock: {self._stall_events} events "
+                               f"dispatched with the clock stuck at t={now}")
+        if limits.max_cycles is not None and now > limits.max_cycles:
+            self._hang(engine,
+                       f"cycle budget exceeded: t={now} > "
+                       f"max_cycles={limits.max_cycles}")
+        if limits.max_wall_seconds is not None:
+            if self._started_wall is None:
+                self._started_wall = time.monotonic()
+            self._events_since_wall_check += 1
+            if self._events_since_wall_check >= limits.wall_check_interval:
+                self._events_since_wall_check = 0
+                elapsed = time.monotonic() - self._started_wall
+                if elapsed > limits.max_wall_seconds:
+                    self._hang(engine,
+                               f"wall-clock budget exceeded: {elapsed:.1f}s > "
+                               f"max_wall_seconds={limits.max_wall_seconds}")
+
+    def _hang(self, engine: Engine, reason: str) -> None:
+        raise SimulationHang(reason, engine.diagnostics())

@@ -28,6 +28,8 @@ from ..mem.hierarchy import MemoryHierarchy
 from ..mem.physmem import PhysicalMemory
 from ..sim.engine import Engine, Process
 from ..sim.resources import BoundedQueue
+from ..sim.sanitize import hierarchy_pools, sanitize_run
+from ..sim.watchdog import Watchdog
 from .programs import GeneratedProgram
 from .unit import UnitCycleBreakdown, UnitStats, WidxUnit
 
@@ -199,6 +201,11 @@ class WidxMachine:
         if not self._built:
             raise ConfigError("call build() before launch()")
         engine = self.engine
+        for queue in self._key_queues + [self._out_queue]:
+            if queue is not None:
+                engine.monitor_resource(queue.name, queue)
+        for name, pool in hierarchy_pools(self.hierarchy):
+            engine.monitor_resource(name, pool)
         walker_procs: List[Process] = []
         autonomous_procs: List[Process] = []
         for unit in self._walkers:
@@ -225,10 +232,27 @@ class WidxMachine:
             unit_stats={name: unit.stats for name, unit in self.units.items()},
         )
 
-    def run(self, expected_tuples: int) -> WidxRunResult:
-        """Run the offload to completion; returns timing and stats."""
+    def run(self, expected_tuples: int,
+            watchdog: Optional[Watchdog] = None,
+            sanitize: bool = True) -> WidxRunResult:
+        """Run the offload to completion; returns timing and stats.
+
+        A :class:`~repro.sim.watchdog.Watchdog` (a default-limits one
+        unless provided) polices livelock and budget overruns during the
+        run; afterwards the end-of-run sanitizer verifies the engine
+        drained, every inter-unit queue emptied, and no MSHR/TLB pool
+        leaked — so a wedged run raises instead of reporting garbage.
+        """
         self.launch()
+        if watchdog is not None:
+            watchdog.attach(self.engine)
+        elif self.engine.watchdog is None:
+            Watchdog().attach(self.engine)
         self.engine.run()
+        if sanitize:
+            sanitize_run(self.engine,
+                         self._key_queues + [self._out_queue],
+                         self.hierarchy)
         return self.collect(expected_tuples)
 
     @staticmethod

@@ -20,6 +20,7 @@ from ..db.column import Column
 from ..db.hashtable import HashIndex
 from ..errors import MemoryError_, WidxFault
 from ..mem.hierarchy import MemoryHierarchy
+from ..sim.watchdog import Watchdog
 from .machine import WidxMachine, WidxRunResult
 from .programs import (GeneratedProgram, coupled_walker_program,
                        dispatcher_program, producer_program, walker_program)
@@ -63,7 +64,8 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
                   validate: bool = True,
                   memory: Optional[MemoryHierarchy] = None,
                   fallback_to_host: bool = False,
-                  configure_hook=None) -> OffloadOutcome:
+                  configure_hook=None,
+                  watchdog: Optional[Watchdog] = None) -> OffloadOutcome:
     """Probe ``index`` with the first ``probes`` keys of ``probe_column``
     on the configured Widx organization; returns timing plus results.
 
@@ -76,6 +78,10 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
 
     ``configure_hook(machine)`` runs after standard configuration — used
     by fault-injection tests to corrupt configuration registers.
+
+    ``watchdog`` overrides the default progress watchdog — pass one built
+    from tighter :class:`~repro.sim.watchdog.WatchdogLimits` to budget the
+    measurement's simulated cycles or wall-clock time.
     """
     if not probe_column.is_materialized:
         raise WidxFault("probe keys must be materialized in simulated memory")
@@ -105,15 +111,16 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
     try:
         return _offload_probe_with_region(
             index, probe_column, probes, config, warm, validate, memory,
-            fallback_to_host, configure_hook, reference, out_region)
+            fallback_to_host, configure_hook, reference, out_region,
+            watchdog)
     finally:
         space.release(out_region)
 
 
 def _offload_probe_with_region(index, probe_column, probes, config, warm,
                                validate, memory, fallback_to_host,
-                               configure_hook, reference, out_region
-                               ) -> OffloadOutcome:
+                               configure_hook, reference, out_region,
+                               watchdog=None) -> OffloadOutcome:
     space = index.space
     layout = index.layout
     widx = config.widx
@@ -183,7 +190,7 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
 
     # --- run and read back --------------------------------------------
     try:
-        run = machine.run(expected_tuples=probes)
+        run = machine.run(expected_tuples=probes, watchdog=watchdog)
     except (MemoryError_, WidxFault):
         if not fallback_to_host:
             raise

@@ -138,3 +138,31 @@ class TestCacheStore:
             store.put(f"k{index}", {"type": "core_timing", "data": {}})
         assert not [name for name in os.listdir(str(tmp_path))
                     if name.startswith(".tmp-")]
+
+    def test_stale_temps_swept_on_open(self, tmp_path):
+        # A worker killed mid-put abandons a temp file; reopening the
+        # store sweeps temps old enough that no live writer can own them.
+        stale = tmp_path / ".tmp-abandoned.json"
+        stale.write_text("half a wr")
+        old = os.path.getmtime(str(stale)) - 7200
+        os.utime(str(stale), (old, old))
+        store = CacheStore(str(tmp_path))
+        assert store.swept_temps == 1
+        assert not stale.exists()
+
+    def test_fresh_temps_survive_sweep(self, tmp_path):
+        # A young temp may belong to a concurrent writer mid-put.
+        fresh = tmp_path / ".tmp-in-flight.json"
+        fresh.write_text("being written")
+        store = CacheStore(str(tmp_path))
+        assert store.swept_temps == 0
+        assert fresh.exists()
+
+    def test_sweep_ignores_entry_files(self, tmp_path):
+        store = CacheStore(str(tmp_path))
+        store.put("keep", {"type": "core_timing", "data": {}})
+        old = os.path.getmtime(store.path("keep")) - 7200
+        os.utime(store.path("keep"), (old, old))
+        reopened = CacheStore(str(tmp_path))
+        assert reopened.swept_temps == 0
+        assert reopened.get("keep") is not None

@@ -1,0 +1,105 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.harness.cachestore import CacheStore
+from repro.harness.chaos import (ChaosError, ChaosSpec, ChaosStore,
+                                 inject_measurement_error)
+
+
+def test_same_seed_same_decisions():
+    keys = [f"widx/kernel/Small/{n}/shared" for n in range(50)]
+    a = ChaosSpec(seed=11, kill_rate=0.3)
+    b = ChaosSpec(seed=11, kill_rate=0.3)
+    assert ([a.wants("kill", key, a.kill_rate) for key in keys]
+            == [b.wants("kill", key, b.kill_rate) for key in keys])
+
+
+def test_different_seeds_differ():
+    keys = [f"point-{n}" for n in range(200)]
+    a = ChaosSpec(seed=1, kill_rate=0.5)
+    b = ChaosSpec(seed=2, kill_rate=0.5)
+    assert ([a.wants("kill", key, 0.5) for key in keys]
+            != [b.wants("kill", key, 0.5) for key in keys])
+
+
+def test_sites_draw_independently():
+    spec = ChaosSpec(seed=3)
+    keys = [f"point-{n}" for n in range(200)]
+    kills = [spec.wants("kill", key, 0.5) for key in keys]
+    hangs = [spec.wants("hang", key, 0.5) for key in keys]
+    assert kills != hangs
+
+
+def test_rate_extremes():
+    spec = ChaosSpec(seed=5)
+    assert not spec.wants("kill", "anything", 0.0)
+    assert spec.wants("kill", "anything", 1.0)
+
+
+def test_rates_roughly_calibrated():
+    spec = ChaosSpec(seed=9)
+    hits = sum(spec.wants("error", f"key-{n}", 0.25) for n in range(2000))
+    assert 0.15 < hits / 2000 < 0.35
+
+
+def test_injection_budget_limits_attempts():
+    spec = ChaosSpec(seed=5, error_rate=1.0, max_injections=2)
+    assert spec.should_inject("error", "k", attempt=0, rate=1.0)
+    assert spec.should_inject("error", "k", attempt=1, rate=1.0)
+    assert not spec.should_inject("error", "k", attempt=2, rate=1.0)
+
+
+def test_target_filter():
+    spec = ChaosSpec(seed=5, target="Large")
+    assert not spec.wants("kill", "widx/kernel/Small/1", 1.0)
+    assert spec.wants("kill", "widx/kernel/Large/1", 1.0)
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        ChaosSpec(seed=1, kill_rate=1.5)
+    with pytest.raises(ValueError):
+        ChaosSpec(seed=1, max_injections=-1)
+
+
+def test_measurement_error_injection():
+    spec = ChaosSpec(seed=5, error_rate=1.0, max_injections=1)
+    with pytest.raises(ChaosError):
+        inject_measurement_error(spec, "some-point", attempt=0)
+    inject_measurement_error(spec, "some-point", attempt=1)  # budget spent
+    inject_measurement_error(None, "some-point", attempt=0)  # chaos off
+
+
+def test_chaos_store_transient_read_error_then_recovers(tmp_path):
+    store = CacheStore(str(tmp_path))
+    chaotic = ChaosStore(store, ChaosSpec(seed=5, io_error_rate=1.0,
+                                          max_injections=1))
+    chaotic.put("abc", {"value": 1.5})
+    with pytest.raises(OSError):
+        chaotic.get("abc")
+    assert chaotic.get("abc") == {"value": 1.5}  # budget spent: clean read
+    assert chaotic.injected["io-read"] == 1
+
+
+def test_chaos_store_corruption_rejected_by_checksum(tmp_path):
+    store = CacheStore(str(tmp_path))
+    chaotic = ChaosStore(store, ChaosSpec(seed=5, corrupt_rate=1.0,
+                                          max_injections=1))
+    chaotic.put("abc", {"value": 2.25})
+    # The torn entry fails checksum verification: a miss, never a crash.
+    assert store.get("abc") is None
+    assert store.rejected == 1
+    # A rewrite is past the injection budget and survives.
+    chaotic.put("abc", {"value": 2.25})
+    assert store.get("abc") == {"value": 2.25}
+
+
+def test_chaos_store_delegates(tmp_path):
+    store = CacheStore(str(tmp_path))
+    chaotic = ChaosStore(store, ChaosSpec(seed=5))
+    chaotic.put("k", {"v": 1})
+    assert "k" in chaotic
+    assert len(chaotic) == 1
+    assert chaotic.path("k") == store.path("k")
+    assert chaotic.rejected == 0  # __getattr__ falls through to the store

@@ -120,7 +120,7 @@ def test_no_cache_disables_the_store(tmp_path, monkeypatch):
     import repro.harness.cli as cli
     captured = {}
 
-    def fake_run(names, settings, out=None, store=None, jobs=1):
+    def fake_run(names, settings, out=None, store=None, jobs=1, **kwargs):
         captured["store"] = store
         captured["jobs"] = jobs
         return []

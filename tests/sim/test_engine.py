@@ -169,3 +169,77 @@ def test_run_all_convenience():
 
     engine.run_all([proc(1), proc(2)])
     assert sorted(log) == [1, 2]
+
+
+def test_unhandled_process_failure_surfaces_with_name():
+    engine = Engine()
+
+    def faulty():
+        yield 3
+        raise ValueError("bad register")
+
+    engine.process(faulty(), "walker2")
+    with pytest.raises(ValueError, match="bad register") as excinfo:
+        engine.run()
+    assert any("walker2" in note
+               for note in getattr(excinfo.value, "__notes__", []))
+
+
+def test_waiting_parent_catches_child_failure():
+    engine = Engine()
+    caught = []
+
+    def child():
+        yield 2
+        raise ValueError("child died")
+
+    def parent():
+        try:
+            yield engine.process(child(), "child")
+        except ValueError as exc:
+            caught.append((engine.now, str(exc)))
+        yield 1
+
+    engine.process(parent(), "parent")
+    engine.run()  # handled failure: nothing re-raised
+    assert caught == [(2.0, "child died")]
+    assert engine.now == 3.0
+
+
+def test_failure_takes_precedence_over_deadlock():
+    # A fault that starves the rest of the pipeline must report the fault,
+    # not the resulting deadlock.
+    engine = Engine()
+
+    def faulty():
+        yield 1
+        raise ValueError("the actual fault")
+
+    def starved():
+        yield Event()  # never fires once faulty dies
+
+    engine.process(faulty(), "faulty")
+    engine.process(starved(), "starved")
+    with pytest.raises(ValueError, match="the actual fault"):
+        engine.run()
+
+
+def test_failed_event_thrown_into_waiter():
+    engine = Engine()
+    event = Event()
+    caught = []
+
+    def firer():
+        yield 2
+        event.fail(RuntimeError("upstream broke"))
+
+    def waiter():
+        try:
+            yield event
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    engine.process(firer())
+    engine.process(waiter())
+    engine.run()
+    assert caught == ["upstream broke"]

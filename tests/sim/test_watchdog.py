@@ -1,0 +1,144 @@
+"""Tests for the simulation progress watchdog and hang diagnostics."""
+
+import pytest
+
+from repro.errors import SimulationHang
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import OccupancyPool
+from repro.sim.watchdog import Watchdog, WatchdogLimits
+
+
+def test_deadlock_detected_with_process_names():
+    engine = Engine()
+    never = Event()
+
+    def stuck():
+        yield never
+
+    engine.process(stuck(), "stuck-walker")
+    with pytest.raises(SimulationHang) as excinfo:
+        engine.run()
+    message = str(excinfo.value)
+    assert "deadlock" in message
+    assert "stuck-walker" in message          # diagnostics name the process
+    assert excinfo.value.diagnostics
+
+
+def test_deadlock_detection_can_be_disabled():
+    engine = Engine(detect_deadlock=False)
+
+    def stuck():
+        yield Event()
+
+    engine.process(stuck(), "stuck")
+    engine.run()  # finishes quietly; sanitizer would catch the live process
+
+
+def test_livelock_raises_after_stall_threshold():
+    engine = Engine()
+    Watchdog(WatchdogLimits(max_stall_events=50)).attach(engine)
+
+    def spinner():
+        while True:
+            yield 0  # clock never advances
+
+    engine.process(spinner(), "spinner")
+    with pytest.raises(SimulationHang) as excinfo:
+        engine.run()
+    assert "livelock" in str(excinfo.value)
+    assert "spinner" in str(excinfo.value)
+
+
+def test_livelock_counter_resets_when_clock_advances():
+    engine = Engine()
+    Watchdog(WatchdogLimits(max_stall_events=10)).attach(engine)
+
+    def maker():
+        # 8 zero-delay events, then a real advance, repeatedly: each burst
+        # stays under the stall threshold.
+        for _round in range(20):
+            for _ in range(8):
+                yield 0
+            yield 1
+
+    engine.process(maker(), "maker")
+    assert engine.run() == 20.0
+
+
+def test_cycle_budget_enforced():
+    engine = Engine()
+    Watchdog(WatchdogLimits(max_cycles=100.0)).attach(engine)
+
+    def crawler():
+        while True:
+            yield 10
+
+    engine.process(crawler(), "crawler")
+    with pytest.raises(SimulationHang) as excinfo:
+        engine.run()
+    assert "cycle budget" in str(excinfo.value)
+    assert engine.now <= 120.0
+
+
+def test_wall_clock_budget_enforced():
+    engine = Engine()
+    Watchdog(WatchdogLimits(max_wall_seconds=0.02,
+                            wall_check_interval=1)).attach(engine)
+
+    def endless():
+        while True:
+            yield 1
+
+    engine.process(endless(), "endless")
+    with pytest.raises(SimulationHang) as excinfo:
+        engine.run()
+    assert "wall-clock budget" in str(excinfo.value)
+
+
+def test_diagnostics_include_monitored_resources():
+    engine = Engine()
+    pool = OccupancyPool(capacity=4)
+    pool.acquire(0.0)
+    engine.monitor_resource("L1-D MSHRs", pool)
+    never = Event()
+
+    def stuck():
+        yield never
+
+    engine.process(stuck(), "walker0")
+    with pytest.raises(SimulationHang) as excinfo:
+        engine.run()
+    assert "L1-D MSHRs" in str(excinfo.value)
+
+
+def test_monitor_resource_uniquifies_names():
+    engine = Engine()
+    engine.monitor_resource("q", object())
+    engine.monitor_resource("q", object())
+    assert set(engine.monitored_resources) == {"q", "q#2"}
+
+
+def test_limits_validate():
+    with pytest.raises(ValueError):
+        WatchdogLimits(max_stall_events=0)
+    with pytest.raises(ValueError):
+        WatchdogLimits(max_cycles=0)
+    with pytest.raises(ValueError):
+        WatchdogLimits(max_wall_seconds=-1)
+    with pytest.raises(ValueError):
+        WatchdogLimits(wall_check_interval=0)
+
+
+def test_clean_run_unbothered_by_watchdog():
+    engine = Engine()
+    Watchdog().attach(engine)
+    log = []
+
+    def proc():
+        yield 5
+        log.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert log == [5.0]
