@@ -5,7 +5,7 @@ from __future__ import annotations
 import itertools
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..config import SystemConfig, DEFAULT_CONFIG
 from ..cpu.timing import warm_hash_index
@@ -15,6 +15,7 @@ from ..errors import ConfigError, WidxFault
 from ..mem.cache import CacheLevel
 from ..mem.dram import MemoryControllers
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs import StatsRegistry
 from ..sim.engine import Engine
 from ..widx.machine import WidxMachine, WidxRunResult
 from ..widx.programs import (dispatcher_program, producer_program,
@@ -58,6 +59,19 @@ class ChipMultiprocessor:
         """Mean shared-controller utilization over the run."""
         return self.shared_dram.utilization(elapsed_cycles)
 
+    def register_into(self, registry, prefix: str = "cmp") -> None:
+        """Publish per-core private hierarchies plus the shared LLC/DRAM.
+
+        Private paths land under ``{prefix}.core{i}``; the shared LLC and
+        controllers are registered once under ``{prefix}.llc`` /
+        ``{prefix}.dram``.
+        """
+        for index, hierarchy in enumerate(self.cores):
+            hierarchy.register_into(registry, f"{prefix}.core{index}",
+                                    include_shared=False)
+        self.shared_llc.register_into(registry, f"{prefix}.llc")
+        self.shared_dram.register_into(registry, f"{prefix}.dram")
+
 
 @dataclass
 class MulticoreRunResult:
@@ -70,6 +84,7 @@ class MulticoreRunResult:
     llc_miss_ratio: float = 0.0
     dram_utilization: float = 0.0
     validated: Optional[bool] = None
+    stats: Optional[Dict[str, Any]] = None  # registry snapshot (to_dict)
 
     @property
     def cycles_per_tuple(self) -> float:
@@ -189,6 +204,13 @@ def run_multicore_offload(index: HashIndex, probe_column: Column, *,
             raise WidxFault(
                 f"multicore offload diverged: {len(payloads)} emitted vs "
                 f"{len(reference)} expected")
+    registry = StatsRegistry()
+    cmp_system.register_into(registry)
+    for core_index, machine in enumerate(machines):
+        machine.register_into(registry,
+                              prefix=f"cmp.core{core_index}.widx",
+                              queue_prefix=f"cmp.core{core_index}.queue")
+    engine.register_into(registry, "sim.engine")
     return MulticoreRunResult(
         total_cycles=engine.now,
         tuples=probes,
@@ -197,6 +219,7 @@ def run_multicore_offload(index: HashIndex, probe_column: Column, *,
         llc_miss_ratio=cmp_system.llc_miss_ratio(),
         dram_utilization=cmp_system.dram_utilization(max(1.0, engine.now)),
         validated=validated,
+        stats=registry.to_dict(),
     )
 
 

@@ -20,6 +20,7 @@ from typing import Iterable, List
 
 from ..config import CoreConfig
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs import Counter
 from .uops import Uop, UopKind
 
 
@@ -40,11 +41,18 @@ class InOrderCore:
         self._issue_time = 0.0
         self._issued_this_cycle = 0
         self._last_miss_done = 0.0
-        self.uops_executed = 0
-        self.loads_issued = 0
-        self.mem_stall_cycles = 0.0
-        self.tlb_stall_cycles = 0.0
+        self.uops_executed = Counter()
+        self.loads_issued = Counter()
+        self.mem_stall_cycles = Counter(0.0)
+        self.tlb_stall_cycles = Counter(0.0)
         self._completion = 0.0
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish per-op execution counters under ``prefix``."""
+        registry.register(f"{prefix}.uops_executed", self.uops_executed)
+        registry.register(f"{prefix}.loads_issued", self.loads_issued)
+        registry.register(f"{prefix}.mem_stall_cycles", self.mem_stall_cycles)
+        registry.register(f"{prefix}.tlb_stall_cycles", self.tlb_stall_cycles)
 
     def _issue_slot(self) -> float:
         if self._issued_this_cycle >= self.config.issue_width:

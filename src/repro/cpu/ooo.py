@@ -23,6 +23,7 @@ from typing import Deque, Iterable, List
 
 from ..config import CoreConfig
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs import Counter
 from .uops import Uop, UopKind
 
 
@@ -45,14 +46,21 @@ class OutOfOrderCore:
         self._dispatched_this_cycle = 0
         self._frontend_stall_until = 0.0
         self._retire_horizon = 0.0
-        self.uops_executed = 0
-        self.loads_issued = 0
-        self.mem_stall_cycles = 0.0
-        self.tlb_stall_cycles = 0.0
+        self.uops_executed = Counter()
+        self.loads_issued = Counter()
+        self.mem_stall_cycles = Counter(0.0)
+        self.tlb_stall_cycles = Counter(0.0)
 
     @property
     def now(self) -> float:
         return self._dispatch_time
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish per-op execution counters under ``prefix``."""
+        registry.register(f"{prefix}.uops_executed", self.uops_executed)
+        registry.register(f"{prefix}.loads_issued", self.loads_issued)
+        registry.register(f"{prefix}.mem_stall_cycles", self.mem_stall_cycles)
+        registry.register(f"{prefix}.tlb_stall_cycles", self.tlb_stall_cycles)
 
     def _dispatch_slot(self) -> float:
         """Advance the front end by one dispatch slot; returns its time."""

@@ -8,12 +8,13 @@ the remaining probes, reporting a 95% confidence interval over batch means.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from ..config import SystemConfig, DEFAULT_CONFIG
 from ..db.column import Column
 from ..db.hashtable import HashIndex
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs import StatsRegistry
 from ..sim.sampling import BatchStats
 from .inorder import InOrderCore
 from .ooo import OutOfOrderCore
@@ -44,6 +45,7 @@ class CoreTimingResult:
     tlb_stall_per_tuple: float
     l1_miss_ratio: float
     llc_miss_ratio: float
+    stats: Optional[Dict[str, Any]] = None  # registry snapshot (to_dict)
 
     @property
     def relative_error(self) -> float:
@@ -103,6 +105,9 @@ def measure_indexing(index: HashIndex, probe_keys: Column, *,
 
     total = model.completion_time - measure_start
     mean, half = stats.interval()
+    registry = StatsRegistry()
+    model.register_into(registry, f"cpu.{core}")
+    memory.register_into(registry, "mem")
     return CoreTimingResult(
         core=core,
         cycles_per_tuple=total / measured_tuples,
@@ -114,4 +119,5 @@ def measure_indexing(index: HashIndex, probe_keys: Column, *,
         tlb_stall_per_tuple=model.tlb_stall_cycles / max(1, measured_tuples + warmup_probes),
         l1_miss_ratio=memory.stats.l1d.miss_ratio,
         llc_miss_ratio=memory.stats.llc.miss_ratio,
+        stats=registry.to_dict(),
     )

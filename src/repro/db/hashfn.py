@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+from ..errors import InvariantViolation
+
 MASK64 = (1 << 64) - 1
 
 #: step kinds -> (uses_shift, uses_const)
@@ -73,7 +75,7 @@ class HashStep:
             return h >> self.amount
         if self.kind == "shl":
             return (h << self.amount) & MASK64
-        raise AssertionError(self.kind)
+        raise InvariantViolation(f"unhandled hash step kind {self.kind!r}")
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import PlanError
+from ..errors import InvariantViolation, PlanError
 from ..mem.layout import AddressSpace, Region
 from ..mem.physmem import NULL_PTR
 from .column import Column
@@ -132,7 +132,9 @@ class HashIndex:
 
     def key_address_for_row(self, row_id: int) -> int:
         """Address of the key in the base column (indirect layouts)."""
-        assert self.key_column is not None
+        if self.key_column is None:
+            raise InvariantViolation(
+                "key_address_for_row on a direct layout: no base key column")
         return self.key_column.address_of(row_id)
 
     def node_key(self, node_addr: int) -> int:

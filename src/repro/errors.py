@@ -64,6 +64,15 @@ class InvariantViolation(SimulationError):
     """
 
 
+class TraceError(SimulationError):
+    """A component emitted ill-nested trace events (an ``end`` without a
+    matching ``begin``, a mismatched span name, or time running backwards).
+
+    Tracing is strictly observational, so this always indicates a bug in
+    the instrumented component, not in the workload.
+    """
+
+
 class MeasurementFailed(ReproError):
     """A measurement point exhausted its retries and was marked failed.
 

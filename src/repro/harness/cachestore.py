@@ -26,8 +26,11 @@ Only the numbers the figure drivers consume are persisted: a
 :class:`~repro.widx.machine.WidxRunResult` (timing + per-unit cycle
 breakdowns) plus the validation/fallback flags — simulated memory
 hierarchies and generated programs are rebuilt on demand, never stored.
-JSON floats serialize via ``repr`` and therefore round-trip bit-exactly,
-which is what makes cache-hit reports byte-identical to measured ones.
+Both carry their :class:`~repro.obs.StatsRegistry` snapshot, so cache-hit
+runs contribute exactly the same merged statistics as freshly measured
+ones.  JSON floats serialize via ``repr`` and therefore round-trip
+bit-exactly, which is what makes cache-hit reports byte-identical to
+measured ones.
 """
 
 from __future__ import annotations
@@ -46,7 +49,9 @@ from ..widx.offload import OffloadOutcome
 from ..widx.unit import UnitCycleBreakdown, UnitStats
 
 #: Bump when the payload schema changes; old entries are then ignored.
-CACHE_FORMAT = 1
+#: Format 2 added per-measurement stats-registry snapshots (the
+#: observability refactor).
+CACHE_FORMAT = 2
 
 #: Orphaned temp files older than this are swept on store open.  Any live
 #: writer finishes a put in well under an hour; anything older was
@@ -76,13 +81,14 @@ def encode_measurement(obj: Any) -> Dict[str, Any]:
                 "matches": run.matches,
                 "config_cycles": run.config_cycles,
                 "unit_stats": {
-                    name: asdict(stats)
+                    name: stats.to_dict()
                     for name, stats in sorted(run.unit_stats.items())
                 },
             },
             "validated": obj.validated,
             "fell_back": obj.fell_back,
             "abort_cycles": obj.abort_cycles,
+            "stats": obj.stats,
         }
     raise CacheDecodeError(f"cannot encode measurement of type {type(obj)!r}")
 
@@ -106,7 +112,8 @@ def decode_measurement(payload: Dict[str, Any]) -> Any:
             return OffloadOutcome(run=result,
                                   validated=payload["validated"],
                                   fell_back=payload["fell_back"],
-                                  abort_cycles=payload["abort_cycles"])
+                                  abort_cycles=payload["abort_cycles"],
+                                  stats=payload.get("stats"))
     except CacheDecodeError:
         raise
     except (KeyError, TypeError) as exc:

@@ -19,7 +19,11 @@ first, then Widx by ascending walker count).
 
 Parallel results cross process boundaries as the same JSON payloads the
 persistent store uses (:mod:`repro.harness.cachestore`); JSON floats
-round-trip exactly, so no precision is lost on the way back.
+round-trip exactly, so no precision is lost on the way back.  Each payload
+also carries the measurement's :class:`~repro.obs.StatsRegistry` snapshot,
+so the merged statistics (:meth:`~repro.harness.runner.MeasurementCache.
+merged_stats`) are identical whether a point was measured in-process, by a
+worker, or loaded from the store.
 
 **Fault tolerance.**  A campaign outlives its workers.  Each worker
 streams per-point results back over a pipe as it finishes them, so a

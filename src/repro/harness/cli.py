@@ -25,11 +25,14 @@ cache corruption to exercise exactly those paths.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from ..errors import CampaignInterrupted, MeasurementFailed
+from ..obs import Tracer
 from .campaign import Campaign, MeasurementPoint, RetryPolicy, default_jobs
 from .cachestore import CacheStore
 from .chaos import ChaosSpec, ChaosStore
@@ -67,8 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate tables and figures from 'Meet the Walkers' "
                     "(MICRO 2013).")
     parser.add_argument("--figure", action="append", dest="figures",
-                        metavar="ID", choices=sorted(EXPERIMENTS),
-                        help="experiment id (repeatable); see --list")
+                        metavar="ID",
+                        help="experiment id (repeatable); a bare figure "
+                             "number like 'fig8' or '8' selects every "
+                             "panel; see --list")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--fast", action="store_true",
@@ -103,7 +108,44 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-rate", type=float, default=0.25, metavar="R",
                         help="per-fault-site injection probability for "
                              "--chaos (default: 0.25)")
+    parser.add_argument("--stats-json", default=None, metavar="PATH",
+                        dest="stats_json",
+                        help="write the merged stats-registry snapshot and "
+                             "the reports as JSON to PATH")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a Chrome trace-event file of one Widx "
+                             "offload (open in about:tracing / Perfetto)")
     return parser
+
+
+def resolve_figures(raw: List[str]) -> List[str]:
+    """Expand user-supplied ``--figure`` tokens to experiment ids.
+
+    Accepts exact ids (``8b``), ids with a ``fig`` prefix (``fig8b``) and
+    bare figure numbers (``8`` or ``fig8``), which select every matching
+    panel (``8a`` and ``8b``).  Raises :class:`ValueError` naming the bad
+    token when nothing matches.  Duplicates are dropped, first occurrence
+    wins.
+    """
+    names: List[str] = []
+    for token in raw:
+        cleaned = token.strip().lower()
+        if cleaned.startswith("fig"):
+            cleaned = cleaned[3:]
+        if cleaned in EXPERIMENTS:
+            matches = [cleaned]
+        else:
+            matches = sorted(
+                name for name in EXPERIMENTS
+                if name.startswith(cleaned) and name[len(cleaned):].isalpha())
+        if not cleaned or not matches:
+            known = ", ".join(sorted(EXPERIMENTS, key=_sort_key))
+            raise ValueError(
+                f"unknown figure {token!r} (choose from: {known})")
+        for name in matches:
+            if name not in names:
+                names.append(name)
+    return names
 
 
 def list_experiments() -> str:
@@ -134,7 +176,9 @@ def campaign_points(names: List[str]) -> List[MeasurementPoint]:
 def run_experiments(names: List[str], settings: RunSettings,
                     out=sys.stdout, store: Optional[CacheStore] = None,
                     jobs: int = 1, policy: Optional[RetryPolicy] = None,
-                    chaos: Optional[ChaosSpec] = None) -> List[Report]:
+                    chaos: Optional[ChaosSpec] = None,
+                    stats_json: Optional[str] = None,
+                    trace: Optional[str] = None) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -143,6 +187,11 @@ def run_experiments(names: List[str], settings: RunSettings,
     renders every figure it can: a driver whose points are poisoned is
     reported as failed (with the failure manifest) instead of aborting
     the whole run.
+
+    ``stats_json`` writes the merged stats-registry snapshot plus every
+    report (via :meth:`Report.to_dict`) as JSON; ``trace`` re-runs one
+    Widx point with a :class:`~repro.obs.Tracer` attached and writes a
+    Chrome trace-event file.
     """
     if chaos is not None and store is not None:
         store = ChaosStore(store, chaos)
@@ -174,7 +223,69 @@ def run_experiments(names: List[str], settings: RunSettings,
     if failures:
         print(failure_report(failures).format(), file=out)
         print(file=out)
+    if trace is not None:
+        _trace_drill(cache, points, trace, out)
+    if stats_json is not None:
+        _write_stats_json(stats_json, names, settings, cache, reports,
+                          failures, out)
     return reports
+
+
+def _write_stats_json(path: str, names: List[str], settings: RunSettings,
+                      cache: MeasurementCache, reports: List[Report],
+                      failures, out) -> None:
+    """Serialize the run's statistics and reports to one JSON file.
+
+    Volatile campaign accounting (wall-clock, worker counts, store hit
+    rates) is deliberately excluded so the payload stays deterministic
+    for a given selection, settings and seed.
+    """
+    payload = {
+        "format": 1,
+        "experiments": list(names),
+        "settings": asdict(settings),
+        "registry": cache.merged_stats().to_dict(),
+        "reports": [report.to_dict() for report in reports],
+    }
+    if failures:
+        payload["failures"] = failure_report(failures).to_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[stats written to {path}]", file=out)
+
+
+def _trace_drill(cache: MeasurementCache, points: List[MeasurementPoint],
+                 path: str, out) -> None:
+    """Re-run the selection's first Widx point with a tracer attached.
+
+    Traces are a drill-down artifact, not a campaign output: cached
+    measurements never re-simulate, so the drill re-runs exactly one
+    offload in-process with the same workload, settings and seed.  With
+    no Widx point in the selection an empty (but valid) trace is still
+    written.
+    """
+    from ..widx.offload import offload_probe
+
+    target = next((p for p in points if p.op == "widx"), None)
+    tracer = Tracer()
+    if target is None:
+        print(f"[trace: no Widx point in this selection; "
+              f"empty trace written to {path}]", file=out)
+    else:
+        index, probes = (
+            cache.kernel_workload(target.name) if target.kind == "kernel"
+            else cache.query_workload(cache._spec_by_name(target.name)))
+        config = cache.config.with_widx(num_walkers=target.walkers,
+                                        mode=target.mode)
+        started = time.time()
+        offload_probe(index, probes, config=config,
+                      probes=cache.runs.probes, tracer=tracer)
+        elapsed = time.time() - started
+        print(f"[trace: {'/'.join(map(str, target.cache_tuple()))} "
+              f"re-simulated in {elapsed:.1f}s; {tracer.num_events} events "
+              f"written to {path}]", file=out)
+    tracer.write(path)
 
 
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
@@ -189,7 +300,11 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     elif args.fast:
         names = sorted(_FAST, key=_sort_key)
     elif args.figures:
-        names = args.figures
+        try:
+            names = resolve_figures(args.figures)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
     else:
         parser.print_usage(file=out)
         print("nothing to do: pass --figure ID, --fast, --all or --list",
@@ -230,7 +345,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                                  point_timeout=20.0)
     try:
         run_experiments(names, settings, out=out, store=store, jobs=jobs,
-                        policy=policy, chaos=chaos)
+                        policy=policy, chaos=chaos,
+                        stats_json=args.stats_json, trace=args.trace)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

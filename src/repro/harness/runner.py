@@ -25,6 +25,7 @@ from ..cpu.timing import CoreTimingResult, measure_indexing
 from ..errors import (ConfigError, InvariantViolation, MeasurementFailed,
                       SimulationHang)
 from ..mem.layout import AddressSpace
+from ..obs import StatsRegistry
 from ..sim.watchdog import Watchdog, WatchdogLimits
 from ..widx.offload import OffloadOutcome, offload_probe
 from ..widx.unit import UnitCycleBreakdown
@@ -258,6 +259,22 @@ class MeasurementCache:
             self.measured_points += 1
             self.install(point, result)
         return result  # type: ignore[return-value]
+
+    def merged_stats(self) -> StatsRegistry:
+        """One registry merging every cached measurement's stats snapshot.
+
+        Each measurement carries the :meth:`~repro.obs.StatsRegistry.to_dict`
+        snapshot of the simulation that produced it, whether it was measured
+        in this process, by a campaign worker, or loaded from the persistent
+        store — so serial, parallel and cache-hit campaigns all merge to the
+        same totals.  Points are merged in a deterministic order.
+        """
+        registry = StatsRegistry()
+        for point in sorted(self._measurements, key=repr):
+            snapshot = getattr(self._measurements[point], "stats", None)
+            if snapshot:
+                registry.merge(snapshot)
+        return registry
 
     def _spec_by_name(self, name: str) -> QuerySpec:
         from ..workloads.tpch import TPCH_QUERIES

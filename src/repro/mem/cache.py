@@ -131,3 +131,9 @@ class CacheLevel:
     def warm(self, block: int) -> None:
         """Functionally install a block with no timing effect (warm-up)."""
         self.array.insert(block)
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish hit/miss counters, port and MSHR stats under ``prefix``."""
+        self.stats.register_into(registry, prefix)
+        self.ports.register_into(registry, f"{prefix}.ports")
+        self.mshrs.register_into(registry, f"{prefix}.mshrs")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from ..config import DramConfig
+from ..obs import Counter, Histogram
 from ..sim.resources import PipelinedResource
 
 
@@ -27,7 +28,9 @@ class MemoryControllers:
             PipelinedResource(servers=1, service=self.service_cycles)
             for _ in range(cfg.num_controllers)
         ]
-        self.blocks_transferred = 0
+        self.blocks_transferred = Counter()
+        # Issue-to-data-ready latency per block fetch (queueing + access).
+        self.fetch_latency = Histogram()
 
     def controller_for(self, block: int) -> int:
         """Which controller owns a block (address interleave)."""
@@ -43,6 +46,7 @@ class MemoryControllers:
         controller = self._controllers[self.controller_for(block)]
         start = controller.request(now)
         self.blocks_transferred += 1
+        self.fetch_latency.record(start - now + self.latency_cycles)
         return start + self.latency_cycles
 
     @property
@@ -54,3 +58,12 @@ class MemoryControllers:
         if elapsed_cycles <= 0:
             return 0.0
         return self.busy_cycles / (elapsed_cycles * len(self._controllers))
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish transfer counters, fetch latencies and per-controller
+        bandwidth occupancy under ``prefix``."""
+        registry.register(f"{prefix}.blocks_transferred",
+                          self.blocks_transferred)
+        registry.register(f"{prefix}.fetch_latency", self.fetch_latency)
+        for index, controller in enumerate(self._controllers):
+            controller.register_into(registry, f"{prefix}.mc{index}")

@@ -148,3 +148,23 @@ class MemoryHierarchy:
         while addr < base + size:
             self.warm_block(addr, level)
             addr += block_bytes
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def register_into(self, registry, prefix: str = "mem",
+                      include_shared: bool = True) -> None:
+        """Publish every component's counters under ``prefix``.
+
+        ``include_shared=False`` skips the LLC and DRAM — used by the CMP,
+        where those are shared across cores and registered once at the
+        chip level.
+        """
+        self.stats.register_into(registry, prefix)
+        self.tlb.register_into(registry, f"{prefix}.tlb")
+        self.l1d.register_into(registry, f"{prefix}.l1d")
+        self.crossbar.register_into(registry, f"{prefix}.crossbar")
+        if include_shared:
+            self.llc.register_into(registry, f"{prefix}.llc")
+            self.dram.register_into(registry, f"{prefix}.dram")

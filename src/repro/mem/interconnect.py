@@ -8,6 +8,8 @@ bandwidth are), so we model latency only.
 
 from __future__ import annotations
 
+from ..obs import Counter
+
 
 class Crossbar:
     """Fixed-latency link; counts traversals for reporting."""
@@ -18,9 +20,13 @@ class Crossbar:
         if latency_cycles < 0:
             raise ValueError("crossbar latency cannot be negative")
         self.latency_cycles = latency_cycles
-        self.traversals = 0
+        self.traversals = Counter()
 
     def traverse(self, now: float) -> float:
         """Returns arrival time of a message injected at ``now``."""
         self.traversals += 1
         return now + self.latency_cycles
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish the traversal counter under ``prefix``."""
+        registry.register(f"{prefix}.traversals", self.traversals)

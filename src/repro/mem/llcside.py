@@ -123,3 +123,17 @@ class LlcSideMemory:
         while addr < base + size:
             self.warm_block(addr, level)
             addr += block_bytes
+
+    # -- observability -----------------------------------------------------
+
+    def register_into(self, registry, prefix: str = "mem",
+                      include_shared: bool = True) -> None:
+        """Publish every component's counters under ``prefix`` (same
+        protocol as :meth:`MemoryHierarchy.register_into`; there is no
+        crossbar on this path)."""
+        self.stats.register_into(registry, prefix)
+        self.tlb.register_into(registry, f"{prefix}.tlb")
+        self.l1d.register_into(registry, f"{prefix}.l1d")
+        if include_shared:
+            self.llc.register_into(registry, f"{prefix}.llc")
+            self.dram.register_into(registry, f"{prefix}.dram")

@@ -1,39 +1,79 @@
-"""Counters collected by the memory hierarchy."""
+"""Counters collected by the memory hierarchy.
+
+The stats structs are thin bundles of :class:`repro.obs.Counter` objects;
+each exposes ``register_into(registry, prefix)`` so a
+:class:`~repro.obs.StatsRegistry` can publish the live counters under
+dotted paths like ``mem.l1d.misses``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..errors import InvariantViolation
+from ..obs import Counter
 
 
-@dataclass
 class LevelStats:
     """Hit/miss accounting for one cache level."""
 
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    combined_misses: int = 0  # misses merged into an in-flight MSHR
-    prefetches: int = 0
+    __slots__ = ("accesses", "hits", "misses", "combined_misses", "prefetches")
+
+    def __init__(self, accesses: int = 0, hits: int = 0, misses: int = 0,
+                 combined_misses: int = 0, prefetches: int = 0) -> None:
+        self.accesses = Counter(accesses)
+        self.hits = Counter(hits)
+        self.misses = Counter(misses)
+        # Misses merged into an in-flight MSHR.
+        self.combined_misses = Counter(combined_misses)
+        self.prefetches = Counter(prefetches)
 
     @property
     def miss_ratio(self) -> float:
-        """Misses per lookup that actually consulted the tag array."""
+        """Fresh MSHR-allocating misses per tag-array lookup.
+
+        Combined misses (merged into an in-flight MSHR) are counted in
+        ``accesses`` but not in ``misses``, so this is the fill-traffic
+        ratio; use :attr:`demand_miss_ratio` when every non-hit matters.
+        """
         if self.accesses == 0:
             return 0.0
         return self.misses / self.accesses
+
+    @property
+    def demand_miss_ratio(self) -> float:
+        """All non-hits (fresh + combined misses) per tag-array lookup."""
+        if self.accesses == 0:
+            return 0.0
+        return (self.misses + self.combined_misses) / self.accesses
 
     def check(self) -> None:
         """Internal-consistency invariant: every access hit, missed or combined."""
-        assert self.hits + self.misses + self.combined_misses == self.accesses, (
-            f"cache accounting broken: {self.hits}+{self.misses}"
-            f"+{self.combined_misses} != {self.accesses}")
+        if self.hits + self.misses + self.combined_misses != self.accesses:
+            raise InvariantViolation(
+                f"cache accounting broken: {self.hits}+{self.misses}"
+                f"+{self.combined_misses} != {self.accesses}")
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish every counter under ``{prefix}.{name}``."""
+        for name in self.__slots__:
+            registry.register(f"{prefix}.{name}", getattr(self, name))
+
+    def __repr__(self) -> str:
+        return (f"LevelStats(accesses={self.accesses}, hits={self.hits}, "
+                f"misses={self.misses}, "
+                f"combined_misses={self.combined_misses}, "
+                f"prefetches={self.prefetches})")
 
 
-@dataclass
 class TlbStats:
-    accesses: int = 0
-    misses: int = 0
-    stall_cycles: float = 0.0
+    """Hit/miss and stall accounting for one TLB."""
+
+    __slots__ = ("accesses", "misses", "stall_cycles")
+
+    def __init__(self, accesses: int = 0, misses: int = 0,
+                 stall_cycles: float = 0.0) -> None:
+        self.accesses = Counter(accesses)
+        self.misses = Counter(misses)
+        self.stall_cycles = Counter(stall_cycles)
 
     @property
     def miss_ratio(self) -> float:
@@ -41,22 +81,48 @@ class TlbStats:
             return 0.0
         return self.misses / self.accesses
 
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish every counter under ``{prefix}.{name}``."""
+        for name in self.__slots__:
+            registry.register(f"{prefix}.{name}", getattr(self, name))
 
-@dataclass
+    def __repr__(self) -> str:
+        return (f"TlbStats(accesses={self.accesses}, misses={self.misses}, "
+                f"stall_cycles={self.stall_cycles})")
+
+
 class MemoryStats:
-    """All counters for one :class:`~repro.mem.MemoryHierarchy` instance."""
+    """All counters for one :class:`~repro.mem.MemoryHierarchy` instance.
 
-    l1d: LevelStats = field(default_factory=LevelStats)
-    llc: LevelStats = field(default_factory=LevelStats)
-    tlb: TlbStats = field(default_factory=TlbStats)
-    dram_blocks: int = 0
-    loads: int = 0
-    stores: int = 0
+    The ``l1d``/``llc``/``tlb`` members are rebound by the hierarchy to the
+    stats objects its component levels own, so this is a view, not a copy.
+    """
+
+    __slots__ = ("l1d", "llc", "tlb", "dram_blocks", "loads", "stores")
+
+    def __init__(self) -> None:
+        self.l1d = LevelStats()
+        self.llc = LevelStats()
+        self.tlb = TlbStats()
+        self.dram_blocks = Counter()
+        self.loads = Counter()
+        self.stores = Counter()
 
     def check(self) -> None:
-        """Assert the hit/miss accounting identities hold."""
+        """Verify the hit/miss accounting identities hold."""
         self.l1d.check()
         self.llc.check()
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish only the hierarchy-level counters.
+
+        The per-level stats are registered by the levels that own them
+        (cache/TLB ``register_into``), keeping each counter's registration
+        with its owner.
+        """
+        registry.register(f"{prefix}.dram_blocks", self.dram_blocks)
+        registry.register(f"{prefix}.loads", self.loads)
+        registry.register(f"{prefix}.stores", self.stores)
 
     def summary(self) -> str:
         """One-line counter summary for logs and examples."""

@@ -86,3 +86,8 @@ class Tlb:
     def warm(self, addr: int) -> None:
         """Install the page translation with no timing effect."""
         self._insert(self.page_of(addr))
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish TLB counters and page-walk occupancy under ``prefix``."""
+        self.stats.register_into(registry, prefix)
+        self._walks.register_into(registry, f"{prefix}.walks")

@@ -1,0 +1,30 @@
+"""Unified observability: one stats registry + cycle-attribution tracing.
+
+Every simulated component (cache levels, TLB, DRAM controllers, cores,
+Widx units, queues, the event engine itself) owns typed metric objects
+from :mod:`repro.obs.metrics` and publishes them into a hierarchical
+:class:`~repro.obs.registry.StatsRegistry` via a ``register_into(registry,
+prefix)`` method.  The registry is the single machine-readable view of a
+run: JSON-serializable (``to_dict``/``from_dict``) and mergeable across
+campaign workers (``merge``), which is what backs the CLI's
+``--stats-json``.
+
+:class:`~repro.obs.trace.Tracer` is the companion event tracer: components
+record begin/end intervals and occupancy samples on named tracks, and the
+result exports as Chrome trace-event JSON (loadable in ``about:tracing``
+or https://ui.perfetto.dev) — the CLI's ``--trace``.
+"""
+
+from .metrics import Breakdown, Counter, Histogram, Occupancy, decode_metric
+from .registry import StatsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "Breakdown",
+    "Counter",
+    "Histogram",
+    "Occupancy",
+    "StatsRegistry",
+    "Tracer",
+    "decode_metric",
+]

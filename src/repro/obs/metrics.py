@@ -1,0 +1,409 @@
+"""Typed metric scalars: Counter, Histogram, Occupancy, Breakdown.
+
+Every metric implements the same small protocol:
+
+* ``kind`` — a class-level tag ("counter", "histogram", ...);
+* ``to_dict()`` — a JSON-ready snapshot, decodable via
+  :func:`decode_metric`;
+* ``merge_from(other)`` — element-wise accumulation of another instance of
+  the same kind, used when merging campaign-worker registries.
+
+:class:`Counter` additionally speaks the numeric protocol (``+=``,
+comparisons, division, formatting), so hot simulation loops keep the
+natural ``stats.misses += 1`` idiom and derived quantities like miss
+ratios are plain ``counter / counter`` expressions that yield ordinary
+floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..errors import SimulationError
+
+Number = Union[int, float]
+
+
+def _value_of(other: Any) -> Number:
+    return other.value if isinstance(other, Counter) else other
+
+
+class Counter:
+    """A monotonically growing scalar (int or float cycles).
+
+    The in-place operators mutate the counter; binary arithmetic and
+    comparisons unwrap to plain numbers, so expressions like
+    ``misses / accesses`` or ``max(1, uops)`` behave exactly as the raw
+    ints they replaced.
+    """
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number = 0) -> None:
+        self.value = value
+
+    def add(self, amount: Number = 1) -> None:
+        """Increment by ``amount`` (named form of ``+=``)."""
+        self.value += amount
+
+    def record_max(self, value: Number) -> None:
+        """Keep the running maximum instead of a running sum."""
+        if value > self.value:
+            self.value = value
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (decodable via :func:`decode_metric`)."""
+        return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Counter":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        return cls(data["value"])
+
+    def merge_from(self, other: "Counter") -> None:
+        """Accumulate another counter's value into this one."""
+        self.value += other.value
+
+    # -- numeric protocol ------------------------------------------------
+
+    def __iadd__(self, other: Any) -> "Counter":
+        self.value += _value_of(other)
+        return self
+
+    def __isub__(self, other: Any) -> "Counter":
+        self.value -= _value_of(other)
+        return self
+
+    def __add__(self, other: Any) -> Number:
+        return self.value + _value_of(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> Number:
+        return self.value - _value_of(other)
+
+    def __rsub__(self, other: Any) -> Number:
+        return _value_of(other) - self.value
+
+    def __mul__(self, other: Any) -> Number:
+        return self.value * _value_of(other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> float:
+        return self.value / _value_of(other)
+
+    def __rtruediv__(self, other: Any) -> float:
+        return _value_of(other) / self.value
+
+    def __floordiv__(self, other: Any) -> Number:
+        return self.value // _value_of(other)
+
+    def __rfloordiv__(self, other: Any) -> Number:
+        return _value_of(other) // self.value
+
+    def __neg__(self) -> Number:
+        return -self.value
+
+    def __eq__(self, other: Any) -> bool:
+        return self.value == _value_of(other)
+
+    def __ne__(self, other: Any) -> bool:
+        return self.value != _value_of(other)
+
+    def __lt__(self, other: Any) -> bool:
+        return self.value < _value_of(other)
+
+    def __le__(self, other: Any) -> bool:
+        return self.value <= _value_of(other)
+
+    def __gt__(self, other: Any) -> bool:
+        return self.value > _value_of(other)
+
+    def __ge__(self, other: Any) -> bool:
+        return self.value >= _value_of(other)
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value!r})"
+
+    __hash__ = None  # mutable; comparing by value makes it unhashable
+
+
+class Histogram:
+    """A power-of-two-bucketed distribution (latencies, durations).
+
+    Bucket ``b`` covers values in ``[2**(b-1), 2**b)``; bucket 0 holds
+    everything at or below zero plus the open interval up to 1.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    @staticmethod
+    def bucket_of(value: Number) -> int:
+        scaled = int(value)
+        return 0 if scaled <= 0 else scaled.bit_length()
+
+    def record(self, value: Number) -> None:
+        """Add one observation to its bucket and the running moments."""
+        bucket = self.bucket_of(value)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (string bucket keys, sorted)."""
+        return {
+            "kind": self.kind,
+            "counts": {str(bucket): self.counts[bucket]
+                       for bucket in sorted(self.counts)},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        histogram = cls()
+        histogram.counts = {int(bucket): count
+                            for bucket, count in data["counts"].items()}
+        histogram.count = data["count"]
+        histogram.total = data["total"]
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        return histogram
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Combine bucket counts, totals and extrema element-wise."""
+        for bucket, count in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (f"Histogram(count={self.count}, mean={self.mean:.3f}, "
+                f"min={self.min}, max={self.max})")
+
+
+class Occupancy:
+    """Peak and mean occupancy of a bounded resource (MSHRs, queues).
+
+    Call :meth:`record` with the instantaneous level whenever it changes;
+    the metric keeps the peak and a sample-weighted mean (not a
+    time-weighted one: pool releases land out of simulated-time order, so
+    samples are the honest granularity).
+    """
+
+    kind = "occupancy"
+
+    __slots__ = ("capacity", "peak", "total", "samples")
+
+    def __init__(self, capacity: int = 0) -> None:
+        self.capacity = capacity
+        self.peak = 0
+        self.total = 0
+        self.samples = 0
+
+    def record(self, level: int) -> None:
+        """Sample the instantaneous level (call on every change)."""
+        self.samples += 1
+        self.total += level
+        if level > self.peak:
+            self.peak = level
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (decodable via :func:`decode_metric`)."""
+        return {"kind": self.kind, "capacity": self.capacity,
+                "peak": self.peak, "total": self.total,
+                "samples": self.samples}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Occupancy":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        occupancy = cls(data["capacity"])
+        occupancy.peak = data["peak"]
+        occupancy.total = data["total"]
+        occupancy.samples = data["samples"]
+        return occupancy
+
+    def merge_from(self, other: "Occupancy") -> None:
+        """Take the max capacity/peak, sum the sample totals."""
+        self.capacity = max(self.capacity, other.capacity)
+        self.peak = max(self.peak, other.peak)
+        self.total += other.total
+        self.samples += other.samples
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Occupancy):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (f"Occupancy(capacity={self.capacity}, peak={self.peak}, "
+                f"mean={self.mean:.3f})")
+
+
+class Breakdown:
+    """A fixed set of named float categories summing to a total.
+
+    Subclasses declare ``CATEGORIES`` (and may back them with ``__slots__``
+    attributes for hot-loop accumulation, as
+    :class:`repro.widx.unit.UnitCycleBreakdown` does); the base class is
+    dict-backed for generic/decoded breakdowns.  All derived operations
+    (``total``, ``merged``, ``scaled``) iterate categories in declaration
+    order, keeping float summation order — and therefore report bits —
+    stable.
+    """
+
+    kind = "breakdown"
+
+    CATEGORIES: Tuple[str, ...] = ()
+
+    __slots__ = ("_values",)
+
+    def __init__(self, **values: Number) -> None:
+        categories = self.CATEGORIES or tuple(values)
+        self._values: Dict[str, float] = dict.fromkeys(categories, 0.0)
+        for category, value in values.items():
+            if category not in self._values:
+                raise SimulationError(
+                    f"{type(self).__name__} has no category {category!r}")
+            self._values[category] = float(value)
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        return self.CATEGORIES or tuple(self._values)
+
+    def get(self, category: str) -> float:
+        """The value of one category (typed error on an unknown name)."""
+        try:
+            return self._values[category]
+        except KeyError:
+            raise SimulationError(
+                f"{type(self).__name__} has no category {category!r}"
+            ) from None
+
+    def _set(self, category: str, value: float) -> None:
+        if category not in self._values:
+            raise SimulationError(
+                f"{type(self).__name__} has no category {category!r}")
+        self._values[category] = value
+
+    def add(self, category: str, amount: Number) -> None:
+        """Accumulate ``amount`` into one category."""
+        self._set(category, self.get(category) + amount)
+
+    @property
+    def total(self) -> float:
+        total = 0.0
+        for category in self.categories:
+            total += self.get(category)
+        return total
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        """Element-wise sum with another breakdown (same categories)."""
+        return type(self)(**{category: self.get(category) + other.get(category)
+                             for category in self.categories})
+
+    def scaled(self, factor: float) -> "Breakdown":
+        """Element-wise multiply by a factor."""
+        return type(self)(**{category: self.get(category) * factor
+                             for category in self.categories})
+
+    def as_values(self) -> Dict[str, float]:
+        """Plain ``{category: value}`` dict in declaration order."""
+        return {category: self.get(category) for category in self.categories}
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (decodable via :func:`decode_metric`)."""
+        return {"kind": self.kind, "values": self.as_values()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Breakdown":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        return cls(**data["values"])
+
+    def merge_from(self, other: "Breakdown") -> None:
+        """Accumulate another breakdown's categories element-wise."""
+        for category in other.categories:
+            self.add(category, other.get(category))
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Breakdown):
+            return NotImplemented
+        return (self.categories == other.categories
+                and self.as_values() == other.as_values())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{category}={self.get(category)!r}"
+                          for category in self.categories)
+        return f"{type(self).__name__}({inner})"
+
+
+_METRIC_TYPES = {cls.kind: cls for cls in
+                 (Counter, Histogram, Occupancy, Breakdown)}
+
+
+def decode_metric(data: Dict[str, Any]):
+    """Rebuild a metric from its :meth:`to_dict` snapshot."""
+    try:
+        metric_type = _METRIC_TYPES[data["kind"]]
+    except (KeyError, TypeError) as exc:
+        raise SimulationError(f"cannot decode metric snapshot: {exc}") from exc
+    return metric_type.from_dict(data)

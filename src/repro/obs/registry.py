@@ -1,0 +1,175 @@
+"""The hierarchical stats registry.
+
+A :class:`StatsRegistry` maps dotted component paths
+(``cmp.core0.l1d.misses``) to live metric objects.  Components publish
+their metrics via ``register_into(registry, prefix)`` methods — the
+registry holds the *same objects* the simulation mutates, so reading it is
+always current and costs the hot path nothing.
+
+Registries serialize with :meth:`StatsRegistry.to_dict` (a flat
+``{path: metric_snapshot}`` dict with sorted keys) and re-combine with
+:meth:`StatsRegistry.merge`, which accumulates same-path metrics
+element-wise.  That pair is what lets a measurement campaign snapshot
+per-point stats in worker processes and deterministically fold them into
+one registry on the coordinator, independent of worker count or cache
+hits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Union
+
+from ..errors import SimulationError
+from .metrics import Counter, Histogram, Occupancy, decode_metric
+
+
+class StatsRegistry:
+    """Dotted-path -> metric mapping; the single source of run statistics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, path: str, metric: Any) -> Any:
+        """Publish a metric under a unique dotted path; returns it."""
+        if not path:
+            raise SimulationError("metric path must be non-empty")
+        if path in self._metrics:
+            raise SimulationError(f"metric path {path!r} already registered")
+        if not hasattr(metric, "to_dict") or not hasattr(metric, "merge_from"):
+            raise SimulationError(
+                f"object registered at {path!r} is not a metric "
+                f"(needs to_dict/merge_from): {type(metric).__name__}")
+        self._metrics[path] = metric
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        """Get-or-create a :class:`Counter` at ``path``."""
+        metric = self._metrics.get(path)
+        if metric is None:
+            return self.register(path, Counter())
+        if not isinstance(metric, Counter):
+            raise SimulationError(
+                f"{path!r} holds a {type(metric).__name__}, not a Counter")
+        return metric
+
+    def histogram(self, path: str) -> Histogram:
+        """Get-or-create a :class:`Histogram` at ``path``."""
+        metric = self._metrics.get(path)
+        if metric is None:
+            return self.register(path, Histogram())
+        if not isinstance(metric, Histogram):
+            raise SimulationError(
+                f"{path!r} holds a {type(metric).__name__}, not a Histogram")
+        return metric
+
+    def occupancy(self, path: str, capacity: int = 0) -> Occupancy:
+        """Get-or-create an :class:`Occupancy` at ``path``."""
+        metric = self._metrics.get(path)
+        if metric is None:
+            return self.register(path, Occupancy(capacity))
+        if not isinstance(metric, Occupancy):
+            raise SimulationError(
+                f"{path!r} holds a {type(metric).__name__}, not an Occupancy")
+        return metric
+
+    def scope(self, prefix: str) -> "Scope":
+        """A view that prepends ``prefix.`` to every registered path."""
+        return Scope(self, prefix)
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, path: str) -> Any:
+        """The metric at ``path`` (raises KeyError if absent)."""
+        return self._metrics[path]
+
+    def paths(self) -> List[str]:
+        """Every registered path, sorted."""
+        return sorted(self._metrics)
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.paths())
+
+    # -- serialization and merging ---------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready flat snapshot: ``{path: metric.to_dict()}``."""
+        return {path: self._metrics[path].to_dict()
+                for path in sorted(self._metrics)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StatsRegistry":
+        """Rebuild a registry (of detached metric copies) from a snapshot."""
+        registry = cls()
+        for path in sorted(data):
+            registry.register(path, decode_metric(data[path]))
+        return registry
+
+    def merge(self, other: Union["StatsRegistry", Dict[str, Any]]) -> None:
+        """Accumulate another registry (or a ``to_dict`` snapshot).
+
+        Paths present in both are merged element-wise (same metric kind
+        required); new paths are adopted as independent copies.
+        """
+        if isinstance(other, StatsRegistry):
+            snapshot = other.to_dict()
+        else:
+            snapshot = other
+        for path in sorted(snapshot):
+            incoming = decode_metric(snapshot[path])
+            existing = self._metrics.get(path)
+            if existing is None:
+                self._metrics[path] = incoming
+            elif type(existing).kind != type(incoming).kind:
+                raise SimulationError(
+                    f"cannot merge {type(incoming).kind} into "
+                    f"{type(existing).kind} at {path!r}")
+            else:
+                existing.merge_from(incoming)
+
+
+class Scope:
+    """A prefix-bound view of a registry (``scope('mem').counter('loads')``
+    registers ``mem.loads``)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: StatsRegistry, prefix: str) -> None:
+        if not prefix:
+            raise SimulationError("scope prefix must be non-empty")
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def _path(self, path: str) -> str:
+        return f"{self._prefix}.{path}"
+
+    def register(self, path: str, metric: Any) -> Any:
+        """Register ``metric`` under ``{prefix}.{path}``; returns it."""
+        return self._registry.register(self._path(path), metric)
+
+    def counter(self, path: str) -> Counter:
+        """Get-or-create a :class:`Counter` under this scope's prefix."""
+        return self._registry.counter(self._path(path))
+
+    def histogram(self, path: str) -> Histogram:
+        """Get-or-create a :class:`Histogram` under this scope's prefix."""
+        return self._registry.histogram(self._path(path))
+
+    def occupancy(self, path: str, capacity: int = 0) -> Occupancy:
+        """Get-or-create an :class:`Occupancy` under this scope's prefix."""
+        return self._registry.occupancy(self._path(path), capacity)
+
+    def scope(self, prefix: str) -> "Scope":
+        """A nested scope: ``{this prefix}.{prefix}``."""
+        return Scope(self._registry, self._path(prefix))

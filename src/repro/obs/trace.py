@@ -1,0 +1,146 @@
+"""Low-overhead interval tracer with Chrome trace-event export.
+
+Components record three things on named *tracks* (one track per unit,
+queue or pool — e.g. ``widx.walker0``):
+
+* spans — ``begin(track, name, ts)`` / ``end(track, name, ts)`` pairs (or
+  one-shot :meth:`Tracer.complete`) marking how long an activity ran;
+* samples — ``sample(track, series, ts, value)`` instantaneous occupancy
+  readings rendered as counter plots.
+
+Timestamps are simulation cycles.  :meth:`Tracer.to_chrome` converts the
+record into the Chrome trace-event JSON array format (``X`` complete
+events, ``C`` counter events, ``M`` thread-name metadata) with cycles
+reported as microseconds, so the file loads directly in
+``about:tracing`` or https://ui.perfetto.dev.
+
+The tracer is optional everywhere: components hold ``tracer = None`` by
+default and the hot paths guard with a single ``is not None`` test, so an
+untraced run pays one branch per instrumented site.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from ..errors import TraceError
+
+Number = float
+
+
+class Tracer:
+    """Records spans and occupancy samples; exports Chrome trace JSON."""
+
+    def __init__(self) -> None:
+        # Finished spans: (track, name, start, duration).
+        self._spans: List[Tuple[str, str, Number, Number]] = []
+        # Counter samples: (track, series, ts, value).
+        self._samples: List[Tuple[str, str, Number, Number]] = []
+        # Per-track stacks of (name, start) for open spans.
+        self._open: Dict[str, List[Tuple[str, Number]]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def begin(self, track: str, name: str, ts: Number) -> None:
+        """Open a span named ``name`` on ``track`` at cycle ``ts``."""
+        self._open.setdefault(track, []).append((name, ts))
+
+    def end(self, track: str, name: str, ts: Number) -> None:
+        """Close the innermost open span on ``track`` (must match ``name``)."""
+        stack = self._open.get(track)
+        if not stack:
+            raise TraceError(
+                f"end({name!r}) on track {track!r} with no open span")
+        open_name, start = stack.pop()
+        if open_name != name:
+            raise TraceError(
+                f"end({name!r}) on track {track!r} does not match open "
+                f"span {open_name!r}")
+        if ts < start:
+            raise TraceError(
+                f"span {name!r} on track {track!r} ends at {ts} before its "
+                f"start {start}")
+        self._spans.append((track, name, start, ts - start))
+
+    def complete(self, track: str, name: str, start: Number,
+                 duration: Number) -> None:
+        """Record a finished span in one call."""
+        if duration < 0:
+            raise TraceError(
+                f"span {name!r} on track {track!r} has negative duration "
+                f"{duration}")
+        self._spans.append((track, name, start, duration))
+
+    def sample(self, track: str, series: str, ts: Number,
+               value: Number) -> None:
+        """Record an instantaneous level (queue depth, pool occupancy)."""
+        self._samples.append((track, series, ts, value))
+
+    def close_all(self, ts: Number) -> None:
+        """Force-close every open span at ``ts``.
+
+        For abnormal termination (an aborted offload unwinds units
+        mid-invocation): the truncated spans still export instead of
+        poisoning :meth:`to_chrome`.
+        """
+        for track in sorted(self._open):
+            stack = self._open[track]
+            while stack:
+                name, start = stack.pop()
+                self._spans.append((track, name, start,
+                                    max(0.0, ts - start)))
+
+    # -- inspection ------------------------------------------------------
+
+    def open_spans(self) -> List[Tuple[str, str, Number]]:
+        """Currently unclosed spans as (track, name, start) tuples."""
+        return [(track, name, start)
+                for track, stack in sorted(self._open.items())
+                for name, start in stack]
+
+    @property
+    def num_events(self) -> int:
+        return len(self._spans) + len(self._samples)
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome(self) -> List[Dict[str, Any]]:
+        """The record as a Chrome trace-event JSON array (list of dicts).
+
+        Tracks become threads of a single process, named via metadata
+        events and numbered in sorted-track order so output is
+        deterministic.  Raises :class:`TraceError` if any span is still
+        open — an unclosed span means the instrumented component never
+        finished its activity.
+        """
+        if self._open and any(self._open.values()):
+            leaks = ", ".join(f"{track}:{name}@{start}"
+                              for track, name, start in self.open_spans())
+            raise TraceError(f"cannot export trace with open spans: {leaks}")
+        tracks = sorted({track for track, _, _, _ in self._spans}
+                        | {track for track, _, _, _ in self._samples})
+        tids = {track: tid for tid, track in enumerate(tracks)}
+        events: List[Dict[str, Any]] = []
+        for track in tracks:
+            events.append({
+                "ph": "M", "pid": 0, "tid": tids[track],
+                "name": "thread_name", "args": {"name": track},
+            })
+        for track, name, start, duration in sorted(self._spans):
+            events.append({
+                "ph": "X", "pid": 0, "tid": tids[track],
+                "name": name, "ts": start, "dur": duration,
+            })
+        for track, series, ts, value in sorted(self._samples):
+            events.append({
+                "ph": "C", "pid": 0, "tid": tids[track],
+                "name": series, "ts": ts, "args": {series: value},
+            })
+        return events
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace-event JSON array to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+            handle.write("\n")

@@ -29,6 +29,7 @@ import heapq
 from typing import Any, Dict, Generator, Iterable, List, Optional
 
 from ..errors import ProcessError, SimulationError, SimulationHang
+from ..obs import Counter
 from .events import Event
 
 ProcessGenerator = Generator[Any, Any, Any]
@@ -114,7 +115,7 @@ class Engine:
         self._active_processes = 0
         self._live: Dict[int, Process] = {}
         self._failures: List[_Failure] = []
-        self.dispatched = 0          # events popped off the queue, ever
+        self.dispatched = Counter()  # events popped off the queue, ever
         self.detect_deadlock = detect_deadlock
         self.watchdog = None         # attached via Watchdog.attach()
         #: Resources registered for diagnostic dumps (name -> object with
@@ -222,6 +223,10 @@ class Engine:
     def live_processes(self) -> List[Process]:
         """Processes that have started but not yet finished or failed."""
         return list(self._live.values())
+
+    def register_into(self, registry, prefix: str = "sim.engine") -> None:
+        """Publish event-throughput counters under ``prefix``."""
+        registry.register(f"{prefix}.dispatched", self.dispatched)
 
     def diagnostics(self) -> str:
         """A human-readable dump of engine state (for hang reports)."""

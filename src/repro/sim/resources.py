@@ -19,6 +19,7 @@ from collections import deque
 from typing import Any, Deque, List
 
 from ..errors import SimulationError
+from ..obs import Counter, Occupancy
 from .engine import Engine
 from .events import Event
 
@@ -53,8 +54,8 @@ class PipelinedResource:
             raise SimulationError("service time must be positive")
         self.service = service
         self.servers = servers
-        self.grants = 0
-        self.busy_cycles = 0.0
+        self.grants = Counter()
+        self.busy_cycles = Counter(0.0)
         self._max_now = 0.0
         if service == 1.0:
             self._cycle_counts: dict = {}
@@ -70,6 +71,11 @@ class PipelinedResource:
         return (f"PipelinedResource(servers={self.servers}, "
                 f"service={self.service}, grants={self.grants}, "
                 f"busy_cycles={self.busy_cycles})")
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish grant/busy counters under ``prefix``."""
+        registry.register(f"{prefix}.grants", self.grants)
+        registry.register(f"{prefix}.busy_cycles", self.busy_cycles)
 
     def request(self, now: float) -> float:
         """Reserve the earliest capacity at or after ``now``; returns the
@@ -150,18 +156,30 @@ class OccupancyPool:
         pool.release_at(start + duration)
     """
 
-    __slots__ = ("capacity", "_releases", "peak", "acquisitions", "releases",
-                 "wait_cycles")
+    __slots__ = ("capacity", "_releases", "usage", "acquisitions", "releases",
+                 "wait_cycles", "tracer", "_track")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise SimulationError("pool needs at least one slot")
         self.capacity = capacity
         self._releases: List[float] = []
-        self.peak = 0
-        self.acquisitions = 0
-        self.releases = 0
-        self.wait_cycles = 0.0
+        self.usage = Occupancy(capacity)
+        self.acquisitions = Counter()
+        self.releases = Counter()
+        self.wait_cycles = Counter(0.0)
+        self.tracer = None
+        self._track = ""
+
+    @property
+    def peak(self) -> int:
+        """Highest number of simultaneously held slots observed."""
+        return self.usage.peak
+
+    def set_tracer(self, tracer, track: str) -> None:
+        """Sample pool occupancy onto ``tracer`` under track ``track``."""
+        self.tracer = tracer
+        self._track = track
 
     @property
     def outstanding(self) -> int:
@@ -198,14 +216,22 @@ class OccupancyPool:
             start = heapq.heappop(releases)
             self.wait_cycles += start - now
         self.acquisitions += 1
+        if self.tracer is not None:
+            self.tracer.sample(self._track, "held", start, len(releases) + 1)
         return start
 
     def release_at(self, when: float) -> None:
         """Mark the slot acquired by the latest :meth:`acquire` as held until ``when``."""
         self.releases += 1
         heapq.heappush(self._releases, when)
-        if len(self._releases) > self.peak:
-            self.peak = len(self._releases)
+        self.usage.record(len(self._releases))
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish pool counters and occupancy under ``prefix``."""
+        registry.register(f"{prefix}.acquisitions", self.acquisitions)
+        registry.register(f"{prefix}.releases", self.releases)
+        registry.register(f"{prefix}.wait_cycles", self.wait_cycles)
+        registry.register(f"{prefix}.usage", self.usage)
 
 
 class BoundedQueue:
@@ -224,8 +250,21 @@ class BoundedQueue:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item)
-        self.total_puts = 0
+        self.total_puts = Counter()
+        self.depth = Occupancy(capacity)
         self.closed = False
+        self.tracer = None
+        self._track = ""
+
+    def set_tracer(self, tracer, track: str) -> None:
+        """Sample queue depth onto ``tracer`` under track ``track``."""
+        self.tracer = tracer
+        self._track = track
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish put counter and depth occupancy under ``prefix``."""
+        registry.register(f"{prefix}.total_puts", self.total_puts)
+        registry.register(f"{prefix}.depth", self.depth)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -270,6 +309,10 @@ class BoundedQueue:
         else:
             self._putters.append((event, item))
         self.total_puts += 1
+        self.depth.record(len(self._items))
+        if self.tracer is not None:
+            self.tracer.sample(self._track, "depth", self.engine.now,
+                               len(self._items))
         return event
 
     def get(self) -> Event:
@@ -282,6 +325,9 @@ class BoundedQueue:
                 self._items.append(pending)
                 put_event.succeed()
             event.succeed(item)
+            if self.tracer is not None:
+                self.tracer.sample(self._track, "depth", self.engine.now,
+                                   len(self._items))
         elif self.closed:
             event.succeed(QUEUE_CLOSED)
         else:

@@ -86,12 +86,14 @@ class WidxMachine:
 
     def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy,
                  physmem: PhysicalMemory,
-                 engine: Optional[Engine] = None) -> None:
+                 engine: Optional[Engine] = None,
+                 tracer=None) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.physmem = physmem
         # Several machines may co-simulate on one engine (multi-core CMP).
         self.engine = engine if engine is not None else Engine()
+        self.tracer = tracer
         self.units: Dict[str, WidxUnit] = {}
         self._autonomous: List[WidxUnit] = []
         self._walkers: List[WidxUnit] = []
@@ -168,6 +170,18 @@ class WidxMachine:
                                   in_queue=self._out_queue)
         self.units["producer"] = self._producer
         self._built = True
+        if self.tracer is not None:
+            self._attach_tracer(self.tracer)
+
+    def _attach_tracer(self, tracer) -> None:
+        """Wire every unit, inter-unit queue and hierarchy pool to ``tracer``."""
+        for unit in self.units.values():
+            unit.set_tracer(tracer)
+        for queue in self._key_queues + [self._out_queue]:
+            if queue is not None:
+                queue.set_tracer(tracer, f"queue.{queue.name}")
+        for name, pool in hierarchy_pools(self.hierarchy):
+            pool.set_tracer(tracer, name)
 
     def configure_unit(self, name: str, values: Dict[int, int]) -> None:
         """Write a unit's memory-mapped configuration registers."""
@@ -221,9 +235,23 @@ class WidxMachine:
         self._chain_close(autonomous_procs, self._key_queues)
         self._chain_close(autonomous_procs + walker_procs, [self._out_queue])
 
+    def register_into(self, registry, prefix: str = "widx",
+                      queue_prefix: str = "sim.queue") -> None:
+        """Publish per-unit stats and inter-unit queue counters.
+
+        ``queue_prefix`` is separate because queue names repeat across
+        machines (every machine has a "to-producer"); the CMP passes a
+        per-core prefix to keep paths unique.
+        """
+        for name, unit in self.units.items():
+            unit.stats.register_into(registry, f"{prefix}.{name}")
+        for queue in self._key_queues + [self._out_queue]:
+            if queue is not None:
+                queue.register_into(registry, f"{queue_prefix}.{queue.name}")
+
     def collect(self, expected_tuples: int) -> WidxRunResult:
         """Gather results after the (shared) engine has run to completion."""
-        matches = self._producer.stats.invocations
+        matches = int(self._producer.stats.invocations)
         return WidxRunResult(
             total_cycles=self.engine.now,
             tuples=expected_tuples,

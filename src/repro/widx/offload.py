@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..config import SystemConfig, DEFAULT_CONFIG
 from ..cpu.timing import warm_hash_index
@@ -20,6 +20,7 @@ from ..db.column import Column
 from ..db.hashtable import HashIndex
 from ..errors import MemoryError_, WidxFault
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs import StatsRegistry
 from ..sim.watchdog import Watchdog
 from .machine import WidxMachine, WidxRunResult
 from .programs import (GeneratedProgram, coupled_walker_program,
@@ -47,6 +48,7 @@ class OffloadOutcome:
     programs: Dict[str, GeneratedProgram] = field(default_factory=dict)
     fell_back: bool = False             # aborted and re-ran on the host
     abort_cycles: float = 0.0           # Widx cycles wasted before abort
+    stats: Optional[Dict[str, Any]] = None  # registry snapshot (to_dict)
 
     @property
     def cycles_per_tuple(self) -> float:
@@ -65,7 +67,8 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
                   memory: Optional[MemoryHierarchy] = None,
                   fallback_to_host: bool = False,
                   configure_hook=None,
-                  watchdog: Optional[Watchdog] = None) -> OffloadOutcome:
+                  watchdog: Optional[Watchdog] = None,
+                  tracer=None) -> OffloadOutcome:
     """Probe ``index`` with the first ``probes`` keys of ``probe_column``
     on the configured Widx organization; returns timing plus results.
 
@@ -112,7 +115,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
         return _offload_probe_with_region(
             index, probe_column, probes, config, warm, validate, memory,
             fallback_to_host, configure_hook, reference, out_region,
-            watchdog)
+            watchdog, tracer)
     finally:
         space.release(out_region)
 
@@ -120,7 +123,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
 def _offload_probe_with_region(index, probe_column, probes, config, warm,
                                validate, memory, fallback_to_host,
                                configure_hook, reference, out_region,
-                               watchdog=None) -> OffloadOutcome:
+                               watchdog=None, tracer=None) -> OffloadOutcome:
     space = index.space
     layout = index.layout
     widx = config.widx
@@ -148,7 +151,7 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
     hierarchy = memory if memory is not None else _hierarchy_for(config)
     if warm:
         warm_hash_index(hierarchy, index)
-    machine = WidxMachine(config, hierarchy, space.memory)
+    machine = WidxMachine(config, hierarchy, space.memory, tracer=tracer)
     machine.build(dispatcher, walker, producer)
 
     mask = index.num_buckets - 1
@@ -206,8 +209,13 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
             raise WidxFault(
                 f"Widx offload diverged from the reference probe: "
                 f"{len(payloads)} emitted vs {len(reference)} expected")
+    registry = StatsRegistry()
+    hierarchy.register_into(registry, "mem")
+    machine.register_into(registry)
+    machine.engine.register_into(registry, "sim.engine")
     return OffloadOutcome(run=run, payloads=payloads, validated=validated,
-                          memory=hierarchy, programs=programs)
+                          memory=hierarchy, programs=programs,
+                          stats=registry.to_dict())
 
 
 def _host_fallback(index: HashIndex, probe_column: Column, probes: int,
@@ -219,6 +227,10 @@ def _host_fallback(index: HashIndex, probe_column: Column, probes: int,
     from ..cpu.timing import measure_indexing
 
     abort_cycles = machine.engine.now
+    if machine.tracer is not None:
+        # The abort tears the machine down mid-flight; force-close any
+        # in-progress unit spans so the trace stays well-formed.
+        machine.tracer.close_all(abort_cycles)
     warmup = max(1, min(256, probes // 4))
     host = measure_indexing(index, probe_column, core="ooo", config=config,
                             warmup_probes=warmup,

@@ -22,12 +22,12 @@ which the paper folds into Idle; we keep it separate and report both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..errors import WidxFault
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.physmem import PhysicalMemory
+from ..obs import Breakdown, Counter
 from ..sim.engine import Engine
 from ..sim.resources import BoundedQueue, QUEUE_CLOSED
 from .isa import Instruction, NUM_REGISTERS, Opcode
@@ -36,49 +36,80 @@ from .program import Program
 _M64 = (1 << 64) - 1
 
 
-@dataclass
-class UnitCycleBreakdown:
-    """Cycle attribution for one unit (the Figure 8a categories)."""
+class UnitCycleBreakdown(Breakdown):
+    """Cycle attribution for one unit (the Figure 8a categories).
 
-    comp: float = 0.0
-    mem: float = 0.0
-    tlb: float = 0.0
-    idle: float = 0.0
-    queue: float = 0.0
+    Backed by ``__slots__`` attributes rather than the base class's dict so
+    the interpreter hot loop accumulates with plain attribute adds
+    (``cycles.comp += pending``); all derived operations (``total``,
+    ``merged``, ``scaled``, serialization) come from :class:`Breakdown`.
+    """
 
-    @property
-    def total(self) -> float:
-        return self.comp + self.mem + self.tlb + self.idle + self.queue
+    CATEGORIES = ("comp", "mem", "tlb", "idle", "queue")
 
-    def merged(self, other: "UnitCycleBreakdown") -> "UnitCycleBreakdown":
-        """Element-wise sum with another breakdown."""
-        return UnitCycleBreakdown(
-            comp=self.comp + other.comp,
-            mem=self.mem + other.mem,
-            tlb=self.tlb + other.tlb,
-            idle=self.idle + other.idle,
-            queue=self.queue + other.queue,
-        )
+    __slots__ = CATEGORIES
 
-    def scaled(self, factor: float) -> "UnitCycleBreakdown":
-        """Element-wise multiply by a factor."""
-        return UnitCycleBreakdown(
-            comp=self.comp * factor, mem=self.mem * factor,
-            tlb=self.tlb * factor, idle=self.idle * factor,
-            queue=self.queue * factor)
+    def __init__(self, comp: float = 0.0, mem: float = 0.0, tlb: float = 0.0,
+                 idle: float = 0.0, queue: float = 0.0) -> None:
+        self.comp = comp
+        self.mem = mem
+        self.tlb = tlb
+        self.idle = idle
+        self.queue = queue
+
+    def get(self, category: str) -> float:
+        """The value of one category (slot attribute lookup)."""
+        return getattr(self, category)
+
+    def _set(self, category: str, value: float) -> None:
+        if category not in self.CATEGORIES:
+            raise WidxFault(f"UnitCycleBreakdown has no category {category!r}")
+        setattr(self, category, value)
 
 
-@dataclass
 class UnitStats:
     """Execution counters for one unit."""
 
-    invocations: int = 0
-    instructions: int = 0
-    loads: int = 0
-    stores: int = 0
-    touches: int = 0
-    emitted: int = 0
-    cycles: UnitCycleBreakdown = field(default_factory=UnitCycleBreakdown)
+    __slots__ = ("invocations", "instructions", "loads", "stores",
+                 "touches", "emitted", "cycles")
+
+    _COUNTERS = ("invocations", "instructions", "loads", "stores",
+                 "touches", "emitted")
+
+    def __init__(self, invocations: int = 0, instructions: int = 0,
+                 loads: int = 0, stores: int = 0, touches: int = 0,
+                 emitted: int = 0,
+                 cycles: Optional[UnitCycleBreakdown] = None) -> None:
+        self.invocations = Counter(invocations)
+        self.instructions = Counter(instructions)
+        self.loads = Counter(loads)
+        self.stores = Counter(stores)
+        self.touches = Counter(touches)
+        self.emitted = Counter(emitted)
+        self.cycles = cycles if cycles is not None else UnitCycleBreakdown()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON payload shape the measurement cache persists."""
+        data: Dict[str, Any] = {name: getattr(self, name).value
+                                for name in self._COUNTERS}
+        data["cycles"] = self.cycles.as_values()
+        return data
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish the counters and the cycle breakdown under ``prefix``."""
+        for name in self._COUNTERS:
+            registry.register(f"{prefix}.{name}", getattr(self, name))
+        registry.register(f"{prefix}.cycles", self.cycles)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, UnitStats):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={getattr(self, name).value}"
+                          for name in self._COUNTERS)
+        return f"UnitStats({inner}, cycles={self.cycles!r})"
 
 
 class WidxUnit:
@@ -99,8 +130,14 @@ class WidxUnit:
         for index, value in program.constants.items():
             self.regs[index] = value & _M64
         self.stats = UnitStats()
+        self.tracer = None            # set via set_tracer for --trace runs
+        self.track = f"widx.{name}"
         self._start_time: Optional[float] = None
         self._end_time: Optional[float] = None
+
+    def set_tracer(self, tracer) -> None:
+        """Record an "invoke" span per invocation onto ``tracer``."""
+        self.tracer = tracer
 
     def configure(self, values: dict) -> None:
         """Write configuration registers (the memory-mapped config path)."""
@@ -120,12 +157,17 @@ class WidxUnit:
     def run(self) -> Generator:
         """The unit's process: generator for the discrete-event engine."""
         self._start_time = self.engine.now
+        tracer = self.tracer
         try:
             if self.in_queue is None:
                 # Autonomous unit (dispatcher / coupled walker): a single
                 # invocation whose program iterates over its work itself.
                 self.stats.invocations += 1
+                if tracer is not None:
+                    tracer.begin(self.track, "invoke", self.engine.now)
                 yield from self._invoke()
+                if tracer is not None:
+                    tracer.end(self.track, "invoke", self.engine.now)
             else:
                 while True:
                     waited_from = self.engine.now
@@ -135,7 +177,11 @@ class WidxUnit:
                         break
                     self._load_inputs(item)
                     self.stats.invocations += 1
+                    if tracer is not None:
+                        tracer.begin(self.track, "invoke", self.engine.now)
                     yield from self._invoke()
+                    if tracer is not None:
+                        tracer.end(self.track, "invoke", self.engine.now)
         finally:
             self._end_time = self.engine.now
 

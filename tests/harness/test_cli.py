@@ -28,8 +28,9 @@ def test_no_arguments_is_an_error():
 
 
 def test_unknown_figure_rejected():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["--figure", "99z"])
+    code, text = run_cli("--figure", "99z")
+    assert code == 2
+    assert "unknown figure '99z'" in text
 
 
 def test_single_analytic_figure():

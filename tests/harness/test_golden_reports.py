@@ -1,0 +1,62 @@
+"""Golden-report regression: figure text output is bit-identical.
+
+The observability layer is behavior-preserving by contract: registries
+hold the *same* counter objects the simulation always mutated, and every
+derived quantity keeps its float summation order.  These goldens were
+rendered from the pre-refactor tree; any byte of drift in a report means
+a model change leaked in through the stats plumbing.
+
+Regenerate (only after an *intentional* model change) with::
+
+    PYTHONPATH=src python -c "
+    from tests.harness.test_golden_reports import regenerate; regenerate()"
+"""
+
+import os
+
+from repro.harness import fig2, fig4, fig5, fig8, fig11
+from repro.harness.runner import MeasurementCache, RunSettings
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+#: Small but real simulation volume: enough probes to exercise every unit,
+#: cheap enough for tier-1.
+FIG8_SETTINGS = RunSettings(probes=400, warmup=100, seed=42)
+
+
+def _analytic_text() -> str:
+    reports = [
+        fig2.run_fig2a(), fig2.run_fig2b(),
+        fig4.run_fig4a(), fig4.run_fig4b(), fig4.run_fig4c(),
+        fig5.run_fig5(),
+        fig11.run_area(),
+    ]
+    return "\n\n".join(report.format() for report in reports) + "\n"
+
+
+def _fig8_text() -> str:
+    cache = MeasurementCache(runs=FIG8_SETTINGS)
+    return (fig8.run_fig8a(cache).format() + "\n\n"
+            + fig8.run_fig8b(cache).format() + "\n")
+
+
+def _golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8",
+              newline="") as handle:
+        return handle.read()
+
+
+def test_analytic_reports_match_golden():
+    assert _analytic_text() == _golden("analytic.txt")
+
+
+def test_fig8_simulated_report_matches_golden():
+    assert _fig8_text() == _golden("fig8_p400_w100_s42.txt")
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    for name, text in (("analytic.txt", _analytic_text()),
+                       ("fig8_p400_w100_s42.txt", _fig8_text())):
+        with open(os.path.join(GOLDEN_DIR, name), "w", encoding="utf-8",
+                  newline="") as handle:
+            handle.write(text)

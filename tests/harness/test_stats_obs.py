@@ -1,0 +1,168 @@
+"""Observability plumbing through the harness: merged stats, CLI exports.
+
+The core identity under test: a measurement's stats snapshot rides inside
+its payload, so the merged campaign registry is the same whether points
+were measured serially, by parallel workers, or loaded back from the
+persistent store.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.harness.campaign import Campaign, kernel_points
+from repro.harness.cachestore import CacheStore
+from repro.harness.cli import main, resolve_figures
+from repro.harness.runner import MeasurementCache, RunSettings
+
+SETTINGS = RunSettings(probes=400, warmup=100, seed=42)
+
+#: Two workloads so the parallel executor actually fans out (one group
+#: per workload), one walker count to keep the simulation volume small.
+POINTS = kernel_points(["Small", "Medium"], [1])
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# merged stats identity
+# ---------------------------------------------------------------------------
+
+def test_merged_stats_identical_serial_parallel_and_cache_hit(tmp_path):
+    serial_cache = MeasurementCache(runs=SETTINGS)
+    result = Campaign(serial_cache).run(POINTS, jobs=1)
+    assert result.measured_points == len(POINTS)
+    serial = serial_cache.merged_stats().to_dict()
+
+    store = CacheStore(str(tmp_path))
+    parallel_cache = MeasurementCache(runs=SETTINGS, store=store)
+    result = Campaign(parallel_cache).run(POINTS, jobs=2)
+    assert result.measured_points == len(POINTS)
+    parallel = parallel_cache.merged_stats().to_dict()
+
+    hit_cache = MeasurementCache(runs=SETTINGS, store=CacheStore(str(tmp_path)))
+    result = Campaign(hit_cache).run(POINTS, jobs=1)
+    assert result.measured_points == 0
+    assert result.cached_points == len(POINTS)
+    cache_hit = hit_cache.merged_stats().to_dict()
+
+    assert serial
+    assert serial == parallel == cache_hit
+
+
+def test_merged_stats_covers_every_layer(tmp_path):
+    cache = MeasurementCache(runs=SETTINGS)
+    Campaign(cache).run(POINTS, jobs=1)
+    paths = set(cache.merged_stats().paths())
+    for expected in ("cpu.ooo.uops_executed", "mem.l1d.misses",
+                     "mem.tlb.accesses", "mem.dram.blocks_transferred",
+                     "widx.walker0.invocations", "widx.producer.emitted",
+                     "sim.engine.dispatched", "sim.queue.hashed-keys.depth"):
+        assert expected in paths, f"missing {expected}"
+
+
+def test_merged_stats_skips_results_without_snapshots():
+    cache = MeasurementCache(runs=SETTINGS)
+    cache.install(("baseline", "kernel", "Small", "ooo"), object(),
+                  persist=False)
+    assert cache.merged_stats().to_dict() == {}
+
+
+# ---------------------------------------------------------------------------
+# figure-token resolution
+# ---------------------------------------------------------------------------
+
+def test_resolve_exact_ids_pass_through():
+    assert resolve_figures(["8b"]) == ["8b"]
+    assert resolve_figures(["query-level"]) == ["query-level"]
+    assert resolve_figures(["area"]) == ["area"]
+
+
+def test_resolve_fig_prefix_and_case():
+    assert resolve_figures(["FIG8B"]) == ["8b"]
+    assert resolve_figures(["Fig4c"]) == ["4c"]
+
+
+def test_resolve_bare_number_expands_to_panels():
+    assert resolve_figures(["fig8"]) == ["8a", "8b"]
+    assert resolve_figures(["9"]) == ["9a", "9b"]
+    assert resolve_figures(["4"]) == ["4a", "4b", "4c"]
+
+
+def test_resolve_exact_match_wins_over_expansion():
+    # "10" is itself an experiment id; it must not expand further.
+    assert resolve_figures(["10"]) == ["10"]
+    assert resolve_figures(["5"]) == ["5"]
+
+
+def test_resolve_drops_duplicates_first_wins():
+    assert resolve_figures(["8", "8a", "fig8b"]) == ["8a", "8b"]
+
+
+def test_resolve_unknown_token_raises():
+    with pytest.raises(ValueError, match="unknown figure 'fig99'"):
+        resolve_figures(["fig99"])
+    with pytest.raises(ValueError, match="unknown figure"):
+        resolve_figures(["fig"])
+
+
+def test_cli_expands_figure_number(tmp_path):
+    code, text = run_cli("--figure", "fig4")
+    assert code == 0
+    for name in ("4a", "4b", "4c"):
+        assert f"[{name}:" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI exports
+# ---------------------------------------------------------------------------
+
+def test_cli_stats_json_and_trace_end_to_end(tmp_path):
+    stats_path = tmp_path / "stats.json"
+    trace_path = tmp_path / "trace.json"
+    code, text = run_cli("--figure", "8b", "--probes", "400",
+                         "--warmup", "100", "--jobs", "2",
+                         "--stats-json", str(stats_path),
+                         "--trace", str(trace_path))
+    assert code == 0
+    assert f"[stats written to {stats_path}]" in text
+    assert "re-simulated" in text
+
+    payload = json.loads(stats_path.read_text())
+    assert payload["format"] == 1
+    assert payload["experiments"] == ["8b"]
+    assert payload["settings"] == {"probes": 400, "warmup": 100, "seed": 42}
+    assert "sim.engine.dispatched" in payload["registry"]
+    assert payload["registry"]["sim.engine.dispatched"]["value"] > 0
+    assert "failures" not in payload
+    titles = [report["title"] for report in payload["reports"]]
+    assert any("Figure 8b" in title for title in titles)
+
+    events = json.loads(trace_path.read_text())
+    tracks = {event["args"]["name"] for event in events
+              if event["ph"] == "M"}
+    assert any(track.startswith("widx.") for track in tracks)
+    assert any(event["ph"] == "X" for event in events)
+    assert any(event["ph"] == "C" for event in events)
+
+
+def test_cli_stats_json_analytic_selection(tmp_path):
+    stats_path = tmp_path / "stats.json"
+    code, _text = run_cli("--figure", "4b", "--stats-json", str(stats_path))
+    assert code == 0
+    payload = json.loads(stats_path.read_text())
+    assert payload["registry"] == {}  # analytic figures simulate nothing
+    assert payload["reports"]
+
+
+def test_cli_trace_without_widx_points_is_empty_but_valid(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code, text = run_cli("--figure", "4b", "--trace", str(trace_path))
+    assert code == 0
+    assert "no Widx point" in text
+    assert json.loads(trace_path.read_text()) == []

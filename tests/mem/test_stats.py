@@ -1,0 +1,73 @@
+"""Tests for the memory-stats bundles and their invariants."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.mem.stats import LevelStats, MemoryStats, TlbStats
+from repro.obs import StatsRegistry
+
+
+def test_level_stats_check_passes_when_consistent():
+    stats = LevelStats(accesses=10, hits=6, misses=3, combined_misses=1)
+    stats.check()
+
+
+def test_level_stats_check_raises_typed_error():
+    stats = LevelStats(accesses=10, hits=6, misses=3)
+    with pytest.raises(InvariantViolation, match="cache accounting broken"):
+        stats.check()
+
+
+def test_miss_ratio_counts_only_fresh_misses():
+    stats = LevelStats(accesses=10, hits=6, misses=3, combined_misses=1)
+    assert stats.miss_ratio == pytest.approx(0.3)
+
+
+def test_demand_miss_ratio_includes_combined_misses():
+    stats = LevelStats(accesses=10, hits=6, misses=3, combined_misses=1)
+    assert stats.demand_miss_ratio == pytest.approx(0.4)
+
+
+def test_ratios_on_untouched_level_are_zero():
+    stats = LevelStats()
+    assert stats.miss_ratio == 0.0
+    assert stats.demand_miss_ratio == 0.0
+
+
+def test_memory_stats_check_raises_on_broken_level():
+    stats = MemoryStats()
+    stats.llc.accesses += 1  # no matching hit/miss
+    with pytest.raises(InvariantViolation):
+        stats.check()
+
+
+def test_level_stats_register_into_publishes_live_counters():
+    stats = LevelStats()
+    registry = StatsRegistry()
+    stats.register_into(registry, "mem.l1d")
+    stats.misses += 2
+    assert registry.get("mem.l1d.misses") == 2
+    assert set(registry.paths()) == {
+        "mem.l1d.accesses", "mem.l1d.hits", "mem.l1d.misses",
+        "mem.l1d.combined_misses", "mem.l1d.prefetches"}
+
+
+def test_tlb_stats_miss_ratio():
+    stats = TlbStats(accesses=4, misses=1)
+    assert stats.miss_ratio == 0.25
+    assert TlbStats().miss_ratio == 0.0
+
+
+def test_memory_stats_register_into_publishes_only_its_own_counters():
+    stats = MemoryStats()
+    registry = StatsRegistry()
+    stats.register_into(registry, "mem")
+    # Levels register via their owners; only hierarchy-wide counters here.
+    assert registry.paths() == ["mem.dram_blocks", "mem.loads", "mem.stores"]
+
+
+def test_memory_stats_summary_is_one_line():
+    stats = MemoryStats()
+    stats.loads += 3
+    text = stats.summary()
+    assert "loads=3" in text and "\n" not in text

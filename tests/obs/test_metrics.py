@@ -1,0 +1,213 @@
+"""Tests for the typed metric scalars."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import Breakdown, Counter, Histogram, Occupancy, decode_metric
+
+
+# ---------------------------------------------------------------------------
+# Counter
+# ---------------------------------------------------------------------------
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        counter += 1
+        counter += 2
+        counter.add(3)
+        assert counter == 6
+        assert counter.value == 6
+
+    def test_float_counters_hold_cycles(self):
+        counter = Counter(0.0)
+        counter += 1.5
+        assert counter.value == 1.5
+        assert isinstance(counter.value, float)
+
+    def test_iadd_returns_the_same_object(self):
+        counter = Counter()
+        alias = counter
+        counter += 5
+        assert counter is alias
+
+    def test_binary_arithmetic_unwraps_to_numbers(self):
+        a, b = Counter(10), Counter(4)
+        assert a + b == 14 and not isinstance(a + b, Counter)
+        assert a - b == 6
+        assert a * 2 == 20
+        assert a / b == 2.5
+        assert a // 3 == 3
+        assert 100 / b == 25.0
+        assert 100 - a == 90
+        assert -a == -10
+        assert sum([a, b]) == 14  # __radd__ with the int 0 seed
+
+    def test_comparisons_and_truthiness(self):
+        counter = Counter(3)
+        assert counter > 2 and counter >= 3 and counter < 4 and counter <= 3
+        assert counter == 3 and counter != 4
+        assert counter == Counter(3)
+        assert bool(counter)
+        assert not Counter(0)
+        assert max(1, Counter(7)) == 7
+
+    def test_formatting_delegates_to_the_value(self):
+        assert f"{Counter(3.14159):.2f}" == "3.14"
+        assert str(Counter(42)) == "42"
+        assert int(Counter(9.7)) == 9
+        assert float(Counter(2)) == 2.0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Counter(1))
+
+    def test_record_max(self):
+        counter = Counter()
+        counter.record_max(5)
+        counter.record_max(3)
+        assert counter == 5
+
+    def test_round_trip_and_merge(self):
+        counter = Counter(7)
+        clone = decode_metric(counter.to_dict())
+        assert isinstance(clone, Counter) and clone == 7
+        clone.merge_from(Counter(3))
+        assert clone == 10
+        assert counter == 7  # the original is untouched
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        assert Histogram.bucket_of(0) == 0
+        assert Histogram.bucket_of(1) == 1
+        assert Histogram.bucket_of(2) == 2
+        assert Histogram.bucket_of(3) == 2
+        assert Histogram.bucket_of(4) == 3
+        assert Histogram.bucket_of(1024) == 11
+
+    def test_record_tracks_moments(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 100):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.total == 106
+        assert histogram.min == 1 and histogram.max == 100
+        assert histogram.mean == pytest.approx(26.5)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_round_trip_is_json_safe(self):
+        import json
+        histogram = Histogram()
+        histogram.record(5)
+        histogram.record(200)
+        snapshot = json.loads(json.dumps(histogram.to_dict()))
+        assert decode_metric(snapshot) == histogram
+
+    def test_merge_combines_buckets_and_extrema(self):
+        a, b = Histogram(), Histogram()
+        a.record(2)
+        b.record(2)
+        b.record(900)
+        a.merge_from(b)
+        assert a.count == 3
+        assert a.counts[Histogram.bucket_of(2)] == 2
+        assert a.min == 2 and a.max == 900
+
+    def test_merge_from_empty_keeps_extrema(self):
+        a = Histogram()
+        a.record(4)
+        a.merge_from(Histogram())
+        assert a.min == 4 and a.max == 4
+
+
+# ---------------------------------------------------------------------------
+# Occupancy
+# ---------------------------------------------------------------------------
+
+class TestOccupancy:
+    def test_peak_and_mean(self):
+        occupancy = Occupancy(capacity=8)
+        for level in (1, 3, 2):
+            occupancy.record(level)
+        assert occupancy.peak == 3
+        assert occupancy.mean == pytest.approx(2.0)
+        assert occupancy.capacity == 8
+
+    def test_merge_takes_max_peak_and_sums_samples(self):
+        a, b = Occupancy(4), Occupancy(8)
+        a.record(2)
+        b.record(7)
+        a.merge_from(b)
+        assert a.capacity == 8
+        assert a.peak == 7
+        assert a.samples == 2
+        assert a.mean == pytest.approx(4.5)
+
+    def test_round_trip(self):
+        occupancy = Occupancy(16)
+        occupancy.record(5)
+        assert decode_metric(occupancy.to_dict()) == occupancy
+
+
+# ---------------------------------------------------------------------------
+# Breakdown
+# ---------------------------------------------------------------------------
+
+class _Cycles(Breakdown):
+    CATEGORIES = ("comp", "mem", "idle")
+
+
+class TestBreakdown:
+    def test_declared_categories_default_to_zero(self):
+        cycles = _Cycles(mem=2.0)
+        assert cycles.get("comp") == 0.0
+        assert cycles.get("mem") == 2.0
+        assert cycles.total == 2.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(SimulationError):
+            _Cycles(bogus=1.0)
+        with pytest.raises(SimulationError):
+            _Cycles().add("bogus", 1.0)
+
+    def test_merged_and_scaled_preserve_type(self):
+        a = _Cycles(comp=1.0, mem=2.0)
+        b = _Cycles(comp=0.5, idle=1.0)
+        merged = a.merged(b)
+        assert isinstance(merged, _Cycles)
+        assert merged.as_values() == {"comp": 1.5, "mem": 2.0, "idle": 1.0}
+        assert a.scaled(2.0).as_values() == {"comp": 2.0, "mem": 4.0,
+                                             "idle": 0.0}
+
+    def test_total_sums_in_declaration_order(self):
+        assert _Cycles(comp=1.0, mem=2.0, idle=4.0).total == 7.0
+
+    def test_generic_breakdown_infers_categories(self):
+        generic = Breakdown(x=1.0, y=2.0)
+        assert generic.categories == ("x", "y")
+        assert generic.total == 3.0
+
+    def test_round_trip_decodes_as_base_breakdown(self):
+        cycles = _Cycles(comp=1.0, mem=2.5)
+        clone = decode_metric(cycles.to_dict())
+        assert isinstance(clone, Breakdown)
+        assert clone.as_values() == cycles.as_values()
+
+    def test_merge_from(self):
+        a = _Cycles(comp=1.0)
+        a.merge_from(_Cycles(comp=2.0, mem=3.0))
+        assert a.as_values() == {"comp": 3.0, "mem": 3.0, "idle": 0.0}
+
+
+def test_decode_metric_rejects_garbage():
+    with pytest.raises(SimulationError):
+        decode_metric({"kind": "nope"})
+    with pytest.raises(SimulationError):
+        decode_metric({})

@@ -1,0 +1,121 @@
+"""Tests for the interval tracer and its Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs import Tracer
+
+
+def test_begin_end_records_a_span():
+    tracer = Tracer()
+    tracer.begin("widx.walker0", "invoke", 10.0)
+    tracer.end("widx.walker0", "invoke", 25.0)
+    events = tracer.to_chrome()
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["name"] == "invoke"
+    assert spans[0]["ts"] == 10.0 and spans[0]["dur"] == 15.0
+
+
+def test_spans_nest_per_track():
+    tracer = Tracer()
+    tracer.begin("t", "outer", 0.0)
+    tracer.begin("t", "inner", 2.0)
+    tracer.end("t", "inner", 4.0)
+    tracer.end("t", "outer", 8.0)
+    spans = {e["name"]: e for e in tracer.to_chrome() if e["ph"] == "X"}
+    assert spans["inner"]["dur"] == 2.0
+    assert spans["outer"]["dur"] == 8.0
+
+
+def test_ill_nested_end_raises():
+    tracer = Tracer()
+    tracer.begin("t", "outer", 0.0)
+    tracer.begin("t", "inner", 1.0)
+    with pytest.raises(TraceError):
+        tracer.end("t", "outer", 2.0)  # inner is still open
+
+
+def test_end_without_begin_raises():
+    with pytest.raises(TraceError):
+        Tracer().end("t", "x", 1.0)
+
+
+def test_end_before_start_raises():
+    tracer = Tracer()
+    tracer.begin("t", "x", 10.0)
+    with pytest.raises(TraceError):
+        tracer.end("t", "x", 5.0)
+
+
+def test_complete_rejects_negative_duration():
+    with pytest.raises(TraceError):
+        Tracer().complete("t", "x", 0.0, -1.0)
+
+
+def test_independent_tracks_do_not_interfere():
+    tracer = Tracer()
+    tracer.begin("a", "x", 0.0)
+    tracer.begin("b", "y", 1.0)
+    tracer.end("a", "x", 2.0)
+    tracer.end("b", "y", 3.0)
+    assert tracer.num_events == 2
+
+
+def test_export_with_open_span_raises():
+    tracer = Tracer()
+    tracer.begin("t", "x", 0.0)
+    with pytest.raises(TraceError) as excinfo:
+        tracer.to_chrome()
+    assert "t:x@0.0" in str(excinfo.value)
+
+
+def test_close_all_force_closes_open_spans():
+    tracer = Tracer()
+    tracer.begin("t", "outer", 0.0)
+    tracer.begin("t", "inner", 5.0)
+    tracer.close_all(7.0)
+    assert tracer.open_spans() == []
+    spans = {e["name"]: e for e in tracer.to_chrome() if e["ph"] == "X"}
+    assert spans["inner"]["dur"] == 2.0
+    assert spans["outer"]["dur"] == 7.0
+
+
+def test_samples_become_counter_events():
+    tracer = Tracer()
+    tracer.sample("queue.hashed-keys", "depth", 1.0, 3)
+    tracer.sample("queue.hashed-keys", "depth", 2.0, 4)
+    counters = [e for e in tracer.to_chrome() if e["ph"] == "C"]
+    assert len(counters) == 2
+    assert counters[0]["args"] == {"depth": 3}
+
+
+def test_tracks_map_to_named_threads():
+    tracer = Tracer()
+    tracer.complete("b-track", "x", 0.0, 1.0)
+    tracer.sample("a-track", "level", 0.0, 1)
+    events = tracer.to_chrome()
+    metadata = {e["args"]["name"]: e["tid"]
+                for e in events if e["ph"] == "M"}
+    # Deterministic tids in sorted-track order.
+    assert metadata == {"a-track": 0, "b-track": 1}
+    by_tid = {e["tid"] for e in events if e["ph"] == "X"}
+    assert by_tid == {metadata["b-track"]}
+
+
+def test_write_produces_loadable_json(tmp_path):
+    tracer = Tracer()
+    tracer.complete("t", "x", 0.0, 2.0)
+    path = tmp_path / "trace.json"
+    tracer.write(str(path))
+    events = json.loads(path.read_text())
+    assert isinstance(events, list)
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_empty_tracer_writes_an_empty_valid_trace(tmp_path):
+    path = tmp_path / "empty.json"
+    Tracer().write(str(path))
+    assert json.loads(path.read_text()) == []
