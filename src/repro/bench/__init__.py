@@ -1,0 +1,335 @@
+"""Micro-benchmarks for the simulator's hot paths.
+
+Each benchmark times the optimized implementation against its
+*deliberately naive* reference twin (the same oracles the differential
+tests compare against) and asserts the two produce **bit-identical**
+simulated results before reporting a speedup.  That coupling is the
+point: a benchmark that got faster by changing behaviour fails loudly
+instead of reporting a bogus win.
+
+Three benchmarks cover the three overhauled layers:
+
+``engine_dispatch``
+    A wakeup storm: many processes yielding seeded random delays, timed
+    on the pooled-entry batching :class:`~repro.sim.engine.Engine`
+    versus the linear-scan :class:`~repro.sim.reference.ReferenceEngine`.
+
+``cache_probe``
+    A lookup-dominated probe storm on the LLC geometry, timed on the
+    flat tick-LRU :class:`~repro.mem.cache.CacheArray` versus the
+    recency-list :class:`~repro.mem.reference.ReferenceCacheArray`.
+
+``fig8_point``
+    One full Figure-8 style offloaded bulk probe (hash join, 4 walkers),
+    timed end-to-end on the optimized stack versus the full naive stack
+    (reference engine + reference cache levels + reference interpreter).
+
+Run via ``python -m repro.bench`` (see :mod:`repro.bench.__main__`); the
+committed ``BENCH_sim.json`` baseline is regenerated with ``--output``
+(which enforces the acceptance floors) and guarded in CI with
+``--check`` (which fails on fingerprint drift or a >20% speedup
+regression relative to the baseline).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG
+from ..db.column import Column
+from ..db.datagen import make_rng, probe_keys, unique_keys
+from ..db.hashfn import ROBUST_HASH_32
+from ..db.hashtable import HashIndex, choose_num_buckets
+from ..db.node import KERNEL_LAYOUT
+from ..db.types import DataType
+from ..mem.cache import CacheArray
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.layout import AddressSpace
+from ..mem.reference import ReferenceCacheArray, use_reference_arrays
+from ..sim.engine import Engine
+from ..sim.reference import ReferenceEngine
+from ..widx.offload import offload_probe
+from ..widx.reference import ReferenceWidxUnit
+
+#: Acceptance floors (ISSUE): minimum speedup each benchmark must show
+#: when a new baseline is generated with ``--output``.
+FLOORS: Dict[str, float] = {
+    "engine_dispatch": 1.5,
+    "cache_probe": 1.5,
+    "fig8_point": 1.25,
+}
+
+#: ``--check`` tolerance: fail if the measured speedup drops below
+#: ``baseline_speedup * (1 - REGRESSION_TOLERANCE)``.
+REGRESSION_TOLERANCE = 0.20
+
+SCHEMA = "repro-bench/1"
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one optimized-vs-reference measurement."""
+
+    name: str
+    optimized_s: float
+    reference_s: float
+    fingerprint: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_s / self.optimized_s
+
+    @property
+    def floor(self) -> float:
+        return FLOORS[self.name]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: speedup, both timings, floor and fingerprint."""
+        return {
+            "speedup": round(self.speedup, 4),
+            "optimized_s": round(self.optimized_s, 6),
+            "reference_s": round(self.reference_s, 6),
+            "floor": self.floor,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _crc(value: object) -> int:
+    """Stable checksum of a repr — compact fingerprint for large results."""
+    return zlib.crc32(repr(value).encode("ascii"))
+
+
+def _time_best(setup: Callable[[], object], run: Callable[[object], object],
+               repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall time; asserts every repeat's result is
+    identical (the workloads are deterministic by construction)."""
+    best_time: Optional[float] = None
+    result: object = None
+    for attempt in range(repeats):
+        state = setup()
+        start = perf_counter()
+        outcome = run(state)
+        elapsed = perf_counter() - start
+        if attempt == 0:
+            result = outcome
+        elif outcome != result:
+            raise AssertionError("non-deterministic benchmark run")
+        if best_time is None or elapsed < best_time:
+            best_time = elapsed
+    return best_time, result
+
+
+# ----------------------------------------------------------------------
+# engine_dispatch: wakeup storm on the discrete-event engine
+# ----------------------------------------------------------------------
+
+_ENGINE_PROCS = 40
+_ENGINE_STEPS = 400
+
+
+def _engine_workload(engine: Engine) -> List[Tuple[str, float]]:
+    """Spawn the storm and run it; returns the completion trace."""
+    completions: List[Tuple[str, float]] = []
+
+    def worker(name: str, seed: int):
+        rng = random.Random(seed)
+        for _ in range(_ENGINE_STEPS):
+            yield rng.random() * 4.0
+        completions.append((name, engine.now))
+
+    for index in range(_ENGINE_PROCS):
+        name = f"w{index}"
+        engine.process(worker(name, 1000 + index), name=name)
+    engine.run()
+    return completions
+
+
+def bench_engine_dispatch(repeats: int) -> BenchResult:
+    """Time the optimized engine against the linear-scan reference."""
+
+    def run(engine):
+        trace = _engine_workload(engine)
+        return (round(engine.now, 9), engine.dispatched.value, tuple(trace))
+
+    optimized_s, opt = _time_best(Engine, run, repeats)
+    reference_s, ref = _time_best(ReferenceEngine, run, repeats)
+    if opt != ref:
+        raise AssertionError(
+            "engine benchmark: optimized and reference runs diverged")
+    final_now, dispatched, trace = opt
+    return BenchResult(
+        name="engine_dispatch",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "final_now": final_now,
+            "dispatched": dispatched,
+            "trace_crc": _crc(trace),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# cache_probe: lookup-dominated storm on the LLC tag array
+# ----------------------------------------------------------------------
+
+_CACHE_OPS = 400_000
+_CACHE_SEED = 5
+_CACHE_LOOKUP_FRACTION = 0.9
+
+
+def _cache_ops() -> List[Tuple[bool, int]]:
+    """Deterministic (is_lookup, block) op stream over the LLC footprint."""
+    cfg = DEFAULT_CONFIG.llc
+    footprint = cfg.num_sets * cfg.associativity  # exactly one capacity
+    rng = random.Random(_CACHE_SEED)
+    ops = []
+    for _ in range(_CACHE_OPS):
+        is_lookup = rng.random() < _CACHE_LOOKUP_FRACTION
+        ops.append((is_lookup, rng.randrange(footprint)))
+    return ops
+
+
+def _cache_workload(array, ops) -> Tuple[int, int, int]:
+    """Apply the op stream; returns (hits, victims_crc, resident)."""
+    hits = 0
+    victims: List[int] = []
+    lookup = array.lookup
+    insert = array.insert
+    for is_lookup, block in ops:
+        if is_lookup:
+            if lookup(block):
+                hits += 1
+        else:
+            victim = insert(block)
+            if victim is not None:
+                victims.append(victim)
+    return hits, _crc(victims), array.resident_blocks()
+
+
+def bench_cache_probe(repeats: int) -> BenchResult:
+    """Time the flat tick-LRU array against the recency-list reference."""
+    cfg = DEFAULT_CONFIG.llc
+    ops = _cache_ops()
+
+    optimized_s, opt = _time_best(
+        lambda: CacheArray(cfg), lambda array: _cache_workload(array, ops),
+        repeats)
+    reference_s, ref = _time_best(
+        lambda: ReferenceCacheArray(cfg),
+        lambda array: _cache_workload(array, ops), repeats)
+    if opt != ref:
+        raise AssertionError(
+            "cache benchmark: optimized and reference arrays diverged")
+    hits, victims_crc, resident = opt
+    return BenchResult(
+        name="cache_probe",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "ops": _CACHE_OPS,
+            "hits": hits,
+            "victims_crc": victims_crc,
+            "resident": resident,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# fig8_point: one full offloaded bulk probe, optimized vs naive stack
+# ----------------------------------------------------------------------
+
+_FIG8_KEYS = 20_000
+_FIG8_PROBES = 2_000
+_FIG8_WALKERS = 4
+
+
+def _build_fig8_inputs() -> Tuple[HashIndex, Column]:
+    """A hash-join style index plus a fully-matching probe column.
+
+    Rebuilt for every timed run so simulated addresses — and therefore
+    simulated cycles — are identical across repeats and stacks.
+    """
+    space = AddressSpace()
+    keys = unique_keys(_FIG8_KEYS, 4, make_rng(11))
+    index = HashIndex(space, KERNEL_LAYOUT,
+                      choose_num_buckets(_FIG8_KEYS, 1.0),
+                      ROBUST_HASH_32, capacity=_FIG8_KEYS)
+    for row, key in enumerate(keys):
+        index.insert(int(key), row + 1)
+    values = probe_keys(np.asarray(keys), _FIG8_PROBES, 1.0, 4, make_rng(13))
+    column = Column("probes", DataType.for_key_bytes(4), values)
+    column.materialize(space)
+    return index, column
+
+
+def _fig8_outcome_key(outcome) -> Tuple:
+    unit_counts = tuple(
+        (name, stats.instructions.value, stats.invocations.value)
+        for name, stats in sorted(outcome.run.unit_stats.items()))
+    return (outcome.run.total_cycles, outcome.run.matches,
+            tuple(outcome.payloads), unit_counts)
+
+
+def bench_fig8_point(repeats: int) -> BenchResult:
+    """Time one Figure-8 point end-to-end against the full naive stack."""
+    config = DEFAULT_CONFIG.with_widx(num_walkers=_FIG8_WALKERS)
+
+    def run_optimized(state):
+        index, column = state
+        outcome = offload_probe(index, column, config=config,
+                                probes=_FIG8_PROBES)
+        return _fig8_outcome_key(outcome)
+
+    def run_reference(state):
+        index, column = state
+        outcome = offload_probe(
+            index, column, config=config, probes=_FIG8_PROBES,
+            memory=use_reference_arrays(MemoryHierarchy(config)),
+            engine=ReferenceEngine(),
+            unit_cls=ReferenceWidxUnit)
+        return _fig8_outcome_key(outcome)
+
+    optimized_s, opt = _time_best(_build_fig8_inputs, run_optimized, repeats)
+    reference_s, ref = _time_best(_build_fig8_inputs, run_reference, repeats)
+    if opt != ref:
+        raise AssertionError(
+            "fig8 benchmark: optimized and reference stacks diverged")
+    total_cycles, matches, payloads, unit_counts = opt
+    return BenchResult(
+        name="fig8_point",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "total_cycles": total_cycles,
+            "matches": matches,
+            "payloads_crc": _crc(payloads),
+            "instructions": sum(count[1] for count in unit_counts),
+        },
+    )
+
+
+BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
+    "engine_dispatch": bench_engine_dispatch,
+    "cache_probe": bench_cache_probe,
+    "fig8_point": bench_fig8_point,
+}
+
+
+def run_benchmarks(repeats: int = 3,
+                   only: Optional[List[str]] = None) -> List[BenchResult]:
+    """Run the selected benchmarks (all by default), in declaration order."""
+    names = list(BENCHMARKS) if not only else only
+    results = []
+    for name in names:
+        if name not in BENCHMARKS:
+            raise KeyError(f"unknown benchmark {name!r}; "
+                           f"choose from {sorted(BENCHMARKS)}")
+        results.append(BENCHMARKS[name](repeats))
+    return results

@@ -9,7 +9,6 @@ MSHRs (Section 3.2, Equation 3), with same-block miss combining.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..config import CacheConfig
@@ -18,58 +17,94 @@ from .stats import LevelStats
 
 
 class CacheArray:
-    """Functional set-associative tag array with LRU replacement."""
+    """Functional set-associative tag array with LRU replacement.
 
-    __slots__ = ("block_bits", "num_sets", "associativity", "_sets")
+    The residency + recency state lives in ONE flat dict mapping resident
+    block number to a monotone tick: a lookup hit is a membership probe
+    plus a dict store (``entries[block] = tick``) — no per-set container
+    hop, no ordered-dict linked-list surgery.  Set membership (needed
+    only to pick eviction victims) is maintained separately in
+    ``_sets[index]`` and touched only on insert/evict/invalidate, which
+    are orders of magnitude rarer than hits in every modelled workload.
+    The victim on a full-set insert is the minimum-tick member — exactly
+    the least-recently-used block, so victim selection is bit-identical
+    to the naive recency-list scheme (see
+    :class:`repro.mem.reference.ReferenceCacheArray`, the obviously
+    correct model the differential tests compare against).
+    """
+
+    __slots__ = ("block_bits", "num_sets", "associativity", "_entries",
+                 "_sets", "_set_mask", "_tick")
 
     def __init__(self, cfg: CacheConfig) -> None:
         self.block_bits = cfg.block_bytes.bit_length() - 1
         self.num_sets = cfg.num_sets
         self.associativity = cfg.associativity
-        self._sets: Dict[int, OrderedDict] = {}
+        #: resident block -> last-touch tick (all sets flattened together).
+        self._entries: Dict[int, int] = {}
+        #: set index -> resident members (maintained on insert/evict only).
+        self._sets: Dict[int, set] = {}
+        # Power-of-two set counts (every shipped config) index with a
+        # precomputed mask; anything else falls back to modulo.
+        self._set_mask = (self.num_sets - 1
+                          if self.num_sets & (self.num_sets - 1) == 0
+                          else None)
+        self._tick = 0
 
     def block_of(self, addr: int) -> int:
         """The block number an address falls in."""
         return addr >> self.block_bits
 
-    def _set_for(self, block: int) -> OrderedDict:
-        index = block % self.num_sets
-        entries = self._sets.get(index)
-        if entries is None:
-            entries = self._sets[index] = OrderedDict()
-        return entries
+    def _members_for(self, block: int) -> set:
+        mask = self._set_mask
+        index = block & mask if mask is not None else block % self.num_sets
+        members = self._sets.get(index)
+        if members is None:
+            members = self._sets[index] = set()
+        return members
 
     def lookup(self, block: int) -> bool:
         """True if resident; refreshes LRU position on hit."""
-        entries = self._set_for(block)
+        entries = self._entries
         if block in entries:
-            entries.move_to_end(block)
+            self._tick = tick = self._tick + 1
+            entries[block] = tick
             return True
         return False
 
     def present(self, block: int) -> bool:
         """Residency check without touching LRU state."""
-        return block in self._set_for(block)
+        return block in self._entries
 
     def insert(self, block: int) -> Optional[int]:
         """Insert a block; returns the evicted block (if any)."""
-        entries = self._set_for(block)
+        entries = self._entries
+        self._tick = tick = self._tick + 1
         if block in entries:
-            entries.move_to_end(block)
+            entries[block] = tick
             return None
+        mask = self._set_mask
+        index = block & mask if mask is not None else block % self.num_sets
+        members = self._sets.get(index)
+        if members is None:
+            members = self._sets[index] = set()
         victim = None
-        if len(entries) >= self.associativity:
-            victim, _ = entries.popitem(last=False)
-        entries[block] = None
+        if len(members) >= self.associativity:
+            victim = min(members, key=entries.__getitem__)
+            members.discard(victim)
+            del entries[victim]
+        members.add(block)
+        entries[block] = tick
         return victim
 
     def invalidate(self, block: int) -> None:
         """Drop a block if resident."""
-        self._set_for(block).pop(block, None)
+        if self._entries.pop(block, None) is not None:
+            self._members_for(block).discard(block)
 
     def resident_blocks(self) -> int:
         """Total blocks currently resident."""
-        return sum(len(entries) for entries in self._sets.values())
+        return len(self._entries)
 
 
 class CacheLevel:
@@ -78,6 +113,9 @@ class CacheLevel:
     Timing queries return absolute cycle timestamps; callers must issue
     requests in non-decreasing time order (guaranteed by the event engine).
     """
+
+    __slots__ = ("cfg", "name", "array", "ports", "mshrs", "stats",
+                 "_inflight")
 
     def __init__(self, cfg: CacheConfig, name: str) -> None:
         self.cfg = cfg
@@ -105,17 +143,24 @@ class CacheLevel:
         fresh miss, returns ``-1.0`` and the caller must complete the miss
         with :meth:`begin_miss` / :meth:`finish_miss`.
         """
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses.value += 1
         pending = self._inflight.get(block)
         if pending is not None:
             if pending > now:
-                self.stats.combined_misses += 1
+                stats.combined_misses.value += 1
                 return pending
             del self._inflight[block]
-        if self.array.lookup(block):
-            self.stats.hits += 1
+        # Inlined CacheArray.lookup hit path — the single hottest memory
+        # operation in the simulator (every load probes here first).
+        array = self.array
+        entries = array._entries
+        if block in entries:
+            array._tick = tick = array._tick + 1
+            entries[block] = tick
+            stats.hits.value += 1
             return None
-        self.stats.misses += 1
+        stats.misses.value += 1
         return -1.0
 
     def begin_miss(self, now: float) -> float:

@@ -79,24 +79,25 @@ class MemoryHierarchy:
 
     def load(self, addr: int, now: float) -> AccessResult:
         """A demand load issued at time ``now``."""
-        self.stats.loads += 1
+        self.stats.loads.value += 1
         return self._access(addr, now)
 
     def store(self, addr: int, now: float) -> AccessResult:
         """A store issued at time ``now`` (write-allocate, write-back)."""
-        self.stats.stores += 1
+        self.stats.stores.value += 1
         return self._access(addr, now)
 
     def touch(self, addr: int, now: float) -> AccessResult:
         """A prefetch (Widx TOUCH): starts the fill; caller does not wait."""
-        self.l1d.stats.prefetches += 1
+        self.l1d.stats.prefetches.value += 1
         return self._access(addr, now)
 
     def _access(self, addr: int, now: float) -> AccessResult:
         translated, tlb_stall = self.tlb.translate(addr, now)
-        block = self.l1d.block_of(addr)
-        port_time = self.l1d.port_grant(translated)
-        outcome = self.l1d.probe(block, port_time)
+        l1d = self.l1d
+        block = addr >> l1d.array.block_bits
+        port_time = l1d.port_grant(translated)
+        outcome = l1d.probe(block, port_time)
         if outcome is None:  # L1 hit
             return AccessResult(port_time + self.cfg.l1d.latency_cycles,
                                 tlb_stall, "L1")
@@ -104,11 +105,12 @@ class MemoryHierarchy:
             return AccessResult(max(outcome, port_time + self.cfg.l1d.latency_cycles),
                                 tlb_stall, "L1")
         # Fresh L1 miss: MSHR, then LLC.
-        miss_start = self.l1d.begin_miss(port_time)
+        llc = self.llc
+        miss_start = l1d.begin_miss(port_time)
         llc_arrival = self.crossbar.traverse(miss_start)
         llc_block = block  # block sizes match by config invariant
-        llc_port = self.llc.port_grant(llc_arrival)
-        llc_outcome = self.llc.probe(llc_block, llc_port)
+        llc_port = llc.port_grant(llc_arrival)
+        llc_outcome = llc.probe(llc_block, llc_port)
         if llc_outcome is None:  # LLC hit
             data_at_llc = llc_port + self.cfg.llc.latency_cycles
             level = "LLC"
@@ -116,13 +118,13 @@ class MemoryHierarchy:
             data_at_llc = max(llc_outcome, llc_port + self.cfg.llc.latency_cycles)
             level = "LLC"
         else:  # LLC miss: off-chip
-            llc_miss_start = self.llc.begin_miss(llc_port)
+            llc_miss_start = llc.begin_miss(llc_port)
             data_at_llc = self.dram.fetch(llc_block, llc_miss_start)
-            self.llc.finish_miss(llc_block, data_at_llc)
-            self.stats.dram_blocks += 1
+            llc.finish_miss(llc_block, data_at_llc)
+            self.stats.dram_blocks.value += 1
             level = "DRAM"
         fill_time = self.crossbar.traverse(data_at_llc)
-        self.l1d.finish_miss(block, fill_time)
+        l1d.finish_miss(block, fill_time)
         return AccessResult(fill_time, tlb_stall, level)
 
     # ------------------------------------------------------------------
@@ -131,7 +133,7 @@ class MemoryHierarchy:
 
     def warm_block(self, addr: int, level: str = "llc") -> None:
         """Install the block (and its translation) with no timing effect."""
-        block = self.l1d.block_of(addr)
+        block = addr >> self.l1d.array.block_bits
         self.tlb.warm(addr)
         if level in ("l1", "l1d"):
             self.l1d.warm(block)

@@ -24,7 +24,7 @@ class Crossbar:
 
     def traverse(self, now: float) -> float:
         """Returns arrival time of a message injected at ``now``."""
-        self.traversals += 1
+        self.traversals.value += 1
         return now + self.latency_cycles
 
     def register_into(self, registry, prefix: str) -> None:

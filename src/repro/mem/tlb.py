@@ -13,8 +13,7 @@ reproduces without simulating the radix walk itself.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..config import TlbConfig
 from ..sim.resources import OccupancyPool
@@ -22,12 +21,22 @@ from .stats import TlbStats
 
 
 class Tlb:
-    """LRU TLB with a bounded number of concurrent page walks."""
+    """LRU TLB with a bounded number of concurrent page walks.
+
+    Entry recency uses the same monotone-tick scheme as
+    :class:`repro.mem.cache.CacheArray`: hits are one dict store, and a
+    full-table insert evicts the minimum-tick (least-recently-used) page —
+    identical victims to the ordered-dict implementation it replaced.
+    """
+
+    __slots__ = ("cfg", "_page_bits", "_entries", "_walks", "stats",
+                 "_inflight", "_tick")
 
     def __init__(self, cfg: TlbConfig) -> None:
         self.cfg = cfg
         self._page_bits = cfg.page_bytes.bit_length() - 1
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: Dict[int, int] = {}
+        self._tick = 0
         self._walks = OccupancyPool(capacity=cfg.in_flight)
         self.stats = TlbStats()
         # In-flight walks by page -> completion, so concurrent misses to one
@@ -50,38 +59,41 @@ class Tlb:
         the physical address is available and ``stall_cycles`` is the
         translation stall attributed to this access (0 on a hit).
         """
-        page = self.page_of(addr)
-        self.stats.accesses += 1
+        page = addr >> self._page_bits
+        stats = self.stats
+        stats.accesses.value += 1
         entries = self._entries
         pending = self._inflight.get(page)
         if pending is not None:
             if pending > now:
                 # Share the in-flight walk instead of starting another.
                 stall = pending - now
-                self.stats.stall_cycles += stall
+                stats.stall_cycles.value += stall
                 return pending, stall
             del self._inflight[page]
         if page in entries:
-            entries.move_to_end(page)
+            self._tick = tick = self._tick + 1
+            entries[page] = tick
             return now, 0.0
-        self.stats.misses += 1
+        stats.misses.value += 1
         start = self._walks.acquire(now)
         done = start + self.cfg.miss_latency_cycles
         self._walks.release_at(done)
         self._inflight[page] = done
         self._insert(page)
         stall = done - now
-        self.stats.stall_cycles += stall
+        stats.stall_cycles.value += stall
         return done, stall
 
     def _insert(self, page: int) -> None:
         entries = self._entries
+        self._tick = tick = self._tick + 1
         if page in entries:
-            entries.move_to_end(page)
+            entries[page] = tick
             return
         if len(entries) >= self.cfg.entries:
-            entries.popitem(last=False)
-        entries[page] = None
+            del entries[min(entries, key=entries.get)]
+        entries[page] = tick
 
     def warm(self, addr: int) -> None:
         """Install the page translation with no timing effect."""

@@ -26,7 +26,8 @@ dump; livelock and budget overruns are policed by an attachable
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Generator, Iterable, List, Optional
 
 from ..errors import ProcessError, SimulationError, SimulationHang
 from ..obs import Counter
@@ -34,11 +35,52 @@ from .events import Event
 
 ProcessGenerator = Generator[Any, Any, Any]
 
+#: Recycled `_Entry` objects kept per engine; bounds pool memory while
+#: covering the steady-state wakeup churn of even wide machines.
+_POOL_LIMIT = 256
+
+
+class _Entry:
+    """One scheduled wakeup on the event queue.
+
+    Heap entries compare on ``(when, seq)`` *only* — the payload (a
+    callback, or a process plus its resume value/exception) never
+    participates in ordering, so equal-time entries can never attempt to
+    compare callables.  ``seq`` is unique and monotone, making the order
+    total and FIFO within a cycle.
+
+    An entry carries either ``callback`` (generic scheduled work) or
+    ``process`` (a resume with ``value``/``exc``); keeping the resume
+    payload in slots instead of closing over it removes the per-dispatch
+    lambda allocation the engine previously paid, and lets dispatched
+    entries be pooled and reused.
+    """
+
+    __slots__ = ("when", "seq", "callback", "process", "value", "exc")
+
+    def __init__(self) -> None:
+        self.when = 0.0
+        self.seq = 0
+        self.callback = None
+        self.process: Optional["Process"] = None
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        payload = (f"process={self.process.name!r}" if self.process is not None
+                   else f"callback={self.callback!r}")
+        return f"_Entry(when={self.when}, seq={self.seq}, {payload})"
+
 
 class Process(Event):
     """A running process; it is itself an event that fires on completion."""
 
-    __slots__ = ("_generator", "_engine", "name", "waiting_on")
+    __slots__ = ("_generator", "_engine", "name", "waiting_on", "_on_wait")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -47,6 +89,9 @@ class Process(Event):
         self._engine = engine
         self.name = name or getattr(generator, "__name__", "process")
         self.waiting_on: Any = None
+        # One bound method for the lifetime of the process instead of a
+        # fresh one per wait (`self._wait_done` allocates on every access).
+        self._on_wait = self._wait_done
 
     def _resume(self, value: Any = None, exc: Optional[BaseException] = None,
                 ) -> None:
@@ -66,7 +111,7 @@ class Process(Event):
             return
         if isinstance(target, Event):
             self.waiting_on = target
-            target.add_callback(self._wait_done)
+            target.add_callback(self._on_wait)
         elif isinstance(target, (int, float)):
             if target < 0:
                 raise SimulationError(
@@ -106,11 +151,27 @@ class _Failure:
 
 
 class Engine:
-    """Event queue and clock."""
+    """Event queue and clock.
+
+    Scheduling is split into two structures chosen by target time:
+
+    * ``_queue`` — a heap of :class:`_Entry` objects for future times;
+    * ``_batch`` — a FIFO of entries for the *current* cycle.  Most
+      wakeups (event callbacks resuming a waiter "now") land here, at
+      O(1) append/popleft instead of O(log n) heap churn.
+
+    The dispatch order is exactly global ``(when, seq)`` order: entries
+    already in the heap at the current time were necessarily scheduled
+    earlier (lower ``seq``) than anything appended to the batch, so the
+    run loop drains same-time heap entries before batch entries, and the
+    batch itself is FIFO.
+    """
 
     def __init__(self, detect_deadlock: bool = True) -> None:
         self.now: float = 0.0
-        self._queue: list = []
+        self._queue: List[_Entry] = []
+        self._batch: Deque[_Entry] = deque()
+        self._pool: List[_Entry] = []
         self._sequence = 0
         self._active_processes = 0
         self._live: Dict[int, Process] = {}
@@ -150,23 +211,63 @@ class Engine:
         self.schedule_at(self.now + delay, lambda: event.succeed(value))
         return event
 
-    def schedule_at(self, when: float, callback) -> None:
-        """Run ``callback()`` at absolute time ``when``."""
+    def _make_entry(self, when: float) -> _Entry:
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before current time {self.now}")
+        pool = self._pool
+        entry = pool.pop() if pool else _Entry()
         self._sequence += 1
-        heapq.heappush(self._queue, (when, self._sequence, callback))
+        entry.when = when
+        entry.seq = self._sequence
+        return entry
+
+    def _recycle(self, entry: _Entry) -> None:
+        entry.callback = None
+        entry.process = None
+        entry.value = None
+        entry.exc = None
+        if len(self._pool) < _POOL_LIMIT:
+            self._pool.append(entry)
+
+    def _push(self, entry: _Entry) -> None:
+        """File an entry under the two-structure scheme (see class doc)."""
+        if entry.when == self.now:
+            self._batch.append(entry)
+        else:
+            heapq.heappush(self._queue, entry)
+
+    def _flush_batch(self) -> None:
+        """Spill current-cycle entries back into the heap (an ``until``
+        bound is rewinding the clock away from their cycle)."""
+        batch = self._batch
+        while batch:
+            heapq.heappush(self._queue, batch.popleft())
+
+    def schedule_at(self, when: float, callback) -> None:
+        """Run ``callback()`` at absolute time ``when``."""
+        entry = self._make_entry(when)
+        entry.callback = callback
+        self._push(entry)
 
     def _schedule_resume(self, process: Process, value: Any) -> None:
-        self._schedule_resume_at(process, self.now, value)
+        entry = self._make_entry(self.now)
+        entry.process = process
+        entry.value = value
+        self._push(entry)
 
     def _schedule_resume_exc(self, process: Process,
                              exc: Optional[BaseException]) -> None:
-        self.schedule_at(self.now, lambda: process._resume(None, exc))
+        entry = self._make_entry(self.now)
+        entry.process = process
+        entry.exc = exc
+        self._push(entry)
 
     def _schedule_resume_at(self, process: Process, when: float, value: Any) -> None:
-        self.schedule_at(when, lambda: process._resume(value))
+        entry = self._make_entry(when)
+        entry.process = process
+        entry.value = value
+        self._push(entry)
 
     def monitor_resource(self, name: str, resource: Any) -> None:
         """Register a resource for diagnostic dumps (unique-ified name)."""
@@ -188,18 +289,41 @@ class Engine:
         is not over.
         """
         queue = self._queue
+        batch = self._batch
+        dispatched = self.dispatched
         watchdog = self.watchdog
-        while queue:
-            when, _seq, callback = queue[0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(queue)
-            self.now = when
-            self.dispatched += 1
+        heappop = heapq.heappop
+        while queue or batch:
+            # Same-time heap entries carry lower sequence numbers than
+            # anything in the batch (they were scheduled before this cycle
+            # began), so they dispatch first; otherwise the batch — all at
+            # the current time — precedes any strictly-future heap entry.
+            if queue and (not batch or queue[0].when == self.now):
+                when = queue[0].when
+                if until is not None and when > until:
+                    self._flush_batch()
+                    self.now = until
+                    return self.now
+                entry = heappop(queue)
+                self.now = when
+            else:
+                if until is not None and self.now > until:
+                    self._flush_batch()
+                    self.now = until
+                    return self.now
+                entry = batch.popleft()
+            dispatched.value += 1
             if watchdog is not None:
                 watchdog.check(self)
-            callback()
+            process = entry.process
+            if process is not None:
+                value, exc = entry.value, entry.exc
+                self._recycle(entry)
+                process._resume(value, exc)
+            else:
+                callback = entry.callback
+                self._recycle(entry)
+                callback()
         self._raise_unhandled_failures()
         if self.detect_deadlock and self._active_processes > 0:
             raise SimulationHang(
@@ -224,6 +348,11 @@ class Engine:
         """Processes that have started but not yet finished or failed."""
         return list(self._live.values())
 
+    @property
+    def pending_events(self) -> int:
+        """Scheduled-but-undispatched entries (heap plus current-cycle batch)."""
+        return len(self._queue) + len(self._batch)
+
     def register_into(self, registry, prefix: str = "sim.engine") -> None:
         """Publish event-throughput counters under ``prefix``."""
         registry.register(f"{prefix}.dispatched", self.dispatched)
@@ -231,13 +360,13 @@ class Engine:
     def diagnostics(self) -> str:
         """A human-readable dump of engine state (for hang reports)."""
         lines = [f"engine: now={self.now} dispatched={self.dispatched} "
-                 f"pending_events={len(self._queue)} "
+                 f"pending_events={self.pending_events} "
                  f"live_processes={self._active_processes}"]
         for process in self._live.values():
             lines.append(f"  process {process.name!r}: "
                          f"{process._describe_wait()}")
-        for when, _seq, _callback in sorted(self._queue)[:8]:
-            lines.append(f"  pending event at t={when}")
+        for entry in sorted(list(self._queue) + list(self._batch))[:8]:
+            lines.append(f"  pending event at t={entry.when}")
         for name, resource in self.monitored_resources.items():
             describe = getattr(resource, "describe", None)
             detail = describe() if callable(describe) else repr(resource)

@@ -82,8 +82,8 @@ class PipelinedResource:
         grant (start-of-service) time."""
         if now > self._max_now:
             self._max_now = now
-        self.grants += 1
-        self.busy_cycles += self.service
+        self.grants.value += 1
+        self.busy_cycles.value += self.service
         if self.service == 1.0:
             return self._request_cycle(now)
         return self._request_interval(now)
@@ -214,17 +214,22 @@ class OccupancyPool:
             start = now
         else:
             start = heapq.heappop(releases)
-            self.wait_cycles += start - now
-        self.acquisitions += 1
+            self.wait_cycles.value += start - now
+        self.acquisitions.value += 1
         if self.tracer is not None:
             self.tracer.sample(self._track, "held", start, len(releases) + 1)
         return start
 
     def release_at(self, when: float) -> None:
         """Mark the slot acquired by the latest :meth:`acquire` as held until ``when``."""
-        self.releases += 1
+        self.releases.value += 1
         heapq.heappush(self._releases, when)
-        self.usage.record(len(self._releases))
+        usage = self.usage
+        level = len(self._releases)
+        usage.samples += 1
+        usage.total += level
+        if level > usage.peak:
+            usage.peak = level
 
     def register_into(self, registry, prefix: str) -> None:
         """Publish pool counters and occupancy under ``prefix``."""
@@ -240,6 +245,10 @@ class BoundedQueue:
     Used for the dispatcher→walker and walker→producer queues.  ``put`` and
     ``get`` return :class:`Event` objects the caller must yield.
     """
+
+    __slots__ = ("engine", "capacity", "name", "_items", "_getters",
+                 "_putters", "total_puts", "depth", "closed", "tracer",
+                 "_track")
 
     def __init__(self, engine: Engine, capacity: int, name: str = "queue") -> None:
         if capacity < 1:
@@ -298,21 +307,28 @@ class BoundedQueue:
             raise SimulationError(
                 f"put() on closed queue {self.name!r}")
         event = Event()
+        items = self._items
         if self._getters:
             # Hand off directly to a waiting consumer.
             getter = self._getters.popleft()
             getter.succeed(item)
             event.succeed()
-        elif len(self._items) < self.capacity:
-            self._items.append(item)
+        elif len(items) < self.capacity:
+            items.append(item)
             event.succeed()
         else:
             self._putters.append((event, item))
-        self.total_puts += 1
-        self.depth.record(len(self._items))
+        self.total_puts.value += 1
+        # Inlined self.depth.record(len(items)) — this is the hottest
+        # queue-side accounting in the walker pipelines.
+        depth = self.depth
+        level = len(items)
+        depth.samples += 1
+        depth.total += level
+        if level > depth.peak:
+            depth.peak = level
         if self.tracer is not None:
-            self.tracer.sample(self._track, "depth", self.engine.now,
-                               len(self._items))
+            self.tracer.sample(self._track, "depth", self.engine.now, level)
         return event
 
     def get(self) -> Event:

@@ -23,9 +23,9 @@ from .resources import BoundedQueue, OccupancyPool
 
 def check_engine_drained(engine: Engine) -> None:
     """The event queue must be empty and every process finished."""
-    if engine._queue:
+    if engine.pending_events:
         raise InvariantViolation(
-            f"engine finished with {len(engine._queue)} pending event(s)")
+            f"engine finished with {engine.pending_events} pending event(s)")
     live = engine.live_processes()
     if live:
         names = ", ".join(repr(p.name) for p in live)

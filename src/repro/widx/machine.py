@@ -87,13 +87,16 @@ class WidxMachine:
     def __init__(self, config: SystemConfig, hierarchy: MemoryHierarchy,
                  physmem: PhysicalMemory,
                  engine: Optional[Engine] = None,
-                 tracer=None) -> None:
+                 tracer=None, unit_cls: type = WidxUnit) -> None:
         self.config = config
         self.hierarchy = hierarchy
         self.physmem = physmem
         # Several machines may co-simulate on one engine (multi-core CMP).
         self.engine = engine if engine is not None else Engine()
         self.tracer = tracer
+        # Injectable unit implementation: the differential tests and the
+        # benchmarks build machines from ReferenceWidxUnit.
+        self.unit_cls = unit_cls
         self.units: Dict[str, WidxUnit] = {}
         self._autonomous: List[WidxUnit] = []
         self._walkers: List[WidxUnit] = []
@@ -131,12 +134,12 @@ class WidxMachine:
         if mode == "shared":
             shared = BoundedQueue(self.engine, n * widx.queue_entries, "hashed-keys")
             self._key_queues = [shared]
-            unit = WidxUnit("dispatcher", dispatcher.program, self.engine,
+            unit = self.unit_cls("dispatcher", dispatcher.program, self.engine,
                             self.hierarchy, self.physmem, out_queue=shared)
             self.units["dispatcher"] = unit
             self._autonomous.append(unit)
             for i in range(n):
-                walker_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                walker_unit = self.unit_cls(f"walker{i}", walker.program, self.engine,
                                        self.hierarchy, self.physmem,
                                        in_queue=shared, out_queue=self._out_queue)
                 self.units[f"walker{i}"] = walker_unit
@@ -146,26 +149,26 @@ class WidxMachine:
                 queue = BoundedQueue(self.engine, widx.queue_entries,
                                      f"hashed-keys{i}")
                 self._key_queues.append(queue)
-                d_unit = WidxUnit(f"dispatcher{i}", dispatcher.program,
+                d_unit = self.unit_cls(f"dispatcher{i}", dispatcher.program,
                                   self.engine, self.hierarchy, self.physmem,
                                   out_queue=queue)
                 self.units[f"dispatcher{i}"] = d_unit
                 self._autonomous.append(d_unit)
-                w_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                w_unit = self.unit_cls(f"walker{i}", walker.program, self.engine,
                                   self.hierarchy, self.physmem,
                                   in_queue=queue, out_queue=self._out_queue)
                 self.units[f"walker{i}"] = w_unit
                 self._walkers.append(w_unit)
         else:  # coupled
             for i in range(n):
-                w_unit = WidxUnit(f"walker{i}", walker.program, self.engine,
+                w_unit = self.unit_cls(f"walker{i}", walker.program, self.engine,
                                   self.hierarchy, self.physmem,
                                   out_queue=self._out_queue)
                 self.units[f"walker{i}"] = w_unit
                 self._walkers.append(w_unit)
                 self._autonomous.append(w_unit)
 
-        self._producer = WidxUnit("producer", producer.program, self.engine,
+        self._producer = self.unit_cls("producer", producer.program, self.engine,
                                   self.hierarchy, self.physmem,
                                   in_queue=self._out_queue)
         self.units["producer"] = self._producer

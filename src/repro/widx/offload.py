@@ -65,6 +65,8 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
                   warm: bool = True,
                   validate: bool = True,
                   memory: Optional[MemoryHierarchy] = None,
+                  engine=None,
+                  unit_cls=None,
                   fallback_to_host: bool = False,
                   configure_hook=None,
                   watchdog: Optional[Watchdog] = None,
@@ -78,6 +80,13 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
     in place), the offload aborts and the indexing operation re-executes
     completely on the host core; the returned outcome charges both the
     wasted accelerator cycles and the host re-run.
+
+    ``memory``, ``engine`` and ``unit_cls`` inject a pre-built hierarchy,
+    discrete-event engine and unit implementation — the differential tests
+    and benchmarks use them to run the whole offload on the naive reference
+    implementations (:class:`~repro.sim.reference.ReferenceEngine`,
+    :func:`~repro.mem.reference.use_reference_arrays`,
+    :class:`~repro.widx.reference.ReferenceWidxUnit`).
 
     ``configure_hook(machine)`` runs after standard configuration — used
     by fault-injection tests to corrupt configuration registers.
@@ -115,7 +124,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
         return _offload_probe_with_region(
             index, probe_column, probes, config, warm, validate, memory,
             fallback_to_host, configure_hook, reference, out_region,
-            watchdog, tracer)
+            watchdog, tracer, engine, unit_cls)
     finally:
         space.release(out_region)
 
@@ -123,7 +132,8 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
 def _offload_probe_with_region(index, probe_column, probes, config, warm,
                                validate, memory, fallback_to_host,
                                configure_hook, reference, out_region,
-                               watchdog=None, tracer=None) -> OffloadOutcome:
+                               watchdog=None, tracer=None,
+                               engine=None, unit_cls=None) -> OffloadOutcome:
     space = index.space
     layout = index.layout
     widx = config.widx
@@ -151,7 +161,9 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
     hierarchy = memory if memory is not None else _hierarchy_for(config)
     if warm:
         warm_hash_index(hierarchy, index)
-    machine = WidxMachine(config, hierarchy, space.memory, tracer=tracer)
+    machine_kwargs = {} if unit_cls is None else {"unit_cls": unit_cls}
+    machine = WidxMachine(config, hierarchy, space.memory, engine=engine,
+                          tracer=tracer, **machine_kwargs)
     machine.build(dispatcher, walker, producer)
 
     mask = index.num_buckets - 1

@@ -1,0 +1,120 @@
+"""Reference Widx unit interpreter for differential testing.
+
+:class:`ReferenceWidxUnit` executes programs with the straightforward
+pre-overhaul interpreter: it walks the :class:`~repro.widx.isa.Instruction`
+dataclasses directly, dispatches on opcode enum identity, dereferences
+``Register.index`` on every operand, re-masks immediates on every
+execution, and bumps the instruction counter through ``Counter.__iadd__``
+once per instruction — none of the memoized decode in
+:mod:`repro.widx.decode`.  Timing, stats, and architectural semantics are
+identical to :class:`~repro.widx.unit.WidxUnit`; only the interpretation
+strategy differs.  The differential and golden tests prove the two produce
+bit-identical runs; the benchmarks in :mod:`repro.bench` use this unit
+(with the naive reference engine and cache) as the full-stack baseline.
+
+Do not "improve" this class: its value is being obviously correct,
+not fast.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..errors import WidxFault
+from .isa import Opcode
+from .unit import WidxUnit, _M64
+
+
+class ReferenceWidxUnit(WidxUnit):
+    """WidxUnit with the naive instruction-by-instruction interpreter."""
+
+    def _invoke(self) -> Generator:
+        regs = self.regs
+        instructions = self.program.instructions
+        stats = self.stats
+        cycles = stats.cycles
+        pc = 0
+        pending = 1.0  # one cycle to dequeue/start the invocation
+        program_len = len(instructions)
+
+        while pc < program_len:
+            ins = instructions[pc]
+            op = ins.opcode
+            stats.instructions += 1
+
+            if op is Opcode.LD:
+                if pending:
+                    yield pending
+                    cycles.comp += pending
+                    pending = 0.0
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                now = self.engine.now
+                result = self.hierarchy.load(addr, now)
+                value = self.physmem.read(addr, ins.width)
+                wait = result.complete - now
+                cycles.comp += 1.0
+                stall = max(0.0, wait - 1.0)
+                tlb_part = min(result.tlb_stall, stall)
+                cycles.tlb += tlb_part
+                cycles.mem += stall - tlb_part
+                if wait > 0:
+                    yield wait
+                if ins.rd.index != 0:
+                    regs[ins.rd.index] = value
+                stats.loads += 1
+                pc += 1
+
+            elif op is Opcode.ST:
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                self.physmem.write(addr, ins.width, regs[ins.rb.index])
+                self.hierarchy.store(addr, self.engine.now + pending)
+                stats.stores += 1
+                pending += 1.0
+                pc += 1
+
+            elif op is Opcode.TOUCH:
+                addr = (regs[ins.ra.index] + ins.imm) & _M64
+                self.hierarchy.touch(addr, self.engine.now + pending)
+                stats.touches += 1
+                pending += 1.0
+                pc += 1
+
+            elif op is Opcode.EMIT:
+                if self.out_queue is None:
+                    raise WidxFault(f"{self.name}: EMIT with no output queue")
+                if pending:
+                    yield pending
+                    cycles.comp += pending
+                    pending = 0.0
+                values = tuple(regs[r.index] for r in ins.sources)
+                waited_from = self.engine.now
+                yield self.out_queue.put(values)
+                cycles.queue += self.engine.now - waited_from
+                pending = 1.0
+                stats.emitted += 1
+                pc += 1
+
+            elif op is Opcode.BA:
+                # Branch address calculation resolves in the first pipeline
+                # stage, so taken branches do not bubble (Section 4.1).
+                pending += 1.0
+                pc = ins.target
+
+            elif op is Opcode.BLE:
+                pending += 1.0
+                if regs[ins.ra.index] <= regs[ins.rb.index]:
+                    pc = ins.target
+                else:
+                    pc += 1
+
+            elif op is Opcode.HALT:
+                break  # fall-through return; the next dequeue pays the cycle
+
+            else:
+                self._alu(ins, regs)
+                pending += 1.0
+                pc += 1
+
+        if pending:
+            yield pending
+            cycles.comp += pending

@@ -30,6 +30,9 @@ from ..mem.physmem import PhysicalMemory
 from ..obs import Breakdown, Counter
 from ..sim.engine import Engine
 from ..sim.resources import BoundedQueue, QUEUE_CLOSED
+from .decode import (K_ADD, K_ADD_SHF, K_AND, K_AND_SHF, K_ALU_FIRST, K_BA,
+                     K_BLE, K_CMP, K_CMP_LE, K_EMIT, K_HALT, K_LD, K_SHL,
+                     K_SHR, K_ST, K_TOUCH, K_XOR, decoded_program)
 from .isa import Instruction, NUM_REGISTERS, Opcode
 from .program import Program
 
@@ -129,6 +132,8 @@ class WidxUnit:
         self.regs: List[int] = [0] * NUM_REGISTERS
         for index, value in program.constants.items():
             self.regs[index] = value & _M64
+        self._decoded = decoded_program(program)
+        self._input_indexes = tuple(r.index for r in program.inputs)
         self.stats = UnitStats()
         self.tracer = None            # set via set_tracer for --trace runs
         self.track = f"widx.{name}"
@@ -155,139 +160,201 @@ class WidxUnit:
         return self._end_time - self._start_time
 
     def run(self) -> Generator:
-        """The unit's process: generator for the discrete-event engine."""
-        self._start_time = self.engine.now
+        """The unit's process: generator for the discrete-event engine.
+
+        The generator lives for the unit's whole lifetime, so locals bound
+        here amortize over every invocation of the dispatch loop.
+        """
+        engine = self.engine
+        self._start_time = engine.now
         tracer = self.tracer
+        stats = self.stats
         try:
             if self.in_queue is None:
                 # Autonomous unit (dispatcher / coupled walker): a single
                 # invocation whose program iterates over its work itself.
-                self.stats.invocations += 1
+                stats.invocations.value += 1
                 if tracer is not None:
-                    tracer.begin(self.track, "invoke", self.engine.now)
+                    tracer.begin(self.track, "invoke", engine.now)
                 yield from self._invoke()
                 if tracer is not None:
-                    tracer.end(self.track, "invoke", self.engine.now)
+                    tracer.end(self.track, "invoke", engine.now)
             else:
+                in_queue = self.in_queue
+                cycles = stats.cycles
+                invocations = stats.invocations
+                load_inputs = self._load_inputs
+                invoke = self._invoke
                 while True:
-                    waited_from = self.engine.now
-                    item = yield self.in_queue.get()
-                    self.stats.cycles.idle += self.engine.now - waited_from
+                    waited_from = engine.now
+                    item = yield in_queue.get()
+                    cycles.idle += engine.now - waited_from
                     if item is QUEUE_CLOSED:
                         break
-                    self._load_inputs(item)
-                    self.stats.invocations += 1
+                    load_inputs(item)
+                    invocations.value += 1
                     if tracer is not None:
-                        tracer.begin(self.track, "invoke", self.engine.now)
-                    yield from self._invoke()
+                        tracer.begin(self.track, "invoke", engine.now)
+                    yield from invoke()
                     if tracer is not None:
-                        tracer.end(self.track, "invoke", self.engine.now)
+                        tracer.end(self.track, "invoke", engine.now)
         finally:
             self._end_time = self.engine.now
 
     def _load_inputs(self, item: Tuple[int, ...]) -> None:
-        inputs = self.program.inputs
-        if len(item) != len(inputs):
+        indexes = self._input_indexes
+        if len(item) != len(indexes):
             raise WidxFault(
                 f"{self.name}: got {len(item)} queue operands, program "
-                f"expects {len(inputs)}")
-        for register, value in zip(inputs, item):
-            self.regs[register.index] = value & _M64
-        self.regs[0] = 0
+                f"expects {len(indexes)}")
+        regs = self.regs
+        for register, value in zip(indexes, item):
+            regs[register] = value & _M64
+        regs[0] = 0
 
     # ------------------------------------------------------------------
 
     def _invoke(self) -> Generator:
+        # Interpreter hot loop over the memoized decoded program (see
+        # repro.widx.decode): int-kind dispatch, pre-resolved operands,
+        # direct slot-attribute cycle accounting.  Instruction counts
+        # accumulate in a local and flush to the counter before every
+        # suspension point and on exit, so externally observable counts at
+        # every yield and on exception propagation match a per-instruction
+        # increment exactly.
         regs = self.regs
-        instructions = self.program.instructions
+        ops = self._decoded
         stats = self.stats
         cycles = stats.cycles
+        engine = self.engine
+        hierarchy = self.hierarchy
+        physmem = self.physmem
+        instructions = stats.instructions
         pc = 0
         pending = 1.0  # one cycle to dequeue/start the invocation
-        program_len = len(instructions)
+        program_len = len(ops)
+        executed = 0
 
-        while pc < program_len:
-            ins = instructions[pc]
-            op = ins.opcode
-            stats.instructions += 1
+        try:
+            while pc < program_len:
+                kind, rd, ra, rb, imm, bconst, width, target, sources = \
+                    ops[pc]
+                executed += 1
 
-            if op is Opcode.LD:
-                if pending:
-                    yield pending
-                    cycles.comp += pending
-                    pending = 0.0
-                addr = (regs[ins.ra.index] + ins.imm) & _M64
-                now = self.engine.now
-                result = self.hierarchy.load(addr, now)
-                value = self.physmem.read(addr, ins.width)
-                wait = result.complete - now
-                cycles.comp += 1.0
-                stall = max(0.0, wait - 1.0)
-                tlb_part = min(result.tlb_stall, stall)
-                cycles.tlb += tlb_part
-                cycles.mem += stall - tlb_part
-                if wait > 0:
-                    yield wait
-                if ins.rd.index != 0:
-                    regs[ins.rd.index] = value
-                stats.loads += 1
-                pc += 1
-
-            elif op is Opcode.ST:
-                addr = (regs[ins.ra.index] + ins.imm) & _M64
-                self.physmem.write(addr, ins.width, regs[ins.rb.index])
-                self.hierarchy.store(addr, self.engine.now + pending)
-                stats.stores += 1
-                pending += 1.0
-                pc += 1
-
-            elif op is Opcode.TOUCH:
-                addr = (regs[ins.ra.index] + ins.imm) & _M64
-                self.hierarchy.touch(addr, self.engine.now + pending)
-                stats.touches += 1
-                pending += 1.0
-                pc += 1
-
-            elif op is Opcode.EMIT:
-                if self.out_queue is None:
-                    raise WidxFault(f"{self.name}: EMIT with no output queue")
-                if pending:
-                    yield pending
-                    cycles.comp += pending
-                    pending = 0.0
-                values = tuple(regs[r.index] for r in ins.sources)
-                waited_from = self.engine.now
-                yield self.out_queue.put(values)
-                cycles.queue += self.engine.now - waited_from
-                pending = 1.0
-                stats.emitted += 1
-                pc += 1
-
-            elif op is Opcode.BA:
-                # Branch address calculation happens in the first pipeline
-                # stage (the design's critical path — Section 4.1), so
-                # taken branches do not bubble.
-                pending += 1.0
-                pc = ins.target
-
-            elif op is Opcode.BLE:
-                pending += 1.0
-                if regs[ins.ra.index] <= regs[ins.rb.index]:
-                    pc = ins.target
-                else:
+                if kind == K_LD:
+                    instructions.value += executed
+                    executed = 0
+                    if pending:
+                        yield pending
+                        cycles.comp += pending
+                        pending = 0.0
+                    addr = (regs[ra] + imm) & _M64
+                    now = engine.now
+                    result = hierarchy.load(addr, now)
+                    value = physmem.read(addr, width)
+                    wait = result.complete - now
+                    cycles.comp += 1.0
+                    stall = max(0.0, wait - 1.0)
+                    tlb_part = min(result.tlb_stall, stall)
+                    cycles.tlb += tlb_part
+                    cycles.mem += stall - tlb_part
+                    if wait > 0:
+                        yield wait
+                    if rd != 0:
+                        regs[rd] = value
+                    stats.loads.value += 1
                     pc += 1
 
-            elif op is Opcode.HALT:
-                break  # fall-through return; the next dequeue pays the cycle
+                elif kind >= K_ALU_FIRST:
+                    a = regs[ra]
+                    b = regs[rb] if rb >= 0 else bconst
+                    if kind == K_ADD:
+                        value = (a + b) & _M64
+                    elif kind == K_AND:
+                        value = a & b
+                    elif kind == K_XOR:
+                        value = a ^ b
+                    elif kind == K_CMP:
+                        value = 1 if a == b else 0
+                    elif kind == K_CMP_LE:
+                        value = 1 if a <= b else 0
+                    elif kind == K_SHL:
+                        value = (a << imm) & _M64
+                    elif kind == K_SHR:
+                        value = a >> imm
+                    else:  # fused shift ops
+                        shifted = ((b << imm) & _M64 if imm >= 0
+                                   else b >> -imm)
+                        if kind == K_ADD_SHF:
+                            value = (a + shifted) & _M64
+                        elif kind == K_AND_SHF:
+                            value = a & shifted
+                        else:
+                            value = a ^ shifted
+                    if rd != 0:
+                        regs[rd] = value
+                    pending += 1.0
+                    pc += 1
 
-            else:
-                self._alu(ins, regs)
-                pending += 1.0
-                pc += 1
+                elif kind == K_BLE:
+                    pending += 1.0
+                    if regs[ra] <= regs[rb]:
+                        pc = target
+                    else:
+                        pc += 1
 
-        if pending:
-            yield pending
-            cycles.comp += pending
+                elif kind == K_BA:
+                    # Branch address calculation happens in the first
+                    # pipeline stage (the design's critical path — Section
+                    # 4.1), so taken branches do not bubble.
+                    pending += 1.0
+                    pc = target
+
+                elif kind == K_EMIT:
+                    out_queue = self.out_queue
+                    if out_queue is None:
+                        raise WidxFault(
+                            f"{self.name}: EMIT with no output queue")
+                    instructions.value += executed
+                    executed = 0
+                    if pending:
+                        yield pending
+                        cycles.comp += pending
+                        pending = 0.0
+                    values = tuple(regs[i] for i in sources)
+                    waited_from = engine.now
+                    yield out_queue.put(values)
+                    cycles.queue += engine.now - waited_from
+                    pending = 1.0
+                    stats.emitted.value += 1
+                    pc += 1
+
+                elif kind == K_TOUCH:
+                    addr = (regs[ra] + imm) & _M64
+                    hierarchy.touch(addr, engine.now + pending)
+                    stats.touches.value += 1
+                    pending += 1.0
+                    pc += 1
+
+                elif kind == K_ST:
+                    addr = (regs[ra] + imm) & _M64
+                    physmem.write(addr, width, regs[rb])
+                    hierarchy.store(addr, engine.now + pending)
+                    stats.stores.value += 1
+                    pending += 1.0
+                    pc += 1
+
+                else:  # K_HALT: fall-through return; next dequeue pays
+                    break
+
+            if pending:
+                instructions.value += executed
+                executed = 0
+                yield pending
+                cycles.comp += pending
+        finally:
+            if executed:
+                instructions.value += executed
 
     # ------------------------------------------------------------------
 

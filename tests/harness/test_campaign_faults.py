@@ -17,6 +17,9 @@ from repro.harness.cachestore import encode_measurement
 from repro.harness.chaos import ChaosSpec
 from repro.harness.runner import MeasurementCache, RunSettings
 
+# Campaign fault drills re-run full figure campaigns.
+pytestmark = pytest.mark.slow
+
 RUNS = RunSettings(probes=400, warmup=100)
 
 #: Two workloads so the parallel scheduler has two groups to fan out.

@@ -6,6 +6,9 @@ from repro.harness.cachestore import CacheStore
 from repro.harness.chaos import (ChaosError, ChaosSpec, ChaosStore,
                                  inject_measurement_error)
 
+# Fault-injection sweeps run full campaigns repeatedly.
+pytestmark = pytest.mark.slow
+
 
 def test_same_seed_same_decisions():
     keys = [f"widx/kernel/Small/{n}/shared" for n in range(50)]

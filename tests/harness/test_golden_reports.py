@@ -14,7 +14,9 @@ Regenerate (only after an *intentional* model change) with::
 
 import os
 
-from repro.harness import fig2, fig4, fig5, fig8, fig11
+import pytest
+
+from repro.harness import fig2, fig4, fig5, fig8, fig9, fig10, fig11
 from repro.harness.runner import MeasurementCache, RunSettings
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
@@ -40,6 +42,19 @@ def _fig8_text() -> str:
             + fig8.run_fig8b(cache).format() + "\n")
 
 
+def _dss_text() -> str:
+    """Every remaining simulated figure entry point (9a/9b/10/query/11),
+    sharing one measurement cache so each (query, walkers) point
+    simulates exactly once."""
+    cache = MeasurementCache(runs=FIG8_SETTINGS)
+    reports = [
+        fig9.run_fig9a(cache), fig9.run_fig9b(cache),
+        fig10.run_fig10(cache), fig10.run_query_level(cache),
+        fig11.run_fig11(cache),
+    ]
+    return "\n\n".join(report.format() for report in reports) + "\n"
+
+
 def _golden(name: str) -> str:
     with open(os.path.join(GOLDEN_DIR, name), "r", encoding="utf-8",
               newline="") as handle:
@@ -54,9 +69,15 @@ def test_fig8_simulated_report_matches_golden():
     assert _fig8_text() == _golden("fig8_p400_w100_s42.txt")
 
 
+@pytest.mark.slow
+def test_dss_simulated_reports_match_golden():
+    assert _dss_text() == _golden("dss_p400_w100_s42.txt")
+
+
 def regenerate() -> None:  # pragma: no cover - maintenance helper
     for name, text in (("analytic.txt", _analytic_text()),
-                       ("fig8_p400_w100_s42.txt", _fig8_text())):
+                       ("fig8_p400_w100_s42.txt", _fig8_text()),
+                       ("dss_p400_w100_s42.txt", _dss_text())):
         with open(os.path.join(GOLDEN_DIR, name), "w", encoding="utf-8",
                   newline="") as handle:
             handle.write(text)

@@ -15,6 +15,9 @@ from repro.harness.runner import (MeasurementCache, RunSettings, geomean,
 from repro.workloads.tpcds import TPCDS_SIMULATED
 from repro.workloads.tpch import TPCH_SIMULATED
 
+# Calibration points simulate several full figure sweeps.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def cache():

@@ -13,6 +13,9 @@ from repro.energy.metrics import energy_report
 from repro.mem.layout import AddressSpace
 from repro.widx.offload import offload_probe
 
+# End-to-end runs simulate the whole DB -> Widx -> energy stack.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def scenario():

@@ -1,0 +1,128 @@
+"""Differential tests: flat tick-LRU cache vs the naive recency-list model.
+
+Identical seeded op streams drive :class:`repro.mem.cache.CacheArray`
+(one flat block->tick dict, min-tick victim scan) and
+:class:`repro.mem.reference.ReferenceCacheArray` (per-set Python list,
+``pop(0)`` victim) and must produce the same hit/miss answer and the
+same victim on every single operation — the optimized array's cheaper
+recency scheme is only admissible because it is bit-identical here.
+A second layer drives whole :class:`CacheLevel`/:class:`ReferenceCacheLevel`
+objects through probe/miss/fill streams and compares timing outcomes and
+every stats counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, DEFAULT_CONFIG
+from repro.mem.cache import CacheArray, CacheLevel
+from repro.mem.reference import ReferenceCacheArray, ReferenceCacheLevel
+
+SEEDS = [1, 7, 23, 77, 1234]
+
+
+def small_config():
+    # 16 sets x 2 ways: tiny enough that random streams evict constantly.
+    return CacheConfig(size_bytes=2048, block_bytes=64, associativity=2,
+                       latency_cycles=1, ports=1, mshrs=2)
+
+
+def op_stream(seed, count=4000, block_range=96):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(count):
+        roll = rng.random()
+        block = rng.randrange(block_range)
+        if roll < 0.55:
+            ops.append(("lookup", block))
+        elif roll < 0.80:
+            ops.append(("insert", block))
+        elif roll < 0.93:
+            ops.append(("present", block))
+        else:
+            ops.append(("invalidate", block))
+    return ops
+
+
+def apply_ops(array, ops):
+    """Returns the full per-op observation sequence."""
+    observed = []
+    for op, block in ops:
+        if op == "lookup":
+            observed.append(("hit", array.lookup(block)))
+        elif op == "insert":
+            observed.append(("victim", array.insert(block)))
+        elif op == "present":
+            observed.append(("present", array.present(block)))
+        else:
+            array.invalidate(block)
+            observed.append(("invalidated", block))
+    observed.append(("resident", array.resident_blocks()))
+    return observed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_array_hit_and_victim_sequences_identical(seed):
+    ops = op_stream(seed)
+    cfg = small_config()
+    optimized = apply_ops(CacheArray(cfg), ops)
+    reference = apply_ops(ReferenceCacheArray(cfg), ops)
+    assert optimized == reference
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_array_identical_on_llc_geometry(seed):
+    """Same check on the real (power-of-two-masked) LLC geometry."""
+    cfg = DEFAULT_CONFIG.llc
+    ops = op_stream(seed, count=6000,
+                    block_range=cfg.num_sets * cfg.associativity // 4)
+    assert apply_ops(CacheArray(cfg), ops) == \
+        apply_ops(ReferenceCacheArray(cfg), ops)
+
+
+def test_victims_are_true_lru_per_set():
+    """Hand-built scenario: victims come out in exact recency order."""
+    cfg = small_config()
+    for array in (CacheArray(cfg), ReferenceCacheArray(cfg)):
+        num_sets = cfg.num_sets
+        a, b, c = 5, 5 + num_sets, 5 + 2 * num_sets   # same set
+        assert array.insert(a) is None
+        assert array.insert(b) is None
+        assert array.lookup(a)                        # refresh a: b is LRU
+        assert array.insert(c) == b
+        assert array.present(a) and array.present(c)
+        assert not array.present(b)
+
+
+def level_stream(level, seed, count=1500):
+    """Drive a cache level through probes and miss completions."""
+    rng = random.Random(seed)
+    now = 0.0
+    observed = []
+    for _ in range(count):
+        now += rng.choice((0.5, 1.0, 1.0, 2.0))
+        block = rng.randrange(64)
+        outcome = level.probe(block, now)
+        observed.append((round(now, 6), block, outcome))
+        if outcome is not None and outcome < 0:
+            start = level.begin_miss(now)
+            level.finish_miss(block, start + 30.0)
+            observed.append(("fill", round(start + 30.0, 6)))
+    stats = level.stats
+    observed.append(("stats", stats.accesses.value, stats.hits.value,
+                     stats.misses.value, stats.combined_misses.value))
+    observed.append(("ports", level.ports.grants.value))
+    observed.append(("mshrs", level.mshrs.acquisitions.value,
+                     level.mshrs.peak))
+    return observed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_level_timing_and_stats_identical(seed):
+    cfg = small_config()
+    optimized = level_stream(CacheLevel(cfg, "L1"), seed)
+    reference = level_stream(ReferenceCacheLevel(cfg, "L1"), seed)
+    assert optimized == reference

@@ -85,3 +85,158 @@ def test_rereading_is_never_slower_than_cold(addrs):
         warm = mh.load(aligned, cold.complete)
         assert (warm.complete - cold.complete) <= (cold.complete - now) + 1
         now = warm.complete
+
+
+# ----------------------------------------------------------------------
+# LRU model properties: CacheArray vs a transparent dict+list model
+# ----------------------------------------------------------------------
+#
+# The model below is written for obviousness, independently of both the
+# optimized flat tick-LRU array AND the ReferenceCacheArray used by the
+# differential tests: per set, a plain list ordered LRU -> MRU.  Any
+# sequence of lookup/insert/invalidate drawn by hypothesis must produce
+# identical hits, victims and residency on the real array.
+
+class _LruModel:
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.sets = {}
+
+    def _set(self, block):
+        return self.sets.setdefault(block % self.cfg.num_sets, [])
+
+    def lookup(self, block):
+        order = self._set(block)
+        if block in order:
+            order.remove(block)
+            order.append(block)
+            return True
+        return False
+
+    def insert(self, block):
+        order = self._set(block)
+        if block in order:
+            order.remove(block)
+            order.append(block)
+            return None
+        victim = None
+        if len(order) >= self.cfg.associativity:
+            victim = order.pop(0)
+        order.append(block)
+        return victim
+
+    def invalidate(self, block):
+        order = self._set(block)
+        if block in order:
+            order.remove(block)
+
+    def present(self, block):
+        return block in self._set(block)
+
+    def resident(self):
+        return sum(len(order) for order in self.sets.values())
+
+
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert", "invalidate", "present"]),
+              st.integers(min_value=0, max_value=95)),
+    min_size=1, max_size=300)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=cache_ops)
+def test_cache_array_matches_lru_model(ops):
+    cfg = tiny_cache()
+    array = CacheArray(cfg)
+    model = _LruModel(cfg)
+    for op, block in ops:
+        if op == "lookup":
+            assert array.lookup(block) == model.lookup(block)
+        elif op == "insert":
+            assert array.insert(block) == model.insert(block)
+        elif op == "invalidate":
+            array.invalidate(block)
+            model.invalidate(block)
+        else:
+            assert array.present(block) == model.present(block)
+    assert array.resident_blocks() == model.resident()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=cache_ops)
+def test_reference_cache_array_matches_lru_model(ops):
+    """The differential oracle itself obeys the same transparent model."""
+    from repro.mem.reference import ReferenceCacheArray
+
+    cfg = tiny_cache()
+    array = ReferenceCacheArray(cfg)
+    model = _LruModel(cfg)
+    for op, block in ops:
+        if op == "lookup":
+            assert array.lookup(block) == model.lookup(block)
+        elif op == "insert":
+            assert array.insert(block) == model.insert(block)
+        elif op == "invalidate":
+            array.invalidate(block)
+            model.invalidate(block)
+        else:
+            assert array.present(block) == model.present(block)
+    assert array.resident_blocks() == model.resident()
+
+
+# ----------------------------------------------------------------------
+# TLB properties: reach, capacity and LRU victims vs a dict+list model
+# ----------------------------------------------------------------------
+
+def tiny_tlb():
+    from repro.config import TlbConfig
+    return TlbConfig(entries=8, page_bytes=4096, in_flight=2,
+                     miss_latency_cycles=35)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pages=st.lists(st.integers(min_value=0, max_value=30),
+                      min_size=1, max_size=200))
+def test_tlb_matches_lru_model_and_capacity(pages):
+    from repro.mem.tlb import Tlb
+
+    cfg = tiny_tlb()
+    tlb = Tlb(cfg)
+    order = []   # LRU -> MRU page list, the transparent model
+    for page in pages:
+        tlb.warm(page * cfg.page_bytes)
+        if page in order:
+            order.remove(page)
+        elif len(order) >= cfg.entries:
+            order.pop(0)
+        order.append(page)
+        assert len(tlb._entries) <= cfg.entries
+        assert set(tlb._entries) == set(order)
+    # Recency agrees too, not just membership: a full sweep of fresh
+    # pages must evict in exact model order.
+    for extra in range(31, 31 + cfg.entries):
+        tlb.warm(extra * cfg.page_bytes)
+        if len(order) >= cfg.entries:
+            order.pop(0)
+        order.append(extra)
+        assert set(tlb._entries) == set(order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pages=st.lists(st.integers(min_value=0, max_value=7),
+                      min_size=1, max_size=40))
+def test_tlb_reach_after_warming_is_stall_free(pages):
+    """Any working set within reach (<= entries pages), once warmed,
+    translates with zero stall at any address inside those pages."""
+    from repro.mem.tlb import Tlb
+
+    cfg = tiny_tlb()
+    tlb = Tlb(cfg)
+    for page in pages:
+        tlb.warm(page * cfg.page_bytes)
+    now = 100.0
+    for page in set(pages):
+        ready, stall = tlb.translate(page * cfg.page_bytes + 123, now)
+        assert stall == 0.0
+        assert ready == now
+    assert tlb.stats.misses.value == 0
