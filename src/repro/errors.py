@@ -137,3 +137,8 @@ class PlanError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid or unknown."""
+
+
+class ServeError(ReproError):
+    """A serving-layer specification (arrival process, scheduling policy,
+    service model) is invalid or inconsistent."""

@@ -44,6 +44,7 @@ from typing import Any, Dict, Optional
 
 from ..config import stable_digest, stable_json
 from ..cpu.timing import CoreTimingResult
+from ..serve.service import ServiceMeasurement
 from ..widx.machine import WidxRunResult
 from ..widx.offload import OffloadOutcome
 from ..widx.unit import UnitCycleBreakdown, UnitStats
@@ -71,6 +72,8 @@ def encode_measurement(obj: Any) -> Dict[str, Any]:
     """JSON-ready payload for a measurement result."""
     if isinstance(obj, CoreTimingResult):
         return {"type": "core_timing", "data": asdict(obj)}
+    if isinstance(obj, ServiceMeasurement):
+        return {"type": "service", "data": asdict(obj)}
     if isinstance(obj, OffloadOutcome):
         run = obj.run
         return {
@@ -99,6 +102,8 @@ def decode_measurement(payload: Dict[str, Any]) -> Any:
         kind = payload["type"]
         if kind == "core_timing":
             return CoreTimingResult(**payload["data"])
+        if kind == "service":
+            return ServiceMeasurement(**payload["data"])
         if kind == "offload":
             run = payload["run"]
             result = WidxRunResult(

@@ -70,15 +70,19 @@ class MeasurementPoint:
 
     kind: str          # "kernel" | "query"
     name: str          # kernel size ("Small") or query id ("tpch:20")
-    op: str            # "baseline" | "widx"
-    core: str = ""     # baseline only: "ooo" | "inorder"
-    walkers: int = 0   # widx only
-    mode: str = ""     # widx only: Widx organization
+    op: str            # "baseline" | "widx" | "serve"
+    core: str = ""     # baseline: "ooo" | "inorder"; serve: backend
+    walkers: int = 0   # widx / serve-on-widx only
+    mode: str = ""     # widx / serve-on-widx only: Widx organization
+    batch: int = 0     # serve only: probe keys in the calibrated batch
 
     def cache_tuple(self) -> Tuple:
         """The :class:`MeasurementCache` key this point populates."""
         if self.op == "baseline":
             return ("baseline", self.kind, self.name, self.core)
+        if self.op == "serve":
+            return ("serve", self.kind, self.name, self.core,
+                    self.walkers, self.mode, self.batch)
         return ("widx", self.kind, self.name, self.walkers, self.mode)
 
     @property
@@ -89,6 +93,9 @@ class MeasurementPoint:
         """Canonical within-workload measurement order (see module doc)."""
         if self.op == "baseline":
             return (0, _CORE_ORDER.get(self.core, 99), self.core)
+        if self.op == "serve":
+            return (2, _CORE_ORDER.get(self.core, 99), self.core,
+                    self.walkers, self.mode, self.batch)
         return (1, self.walkers, self.mode)
 
 
@@ -102,6 +109,13 @@ def widx_point(kind: str, name: str, walkers: int,
     """A Widx-offload measurement point."""
     return MeasurementPoint(kind=kind, name=name, op="widx",
                             walkers=walkers, mode=mode)
+
+
+def serve_point(kind: str, name: str, backend: str, batch_keys: int,
+                walkers: int = 0, mode: str = "") -> MeasurementPoint:
+    """A serving-layer service-time calibration point."""
+    return MeasurementPoint(kind=kind, name=name, op="serve", core=backend,
+                            walkers=walkers, mode=mode, batch=batch_keys)
 
 
 def kernel_points(sizes: Iterable[str], walker_counts: Iterable[int],
@@ -246,6 +260,9 @@ def _point_chaos_key(point: MeasurementPoint) -> str:
 def _measure_point(cache: MeasurementCache, point: MeasurementPoint):
     if point.op == "baseline":
         return cache.baseline(point.kind, point.name, point.core)
+    if point.op == "serve":
+        return cache.service(point.kind, point.name, point.core, point.batch,
+                             point.walkers, point.mode)
     return cache.widx(point.kind, point.name, point.walkers, point.mode)
 
 

@@ -31,14 +31,15 @@ import time
 from dataclasses import asdict
 from typing import Dict, List, Optional
 
-from ..errors import CampaignInterrupted, MeasurementFailed
+from ..errors import CampaignInterrupted, MeasurementFailed, ServeError
 from ..obs import Tracer
+from ..serve.policies import parse_policy
 from .campaign import Campaign, MeasurementPoint, RetryPolicy, default_jobs
 from .cachestore import CacheStore
 from .chaos import ChaosSpec, ChaosStore
 from .report import Report, failure_report
 from .runner import MeasurementCache, RunSettings
-from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11
+from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11, figserve
 
 #: Experiment registry: name -> (needs_measurements, runner, points).
 #: ``points`` declares the measurement points the runner will consume so
@@ -58,6 +59,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "query-level": (True, fig10.run_query_level, fig10.points_query_level),
     "11": (True, fig11.run_fig11, fig11.points_fig11),
     "area": (False, lambda cache: fig11.run_area(), None),
+    "serve": (True, figserve.run_fig_serve, figserve.points_fig_serve),
 }
 
 _FAST = {name for name, (needs, _, _) in EXPERIMENTS.items() if not needs}
@@ -108,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-rate", type=float, default=0.25, metavar="R",
                         help="per-fault-site injection probability for "
                              "--chaos (default: 0.25)")
+    parser.add_argument("--serve-policy", default="fifo", metavar="SPEC",
+                        dest="serve_policy",
+                        help="scheduling policy for the fig-serve sweep: "
+                             "'fifo', 'size:N' or 'deadline:CYCLES[:N]' "
+                             "(default: fifo)")
     parser.add_argument("--stats-json", default=None, metavar="PATH",
                         dest="stats_json",
                         help="write the merged stats-registry snapshot and "
@@ -131,7 +138,8 @@ def resolve_figures(raw: List[str]) -> List[str]:
     for token in raw:
         cleaned = token.strip().lower()
         if cleaned.startswith("fig"):
-            cleaned = cleaned[3:]
+            # Accept both 'fig8b' and hyphenated verbs like 'fig-serve'.
+            cleaned = cleaned[3:].lstrip("-")
         if cleaned in EXPERIMENTS:
             matches = [cleaned]
         else:
@@ -178,7 +186,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                     jobs: int = 1, policy: Optional[RetryPolicy] = None,
                     chaos: Optional[ChaosSpec] = None,
                     stats_json: Optional[str] = None,
-                    trace: Optional[str] = None) -> List[Report]:
+                    trace: Optional[str] = None,
+                    serve_policy: str = "fifo") -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -210,7 +219,12 @@ def run_experiments(names: List[str], settings: RunSettings,
         _needs, runner, _points = EXPERIMENTS[name]
         started = time.time()
         try:
-            report = runner(cache)
+            # The serving sweep is the one driver with a tunable beyond
+            # the cache: its scheduling policy.
+            if name == "serve":
+                report = runner(cache, serve_policy)
+            else:
+                report = runner(cache)
         except MeasurementFailed as exc:
             elapsed = time.time() - started
             print(f"[{name}: FAILED after {elapsed:.1f}s — {exc}]\n",
@@ -325,6 +339,11 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if not 0.0 <= args.chaos_rate <= 1.0:
         print("error: --chaos-rate must be in [0, 1]", file=out)
         return 2
+    try:
+        parse_policy(args.serve_policy)
+    except ServeError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     settings = RunSettings(probes=args.probes, warmup=args.warmup,
                            seed=args.seed)
     store = None
@@ -346,7 +365,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     try:
         run_experiments(names, settings, out=out, store=store, jobs=jobs,
                         policy=policy, chaos=chaos,
-                        stats_json=args.stats_json, trace=args.trace)
+                        stats_json=args.stats_json, trace=args.trace,
+                        serve_policy=args.serve_policy)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

@@ -1,0 +1,126 @@
+"""The serving figure: throughput–latency curves per indexing backend.
+
+Not a figure from the paper — the paper measures one-shot bulk probes —
+but the question its Section 6 results raise for a serving layer: at
+what offered load does each backend's tail latency take off, and how
+much more load does Widx sustain than a baseline core?
+
+Method (see EXPERIMENTS.md): service times are *calibrated* per
+(backend, batch size) on the detailed simulators — those are this
+figure's campaign points, cached and parallelized like every other
+figure's — and the open-loop queueing composition
+(:mod:`repro.serve.simulate`) then sweeps offered load as a fraction of
+each backend's saturation rate.  The sweep itself is deterministic given
+the run seed, so serial, ``--jobs N`` and cache-hit campaigns render
+bit-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..serve.policies import parse_policy
+from ..serve.service import ServiceModel
+from ..serve.simulate import ServeResult, run_open_loop
+from .campaign import MeasurementPoint, serve_point
+from .report import Report
+from .runner import MeasurementCache
+
+#: The serving workload: probe batches against the Small hash-join kernel
+#: (shares its index build with the Figure 8 campaign points).
+SERVE_KIND = "kernel"
+SERVE_NAME = "Small"
+
+#: Probe keys per client request.
+KEYS_PER_REQUEST = 8
+
+#: Calibrated batch sizes, in requests per served batch.
+CALIBRATED_BATCHES = (1, 2, 4)
+
+#: Backends swept: the in-order baseline core and Widx at 1/2/4 walkers.
+BACKENDS: Tuple[Tuple[str, str, int, str], ...] = (
+    ("inorder", "inorder", 0, ""),
+    ("widx-1", "widx", 1, "shared"),
+    ("widx-2", "widx", 2, "shared"),
+    ("widx-4", "widx", 4, "shared"),
+)
+
+#: Offered load sweep, as fractions of each backend's saturation rate.
+LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
+
+#: Requests per sweep step (per offered-load level).
+SWEEP_REQUESTS = 512
+
+
+def points_fig_serve() -> List[MeasurementPoint]:
+    """The calibration measurements the serving sweep needs."""
+    points = []
+    for _label, backend, walkers, mode in BACKENDS:
+        for batch in CALIBRATED_BATCHES:
+            points.append(serve_point(SERVE_KIND, SERVE_NAME, backend,
+                                      batch * KEYS_PER_REQUEST,
+                                      walkers, mode))
+    return points
+
+
+def service_model(cache: MeasurementCache, label: str, backend: str,
+                  walkers: int, mode: str) -> ServiceModel:
+    """Build one backend's service model from cached calibrations."""
+    measurements = [
+        cache.service(SERVE_KIND, SERVE_NAME, backend,
+                      batch * KEYS_PER_REQUEST, walkers, mode)
+        for batch in CALIBRATED_BATCHES
+    ]
+    return ServiceModel.from_measurements(label, KEYS_PER_REQUEST,
+                                          measurements)
+
+
+def sweep_backend(cache: MeasurementCache, model: ServiceModel,
+                  policy_spec: str,
+                  load_fractions: Iterable[float] = LOAD_FRACTIONS,
+                  ) -> List[ServeResult]:
+    """Sweep offered load for one backend; one ServeResult per level."""
+    cores = cache.config.num_cores
+    saturation = cores * model.saturation_rate()
+    results = []
+    for fraction in load_fractions:
+        policy = parse_policy(policy_spec)  # fresh instance per run
+        results.append(run_open_loop(
+            model, rate=fraction * saturation, num_requests=SWEEP_REQUESTS,
+            policy=policy, cores=cores, seed=cache.runs.seed))
+    return results
+
+
+def run_fig_serve(cache: MeasurementCache,
+                  policy_spec: str = "fifo") -> Report:
+    """The serving figure: offered load vs achieved throughput and
+    latency percentiles, per backend."""
+    parse_policy(policy_spec)  # fail fast on a bad spec
+    report = Report(
+        title=f"Serving: open-loop throughput vs latency on the "
+              f"{SERVE_NAME} kernel ({KEYS_PER_REQUEST} keys/request, "
+              f"policy={policy_spec})",
+        columns=["backend", "load", "offered", "achieved",
+                 "p50", "p95", "p99"])
+    saturations = {}
+    for label, backend, walkers, mode in BACKENDS:
+        model = service_model(cache, label, backend, walkers, mode)
+        cores = cache.config.num_cores
+        saturations[label] = cores * model.saturation_rate()
+        for result in sweep_backend(cache, model, policy_spec):
+            report.add_row(label, round(result.offered / saturations[label], 2),
+                           result.offered, result.achieved,
+                           result.p50, result.p95, result.p99)
+    for label, _backend, _walkers, _mode in BACKENDS:
+        report.add_note(
+            f"{label}: saturation {saturations[label]:.3f} requests/kcycle "
+            f"across {cache.config.num_cores} cores")
+    inorder_sat = saturations["inorder"]
+    widx_sat = saturations["widx-1"]
+    report.add_note(
+        f"widx-1 sustains {widx_sat / inorder_sat:.2f}x the in-order "
+        f"saturation load at equal walker/core count"
+        + ("" if widx_sat > inorder_sat else " (UNEXPECTED: not faster)"))
+    report.add_note("latencies in cycles; load is the fraction of each "
+                    "backend's own saturation rate")
+    return report

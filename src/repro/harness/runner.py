@@ -26,6 +26,7 @@ from ..errors import (ConfigError, InvariantViolation, MeasurementFailed,
                       SimulationHang)
 from ..mem.layout import AddressSpace
 from ..obs import StatsRegistry
+from ..serve.service import ServiceMeasurement, measure_service
 from ..sim.watchdog import Watchdog, WatchdogLimits
 from ..widx.offload import OffloadOutcome, offload_probe
 from ..widx.unit import UnitCycleBreakdown
@@ -256,6 +257,32 @@ class MeasurementCache:
                 if hasattr(exc, "add_note"):
                     exc.add_note(f"while measuring point {point!r}")
                 raise
+            self.measured_points += 1
+            self.install(point, result)
+        return result  # type: ignore[return-value]
+
+    def service(self, kind: str, name: str, backend: str, batch_keys: int,
+                walkers: int = 0, mode: str = "") -> ServiceMeasurement:
+        """Measure (or reuse) one serving-layer service-time calibration:
+        the cycles ``backend`` spends serving a ``batch_keys``-key probe
+        batch on one workload (see :mod:`repro.serve.service`)."""
+        point = ("serve", kind, name, backend, walkers, mode, batch_keys)
+        result = self.fetch(point)
+        if result is None:
+            self._check_poisoned(point)
+            index, probes = (self.kernel_workload(name) if kind == "kernel"
+                             else self.query_workload(self._spec_by_name(name)))
+            try:
+                result = measure_service(
+                    index, probes, backend=backend, batch_keys=batch_keys,
+                    config=self.config, walkers=walkers, mode=mode,
+                    watchdog=self._watchdog())
+            except (SimulationHang, InvariantViolation) as exc:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(f"while measuring point {point!r}")
+                raise
+            result.kind = kind
+            result.name = name
             self.measured_points += 1
             self.install(point, result)
         return result  # type: ignore[return-value]

@@ -15,13 +15,15 @@ result exports as Chrome trace-event JSON (loadable in ``about:tracing``
 or https://ui.perfetto.dev) — the CLI's ``--trace``.
 """
 
-from .metrics import Breakdown, Counter, Histogram, Occupancy, decode_metric
+from .metrics import (Breakdown, Counter, Distribution, Histogram, Occupancy,
+                      decode_metric)
 from .registry import StatsRegistry
 from .trace import Tracer
 
 __all__ = [
     "Breakdown",
     "Counter",
+    "Distribution",
     "Histogram",
     "Occupancy",
     "StatsRegistry",

@@ -17,6 +17,7 @@ floats.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Optional, Tuple, Union
 
 from ..errors import SimulationError
@@ -233,6 +234,157 @@ class Histogram:
                 f"min={self.min}, max={self.max})")
 
 
+class Distribution:
+    """A log-linear-bucketed distribution with quantile extraction.
+
+    The serving layer's latency metric.  :class:`Histogram`'s power-of-two
+    buckets are too coarse for tail percentiles (a p99 estimate could be
+    off by 2x), so this metric uses HDR-histogram-style buckets: values
+    below ``2**(SUB_BITS + 1)`` are recorded exactly; larger values share
+    a bucket with at most ``2**-SUB_BITS`` (~1.5%) relative width.  Like
+    every metric it is JSON-serializable and mergeable, so per-worker
+    latency records fold deterministically into campaign totals.
+    """
+
+    kind = "distribution"
+
+    #: Sub-bucket resolution: each power-of-two range is split into
+    #: ``2**SUB_BITS`` linear buckets (relative error <= 1/2**SUB_BITS).
+    SUB_BITS = 6
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    @classmethod
+    def bucket_of(cls, value: Number) -> int:
+        """The bucket index covering ``value`` (monotone in ``value``)."""
+        scaled = int(value)
+        if scaled <= 0:
+            return 0
+        exponent = scaled.bit_length()
+        if exponent <= cls.SUB_BITS + 1:
+            return scaled  # small values: exact
+        shift = exponent - 1 - cls.SUB_BITS
+        return (scaled >> shift) + (shift << cls.SUB_BITS)
+
+    @classmethod
+    def bucket_value(cls, bucket: int) -> float:
+        """A representative (midpoint) value for one bucket."""
+        subs = 1 << cls.SUB_BITS
+        if bucket < 2 * subs:
+            return float(bucket)
+        shift = (bucket >> cls.SUB_BITS) - 1
+        mantissa = bucket - (shift << cls.SUB_BITS)
+        low = mantissa << shift
+        high = (mantissa + 1) << shift
+        return (low + high - 1) / 2.0
+
+    def record(self, value: Number) -> None:
+        """Add one observation to its bucket and the running moments."""
+        bucket = self.bucket_of(value)
+        self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1] (0.0 on no samples).
+
+        Walks buckets in value order to the observation of rank
+        ``ceil(q * count)`` and returns that bucket's representative
+        value, clamped to the exactly tracked extrema — so ``quantile``
+        is monotone in ``q``, bounded by min/max, and within one bucket
+        width (~1.5% relative) of the true order statistic.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for bucket in sorted(self.counts):
+            seen += self.counts[bucket]
+            if seen >= rank:
+                value = self.bucket_value(bucket)
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+        return float(self.max)  # pragma: no cover - rank <= count
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (string bucket keys, sorted)."""
+        return {
+            "kind": self.kind,
+            "counts": {str(bucket): self.counts[bucket]
+                       for bucket in sorted(self.counts)},
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Distribution":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        distribution = cls()
+        distribution.counts = {int(bucket): count
+                               for bucket, count in data["counts"].items()}
+        distribution.count = data["count"]
+        distribution.total = data["total"]
+        distribution.min = data["min"]
+        distribution.max = data["max"]
+        return distribution
+
+    def merge_from(self, other: "Distribution") -> None:
+        """Combine bucket counts, totals and extrema element-wise."""
+        for bucket, count in other.counts.items():
+            self.counts[bucket] = self.counts.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (f"Distribution(count={self.count}, mean={self.mean:.3f}, "
+                f"p99={self.p99:.3f}, min={self.min}, max={self.max})")
+
+
 class Occupancy:
     """Peak and mean occupancy of a bounded resource (MSHRs, queues).
 
@@ -397,7 +549,7 @@ class Breakdown:
 
 
 _METRIC_TYPES = {cls.kind: cls for cls in
-                 (Counter, Histogram, Occupancy, Breakdown)}
+                 (Counter, Histogram, Distribution, Occupancy, Breakdown)}
 
 
 def decode_metric(data: Dict[str, Any]):

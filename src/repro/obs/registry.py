@@ -20,7 +20,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Union
 
 from ..errors import SimulationError
-from .metrics import Counter, Histogram, Occupancy, decode_metric
+from .metrics import (Counter, Distribution, Histogram, Occupancy,
+                      decode_metric)
 
 
 class StatsRegistry:
@@ -62,6 +63,16 @@ class StatsRegistry:
         if not isinstance(metric, Histogram):
             raise SimulationError(
                 f"{path!r} holds a {type(metric).__name__}, not a Histogram")
+        return metric
+
+    def distribution(self, path: str) -> Distribution:
+        """Get-or-create a :class:`Distribution` at ``path``."""
+        metric = self._metrics.get(path)
+        if metric is None:
+            return self.register(path, Distribution())
+        if not isinstance(metric, Distribution):
+            raise SimulationError(
+                f"{path!r} holds a {type(metric).__name__}, not a Distribution")
         return metric
 
     def occupancy(self, path: str, capacity: int = 0) -> Occupancy:
@@ -165,6 +176,10 @@ class Scope:
     def histogram(self, path: str) -> Histogram:
         """Get-or-create a :class:`Histogram` under this scope's prefix."""
         return self._registry.histogram(self._path(path))
+
+    def distribution(self, path: str) -> Distribution:
+        """Get-or-create a :class:`Distribution` under this scope's prefix."""
+        return self._registry.distribution(self._path(path))
 
     def occupancy(self, path: str, capacity: int = 0) -> Occupancy:
         """Get-or-create an :class:`Occupancy` under this scope's prefix."""

@@ -1,0 +1,50 @@
+"""The serving layer: open-loop traffic against the indexing backends.
+
+The paper measures one-shot bulk probes; this package asks the follow-on
+question a database serving layer cares about: what throughput–latency
+curve does each backend trace when requests *arrive* instead of being
+handed over in bulk?  Four pieces:
+
+* :mod:`~repro.serve.arrivals` — seeded open-loop arrival processes
+  (deterministic and Poisson) emitting probe-batch requests.
+* :mod:`~repro.serve.service` — calibrated service-time models measured
+  on the detailed core/Widx simulators, cached through the campaign.
+* :mod:`~repro.serve.policies` — pluggable batch schedulers (FIFO,
+  batch-by-size, batch-by-deadline) over per-core admission queues.
+* :mod:`~repro.serve.simulate` — the discrete-event composition, with
+  end-to-end latency recorded into an observability
+  :class:`~repro.obs.metrics.Distribution` for p50/p95/p99 extraction.
+
+The ``fig-serve`` CLI verb (:mod:`repro.harness.figserve`) sweeps
+offered load over these pieces to produce the throughput–latency figure.
+"""
+
+from .arrivals import (ArrivalProcess, DeterministicArrivals, PoissonArrivals,
+                       Request, merge_requests)
+from .policies import (BatchByDeadline, BatchBySize, FifoPolicy,
+                       SchedulingPolicy, parse_policy)
+from .service import (SERVICE_BACKENDS, ServiceMeasurement, ServiceModel,
+                      measure_service)
+from .simulate import (ServeResult, build_requests, run_open_loop,
+                       simulate_service)
+
+__all__ = [
+    "ArrivalProcess",
+    "BatchByDeadline",
+    "BatchBySize",
+    "DeterministicArrivals",
+    "FifoPolicy",
+    "PoissonArrivals",
+    "Request",
+    "SERVICE_BACKENDS",
+    "SchedulingPolicy",
+    "ServeResult",
+    "ServiceMeasurement",
+    "ServiceModel",
+    "build_requests",
+    "measure_service",
+    "merge_requests",
+    "parse_policy",
+    "run_open_loop",
+    "simulate_service",
+]

@@ -1,0 +1,138 @@
+"""Pluggable batch-scheduling policies for the per-core admission queues.
+
+A policy's :meth:`~SchedulingPolicy.collect` is a *simulation generator*:
+the per-core server process runs it via ``yield from`` against its
+:class:`~repro.sim.resources.BoundedQueue`, and the return value is the
+batch of requests to serve next (or ``None`` once the queue is closed
+and drained).  Policies are stateless between collections, so one
+instance can serve every core.
+
+Three policies, in increasing willingness to trade latency for batching:
+
+* :class:`FifoPolicy` — serve each request alone, immediately.
+* :class:`BatchBySize` — greedily absorb already-queued requests up to a
+  cap; never waits for future arrivals.
+* :class:`BatchByDeadline` — after the first request arrives, hold the
+  batch open a fixed number of cycles, then serve everything queued
+  (optionally capped).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ServeError
+from ..sim.resources import BoundedQueue, QUEUE_CLOSED
+from .arrivals import Request
+
+
+class SchedulingPolicy:
+    """Interface: decide which queued requests form the next batch."""
+
+    name: str = "policy"
+
+    def collect(self, queue: BoundedQueue):
+        """Simulation generator returning the next batch (``None`` = the
+        queue is closed and fully drained)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator signature
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class FifoPolicy(SchedulingPolicy):
+    """One request per batch, served in arrival order."""
+
+    name = "fifo"
+
+    def collect(self, queue: BoundedQueue):
+        """Block for one request; that request is the whole batch."""
+        item = yield queue.get()
+        if item is QUEUE_CLOSED:
+            return None
+        return [item]
+
+
+class BatchBySize(SchedulingPolicy):
+    """Serve up to ``max_batch`` requests, but only ones already queued.
+
+    Work-conserving: the server never idles waiting for a fuller batch,
+    it just sweeps whatever backlog exists when it becomes free.
+    """
+
+    def __init__(self, max_batch: int) -> None:
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self.name = f"size:{max_batch}"
+
+    def collect(self, queue: BoundedQueue):
+        """Block for one request, then greedily drain the backlog."""
+        first = yield queue.get()
+        if first is QUEUE_CLOSED:
+            return None
+        batch: List[Request] = [first]
+        while len(batch) < self.max_batch and len(queue) > 0:
+            item = yield queue.get()
+            if item is QUEUE_CLOSED:
+                break
+            batch.append(item)
+        return batch
+
+
+class BatchByDeadline(SchedulingPolicy):
+    """Hold the batch open ``wait`` cycles after its first request, then
+    serve everything queued (up to ``max_batch`` if given).
+
+    The deadline bounds the batching delay any request can be charged:
+    a request waits at most ``wait`` cycles for co-batched company, on
+    top of ordinary queueing behind earlier batches.
+    """
+
+    def __init__(self, wait: float, max_batch: Optional[int] = None) -> None:
+        if not wait >= 0:
+            raise ServeError(f"wait must be >= 0, got {wait!r}")
+        if max_batch is not None and max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        self.wait = float(wait)
+        self.max_batch = max_batch
+        self.name = (f"deadline:{wait:g}" if max_batch is None
+                     else f"deadline:{wait:g}:{max_batch}")
+
+    def collect(self, queue: BoundedQueue):
+        """Block for one request, hold ``wait`` cycles, then drain."""
+        first = yield queue.get()
+        if first is QUEUE_CLOSED:
+            return None
+        batch: List[Request] = [first]
+        if self.wait > 0:
+            yield self.wait
+        while ((self.max_batch is None or len(batch) < self.max_batch)
+               and len(queue) > 0):
+            item = yield queue.get()
+            if item is QUEUE_CLOSED:
+                break
+            batch.append(item)
+        return batch
+
+
+def parse_policy(spec: str) -> SchedulingPolicy:
+    """Parse a policy spec string: ``fifo``, ``size:N`` or
+    ``deadline:CYCLES[:N]``."""
+    parts = spec.strip().split(":")
+    kind = parts[0].lower()
+    try:
+        if kind == "fifo" and len(parts) == 1:
+            return FifoPolicy()
+        if kind == "size" and len(parts) == 2:
+            return BatchBySize(int(parts[1]))
+        if kind == "deadline" and len(parts) in (2, 3):
+            wait = float(parts[1])
+            cap = int(parts[2]) if len(parts) == 3 else None
+            return BatchByDeadline(wait, cap)
+    except ValueError as exc:
+        raise ServeError(f"bad scheduling policy spec {spec!r}: {exc}") from exc
+    raise ServeError(
+        f"bad scheduling policy spec {spec!r}; want 'fifo', 'size:N' or "
+        f"'deadline:CYCLES[:N]'")

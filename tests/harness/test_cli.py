@@ -68,7 +68,7 @@ def test_simulated_figure_with_tiny_settings():
 
 def test_experiment_registry_covers_every_paper_artifact():
     expected = {"2a", "2b", "4a", "4b", "4c", "5", "8a", "8b", "9a", "9b",
-                "10", "11", "query-level", "area"}
+                "10", "11", "query-level", "area", "serve"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -115,6 +115,57 @@ def test_cache_dir_second_run_hits(tmp_path):
                 if not line.startswith("[")]  # drop timing/campaign lines
 
     assert report_body(first) == report_body(second)
+
+
+def test_fig_serve_token_resolves():
+    from repro.harness.cli import resolve_figures
+    assert resolve_figures(["fig-serve"]) == ["serve"]
+    assert resolve_figures(["serve"]) == ["serve"]
+
+
+def test_bad_serve_policy_rejected_before_any_measurement():
+    code, text = run_cli("--figure", "serve", "--serve-policy", "size:0")
+    assert code == 2
+    assert "batch" in text or "policy" in text
+
+
+def test_chaos_rate_validated():
+    code, _text = run_cli("--figure", "8b", "--chaos", "1",
+                          "--chaos-rate", "1.5")
+    assert code == 2
+
+
+def test_chaos_flag_threads_through_with_a_reaper(monkeypatch):
+    import repro.harness.cli as cli
+    captured = {}
+
+    def fake_run(names, settings, out=None, chaos=None, policy=None,
+                 **kwargs):
+        captured["chaos"] = chaos
+        captured["policy"] = policy
+        return []
+
+    monkeypatch.setattr(cli, "run_experiments", fake_run)
+    code, _ = run_cli("--figure", "8b", "--chaos", "9",
+                      "--chaos-rate", "0.4")
+    assert code == 0
+    chaos = captured["chaos"]
+    assert chaos is not None and chaos.seed == 9
+    assert chaos.kill_rate == chaos.hang_rate == chaos.error_rate == 0.4
+    # Injected hangs need a progress timeout to be recoverable, so the
+    # CLI supplies one when the user did not.
+    assert captured["policy"].point_timeout is not None
+
+
+def test_chaos_zero_rate_smoke_end_to_end(tmp_path):
+    """The --chaos plumbing (ChaosStore wrap, spec construction) at an
+    injection rate of zero: the full path runs and the figure renders."""
+    code, text = run_cli("--figure", "8b", "--probes", "400",
+                         "--warmup", "100", "--jobs", "1",
+                         "--cache-dir", str(tmp_path),
+                         "--chaos", "3", "--chaos-rate", "0.0")
+    assert code == 0
+    assert "Figure 8b" in text
 
 
 def test_no_cache_disables_the_store(tmp_path, monkeypatch):

@@ -1,9 +1,12 @@
 """Tests for the typed metric scalars."""
 
+import random
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.obs import Breakdown, Counter, Histogram, Occupancy, decode_metric
+from repro.obs import (Breakdown, Counter, Distribution, Histogram, Occupancy,
+                       decode_metric)
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +128,109 @@ class TestHistogram:
         a.record(4)
         a.merge_from(Histogram())
         assert a.min == 4 and a.max == 4
+
+
+# ---------------------------------------------------------------------------
+# Distribution
+# ---------------------------------------------------------------------------
+
+class TestDistribution:
+    #: One bucket width: each power-of-two range splits into 2**SUB_BITS
+    #: linear sub-buckets, so the relative error bound is 1/2**SUB_BITS.
+    RELATIVE_ERROR = 1.0 / (1 << Distribution.SUB_BITS)
+
+    def test_small_values_are_exact(self):
+        distribution = Distribution()
+        for value in range(1, 128):
+            distribution.record(value)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            import math
+            rank = max(1, math.ceil(q * 127))
+            assert distribution.quantile(q) == float(rank)
+
+    def test_quantiles_match_sorted_list_oracle_within_bucket_error(self):
+        import math
+        rng = random.Random(17)
+        values = [rng.uniform(1, 5e6) for _ in range(5000)]
+        distribution = Distribution()
+        for value in values:
+            distribution.record(value)
+        ordered = sorted(values)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999):
+            truth = ordered[max(1, math.ceil(q * len(values))) - 1]
+            assert distribution.quantile(q) == pytest.approx(
+                truth, rel=2 * self.RELATIVE_ERROR)
+
+    def test_quantile_is_monotone_and_bounded_by_extrema(self):
+        rng = random.Random(5)
+        distribution = Distribution()
+        for _ in range(800):
+            distribution.record(rng.expovariate(1 / 1000.0))
+        previous = distribution.min
+        for step in range(101):
+            value = distribution.quantile(step / 100.0)
+            assert previous <= value <= distribution.max
+            previous = value
+
+    def test_moments_track_exactly(self):
+        distribution = Distribution()
+        for value in (3.5, 10.0, 200.25):
+            distribution.record(value)
+        assert distribution.count == 3
+        assert distribution.mean == pytest.approx(213.75 / 3)
+        assert distribution.min == 3.5 and distribution.max == 200.25
+
+    def test_empty_distribution(self):
+        distribution = Distribution()
+        assert distribution.quantile(0.5) == 0.0
+        assert distribution.mean == 0.0
+        assert distribution.count == 0
+
+    def test_quantile_rejects_out_of_range(self):
+        distribution = Distribution()
+        with pytest.raises(SimulationError):
+            distribution.quantile(-0.1)
+        with pytest.raises(SimulationError):
+            distribution.quantile(1.5)
+
+    def test_round_trip_is_json_safe(self):
+        import json
+        distribution = Distribution()
+        for value in (1, 90, 4096.5, 3_000_000):
+            distribution.record(value)
+        snapshot = json.loads(json.dumps(distribution.to_dict()))
+        decoded = decode_metric(snapshot)
+        assert isinstance(decoded, Distribution)
+        assert decoded.to_dict() == distribution.to_dict()
+        assert decoded.p99 == distribution.p99
+
+    def test_merge_equals_recording_everything_in_one(self):
+        rng = random.Random(23)
+        merged, whole = Distribution(), Distribution()
+        for _ in range(3):
+            part = Distribution()
+            for _ in range(400):
+                value = rng.uniform(1, 1e5)
+                part.record(value)
+                whole.record(value)
+            merged.merge_from(part)
+        assert merged.to_dict() == whole.to_dict()
+        assert merged.p50 == whole.p50 and merged.p99 == whole.p99
+
+    def test_merge_from_empty_keeps_extrema(self):
+        distribution = Distribution()
+        distribution.record(42)
+        distribution.merge_from(Distribution())
+        assert distribution.min == 42 and distribution.max == 42
+        assert distribution.count == 1
+
+    def test_p50_p95_p99_shortcuts(self):
+        distribution = Distribution()
+        for value in range(1, 101):
+            distribution.record(value)
+        assert distribution.p50 == 50.0
+        assert distribution.p95 == 95.0
+        assert distribution.p99 == 99.0
 
 
 # ---------------------------------------------------------------------------

@@ -1,10 +1,13 @@
 """Property-based tests for the B+-tree and its Widx traversal."""
 
+import bisect
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DEFAULT_CONFIG
-from repro.db.btree import BPlusTree, KEY_PAD
+from repro.db.btree import FANOUT, BPlusTree, KEY_PAD
+from repro.mem.physmem import NULL_PTR
 from repro.db.column import Column
 from repro.db.types import DataType
 from repro.mem.layout import AddressSpace
@@ -54,6 +57,94 @@ def test_tree_shape_invariants(keys):
     # Every leaf is reachable and the leaf chain covers all keys in order.
     scan = tree.range_scan(0, KEY_PAD - 1)
     assert [k for k, _ in scan] == sorted(keys)
+
+
+def leftmost_leaf(tree):
+    node = tree.root
+    while not tree.node_is_leaf(node):
+        node = tree.node_child(node, 0)
+    return node
+
+
+def node_keys(tree, node):
+    return [tree.node_key(node, slot) for slot in range(FANOUT)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys)
+def test_bulk_load_fills_leaves_and_pads_the_last(keys):
+    """Bulk load packs FANOUT keys per leaf; only the last leaf may be
+    partial, and unused slots are KEY_PAD (which sorts after all keys)."""
+    space = AddressSpace()
+    tree = BPlusTree(space, keys, list(range(len(keys))))
+    leaf, seen_leaves = leftmost_leaf(tree), 0
+    while leaf != NULL_PTR:
+        seen_leaves += 1
+        slots = node_keys(tree, leaf)
+        real = [k for k in slots if k != KEY_PAD]
+        assert slots == real + [KEY_PAD] * (FANOUT - len(real))
+        if tree.next_leaf(leaf) != NULL_PTR:
+            assert len(real) == FANOUT, "only the last leaf may be partial"
+        leaf = tree.next_leaf(leaf)
+    assert seen_leaves == tree.leaf_count == (len(keys) + FANOUT - 1) // FANOUT
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys)
+def test_leaf_chain_is_complete_and_sorted(keys):
+    """Walking next-leaf pointers from the leftmost leaf yields exactly
+    the loaded keys, globally sorted — no key is orphaned or duplicated."""
+    space = AddressSpace()
+    payloads = list(range(100, 100 + len(keys)))
+    tree = BPlusTree(space, keys, payloads)
+    truth = dict(zip(keys, payloads))
+    chained = []
+    leaf = leftmost_leaf(tree)
+    while leaf != NULL_PTR:
+        for slot in range(FANOUT):
+            key = tree.node_key(leaf, slot)
+            if key != KEY_PAD:
+                chained.append((key, tree.node_payload(leaf, slot)))
+        leaf = tree.next_leaf(leaf)
+    assert [k for k, _ in chained] == sorted(keys)
+    assert all(truth[k] == p for k, p in chained)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys)
+def test_node_counts_and_height_are_consistent(keys):
+    space = AddressSpace()
+    tree = BPlusTree(space, keys, list(range(len(keys))))
+    stats = tree.stats()
+    # Height is the number of levels a descent visits.
+    assert len(list(tree.descend_path(keys[0]))) == stats.height
+    # Internal node count follows from repeatedly grouping FANOUT+1 children.
+    expected_internal, level = 0, stats.leaves
+    while level > 1:
+        level = (level + FANOUT) // (FANOUT + 1)
+        expected_internal += level
+    assert stats.internal_nodes == expected_internal
+    assert stats.total_nodes * 64 == tree.footprint_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=tree_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=KEY_PAD - 1),
+                       min_size=1, max_size=60))
+def test_search_matches_sorted_list_oracle(keys, probes):
+    """search() against the classic oracle: bisect into the sorted key
+    list, hit iff present — over arbitrary probe keys, hit or miss."""
+    space = AddressSpace()
+    payloads = list(range(1, len(keys) + 1))
+    tree = BPlusTree(space, keys, payloads)
+    pairs = sorted(zip(keys, payloads))
+    sorted_keys = [k for k, _ in pairs]
+    for probe in probes:
+        slot = bisect.bisect_left(sorted_keys, probe)
+        if slot < len(sorted_keys) and sorted_keys[slot] == probe:
+            assert tree.search(probe) == pairs[slot][1]
+        else:
+            assert tree.search(probe) is None
 
 
 @settings(max_examples=12, deadline=None)

@@ -1,0 +1,123 @@
+"""Tests for the batch-scheduling policies, driven on a real engine."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.arrivals import Request
+from repro.serve.policies import (BatchByDeadline, BatchBySize, FifoPolicy,
+                                  parse_policy)
+from repro.sim.engine import Engine
+from repro.sim.resources import BoundedQueue
+
+
+def request(seq, arrival=0.0):
+    return Request(seq=seq, client=0, arrival=arrival, keys=1)
+
+
+def drive(policy, feed):
+    """Run one queue: ``feed(engine, queue)`` produces, the policy
+    consumes until close; returns the list of collected batches."""
+    engine = Engine()
+    queue = BoundedQueue(engine, 64, name="test")
+    batches = []
+
+    def consumer():
+        while True:
+            batch = yield from policy.collect(queue)
+            if batch is None:
+                return
+            batches.append([r.seq for r in batch])
+
+    engine.process(feed(engine, queue), name="feed")
+    engine.process(consumer(), name="consumer")
+    engine.run()
+    return batches
+
+
+def burst_then_close(items, gap=0.0):
+    def feed(engine, queue):
+        for i, delay in zip(items, [gap] * len(items)):
+            if delay:
+                yield delay
+            yield queue.put(request(i))
+        queue.close()
+    return feed
+
+
+def test_fifo_serves_one_request_per_batch():
+    batches = drive(FifoPolicy(), burst_then_close([0, 1, 2]))
+    assert batches == [[0], [1], [2]]
+
+
+def test_batch_by_size_absorbs_backlog_up_to_cap():
+    batches = drive(BatchBySize(2), burst_then_close([0, 1, 2, 3, 4]))
+    assert batches == [[0, 1], [2, 3], [4]]
+
+
+def test_batch_by_size_does_not_wait_for_future_arrivals():
+    # 100-cycle gaps: each request is alone in the queue when collected.
+    batches = drive(BatchBySize(4), burst_then_close([0, 1, 2], gap=100.0))
+    assert batches == [[0], [1], [2]]
+
+
+def test_batch_by_deadline_holds_the_batch_open():
+    def feed(engine, queue):
+        yield queue.put(request(0))
+        yield 10.0
+        yield queue.put(request(1))
+        yield 10.0
+        yield queue.put(request(2))
+        queue.close()
+
+    # 50-cycle deadline: all three arrivals land inside the window.
+    batches = drive(BatchByDeadline(50.0), feed)
+    assert batches == [[0, 1, 2]]
+
+
+def test_batch_by_deadline_respects_the_cap():
+    batches = drive(BatchByDeadline(50.0, max_batch=2),
+                    burst_then_close([0, 1, 2, 3]))
+    assert batches == [[0, 1], [2, 3]]
+
+
+def test_batch_by_deadline_zero_wait_equals_greedy_sweep():
+    assert (drive(BatchByDeadline(0.0), burst_then_close([0, 1, 2]))
+            == drive(BatchBySize(10**9), burst_then_close([0, 1, 2])))
+
+
+def test_policies_return_none_on_closed_empty_queue():
+    def feed(engine, queue):
+        queue.close()
+        return
+        yield  # pragma: no cover
+
+    for policy in (FifoPolicy(), BatchBySize(3), BatchByDeadline(10.0)):
+        assert drive(policy, feed) == []
+
+
+def test_parse_policy_round_trip():
+    assert isinstance(parse_policy("fifo"), FifoPolicy)
+    sized = parse_policy("size:8")
+    assert isinstance(sized, BatchBySize) and sized.max_batch == 8
+    deadline = parse_policy("deadline:250")
+    assert isinstance(deadline, BatchByDeadline)
+    assert deadline.wait == 250.0 and deadline.max_batch is None
+    capped = parse_policy("deadline:250:16")
+    assert capped.wait == 250.0 and capped.max_batch == 16
+
+
+@pytest.mark.parametrize("spec", ["", "lifo", "size", "size:0", "size:x",
+                                  "deadline", "deadline:-1", "deadline:1:0",
+                                  "fifo:2"])
+def test_parse_policy_rejects_bad_specs(spec):
+    with pytest.raises(ServeError):
+        parse_policy(spec)
+
+
+def test_policy_constructor_validation():
+    with pytest.raises(ServeError):
+        BatchBySize(0)
+    with pytest.raises(ServeError):
+        BatchByDeadline(-1.0)
+    with pytest.raises(ServeError):
+        BatchByDeadline(1.0, max_batch=0)

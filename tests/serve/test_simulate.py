@@ -1,0 +1,180 @@
+"""Tests for the open-loop serving simulation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs import StatsRegistry
+from repro.serve.arrivals import Request
+from repro.serve.policies import BatchByDeadline, BatchBySize, FifoPolicy
+from repro.serve.service import ServiceModel
+from repro.serve.simulate import (build_requests, run_open_loop,
+                                  simulate_service)
+
+#: A synthetic calibration: 100 cycles for one request, amortizing to
+#: 70/request at batch 4 — shaped like the real Widx measurements.
+MODEL = ServiceModel("synthetic", 8, {1: 100.0, 2: 160.0, 4: 280.0})
+
+
+def run(rate, *, policy=None, cores=2, requests=300, seed=42, **kwargs):
+    return run_open_loop(MODEL, rate=rate, num_requests=requests,
+                         policy=policy or FifoPolicy(), cores=cores,
+                         seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# service model
+# ---------------------------------------------------------------------------
+
+def test_service_model_interpolates_and_extrapolates():
+    assert MODEL.cycles_for(1) == 100.0
+    assert MODEL.cycles_for(2) == 160.0
+    assert MODEL.cycles_for(3) == pytest.approx(220.0)   # midpoint of 2..4
+    assert MODEL.cycles_for(8) == pytest.approx(280.0 + 4 * 60.0)
+    assert MODEL.saturation_rate() == pytest.approx(10.0)
+    assert MODEL.saturation_rate(4) == pytest.approx(4000.0 / 280.0)
+
+
+def test_service_model_validation():
+    with pytest.raises(ServeError):
+        ServiceModel("m", 8, {})
+    with pytest.raises(ServeError):
+        ServiceModel("m", 8, {0: 10.0})
+    with pytest.raises(ServeError):
+        ServiceModel("m", 8, {1: 0.0})
+    with pytest.raises(ServeError):
+        ServiceModel("m", 0, {1: 10.0})
+    with pytest.raises(ServeError):
+        MODEL.cycles_for(0)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+def test_same_seed_same_result_bit_identical():
+    a = run(10.0)
+    b = run(10.0)
+    assert a.latency.to_dict() == b.latency.to_dict()
+    assert a.stats == b.stats
+    assert (a.completed, a.makespan) == (b.completed, b.makespan)
+
+
+def test_different_seed_different_latencies():
+    assert run(10.0, seed=1).stats != run(10.0, seed=2).stats
+
+
+# ---------------------------------------------------------------------------
+# conservation and accounting
+# ---------------------------------------------------------------------------
+
+def test_every_request_completes_and_is_recorded():
+    result = run(12.0, requests=250)
+    assert result.completed == result.requests == 250
+    assert result.latency.count == 250
+    registry = StatsRegistry.from_dict(result.stats)
+    assert registry.get("serve.completed").value == 250
+    assert registry.get("serve.batches").value >= 1
+    assert registry.get("serve.busy_cycles").value > 0
+
+
+def test_latency_is_at_least_the_service_time():
+    result = run(2.0)  # light load: mostly pure service time
+    # Engine time arithmetic (arrival + delay - arrival) can lose an ulp.
+    assert result.latency.min >= MODEL.cycles_for(1) * (1 - 1e-12)
+
+
+def test_makespan_covers_the_last_arrival():
+    result = run(10.0)
+    assert result.makespan > 0
+    assert result.achieved > 0
+
+
+# ---------------------------------------------------------------------------
+# open-loop load behaviour
+# ---------------------------------------------------------------------------
+
+def test_p99_weakly_non_decreasing_in_offered_load():
+    saturation = 2 * MODEL.saturation_rate()
+    previous = -1.0
+    for fraction in (0.2, 0.4, 0.6, 0.8, 0.95, 1.2):
+        result = run(fraction * saturation)
+        assert result.p99 >= previous
+        previous = result.p99
+
+
+def test_overload_saturates_throughput_not_latency():
+    """Beyond saturation the backlog (and tail) grows but achieved
+    throughput tops out near capacity — the open-loop signature."""
+    saturation = 2 * MODEL.saturation_rate()
+    at_cap = run(0.95 * saturation, requests=400)
+    beyond = run(2.0 * saturation, requests=400)
+    assert beyond.p99 > 2 * at_cap.p99
+    assert beyond.achieved <= saturation * 1.05
+    assert beyond.achieved == pytest.approx(saturation, rel=0.15)
+
+
+def test_quantiles_are_ordered():
+    result = run(15.0)
+    assert result.p50 <= result.p95 <= result.p99
+    assert result.latency.min <= result.p50
+    assert result.p99 <= result.latency.max
+
+
+# ---------------------------------------------------------------------------
+# batching policies under load
+# ---------------------------------------------------------------------------
+
+def test_batching_beats_fifo_on_throughput_under_overload():
+    """With economies of scale in the service curve, sweeping the backlog
+    in batches clears an overload faster than FIFO."""
+    rate = 3 * MODEL.saturation_rate()  # far beyond 1-core FIFO capacity
+    fifo = run(rate, cores=1, policy=FifoPolicy(), requests=200)
+    batched = run(rate, cores=1, policy=BatchBySize(4), requests=200)
+    assert batched.makespan < fifo.makespan
+    assert batched.achieved > fifo.achieved
+
+
+def test_deadline_batching_trades_light_load_latency():
+    """At light load a deadline policy pays its hold-open delay."""
+    rate = 0.2 * MODEL.saturation_rate()
+    fifo = run(rate, cores=1, policy=FifoPolicy())
+    held = run(rate, cores=1, policy=BatchByDeadline(400.0))
+    assert held.p50 > fifo.p50
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+def test_rejects_empty_request_stream():
+    with pytest.raises(ServeError):
+        simulate_service([], MODEL, policy=FifoPolicy(), cores=1)
+
+
+def test_rejects_mismatched_keys_per_request():
+    bad = [Request(seq=0, client=0, arrival=1.0, keys=99)]
+    with pytest.raises(ServeError):
+        simulate_service(bad, MODEL, policy=FifoPolicy(), cores=1)
+
+
+def test_rejects_bad_core_and_client_counts():
+    requests = build_requests(1.0, 4, 8)
+    with pytest.raises(ServeError):
+        simulate_service(requests, MODEL, policy=FifoPolicy(), cores=0)
+    with pytest.raises(ServeError):
+        build_requests(1.0, 4, 8, clients=0)
+    with pytest.raises(ServeError):
+        build_requests(1.0, 2, 8, clients=3)
+    with pytest.raises(ServeError):
+        build_requests(1.0, 4, 8, arrival="uniform")
+
+
+def test_multi_client_streams_merge_into_one_ordered_stream():
+    requests = build_requests(4.0, 30, 8, clients=3, seed=5)
+    assert len(requests) == 30
+    assert [r.seq for r in requests] == list(range(30))
+    assert all(a.arrival <= b.arrival
+               for a, b in zip(requests, requests[1:]))
+    assert {r.client for r in requests} == {0, 1, 2}
+    result = simulate_service(requests, MODEL, policy=FifoPolicy(), cores=2)
+    assert result.completed == 30
