@@ -269,7 +269,8 @@ def _measure_point(cache: MeasurementCache, point: MeasurementPoint):
 def _group_worker(conn, config: SystemConfig, runs: RunSettings,
                   points: Sequence[MeasurementPoint],
                   chaos: Optional[ChaosSpec],
-                  attempts: Sequence[int]) -> None:
+                  attempts: Sequence[int],
+                  bulk: bool = False) -> None:
     """Worker process: measure points, streaming results incrementally.
 
     Protocol (one tuple per :meth:`Connection.send`):
@@ -285,7 +286,7 @@ def _group_worker(conn, config: SystemConfig, runs: RunSettings,
     Module-level so it pickles under every multiprocessing start method.
     """
     try:
-        cache = MeasurementCache(config=config, runs=runs)
+        cache = MeasurementCache(config=config, runs=runs, bulk=bulk)
         for index, point in enumerate(points):
             key = _point_chaos_key(point)
             inject_worker_faults(chaos, key, attempts[index])
@@ -455,7 +456,8 @@ class Campaign:
             target=_group_worker,
             args=(child_conn, self.cache.config, self.cache.runs,
                   list(points), self.chaos,
-                  [attempts[point] for point in points]),
+                  [attempts[point] for point in points],
+                  self.cache.bulk),
             daemon=True)
         process.start()
         child_conn.close()

@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-rate", type=float, default=0.25, metavar="R",
                         help="per-fault-site injection probability for "
                              "--chaos (default: 0.25)")
+    parser.add_argument("--bulk", action="store_true",
+                        help="evaluate independent probes and requests as "
+                             "array programs instead of event streams "
+                             "(bit-identical results; contended schedules "
+                             "automatically fall back to the event engine)")
     parser.add_argument("--serve-policy", default="fifo", metavar="SPEC",
                         dest="serve_policy",
                         help="scheduling policy for the fig-serve sweep: "
@@ -187,7 +192,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                     chaos: Optional[ChaosSpec] = None,
                     stats_json: Optional[str] = None,
                     trace: Optional[str] = None,
-                    serve_policy: str = "fifo") -> List[Report]:
+                    serve_policy: str = "fifo",
+                    bulk: bool = False) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -204,7 +210,7 @@ def run_experiments(names: List[str], settings: RunSettings,
     """
     if chaos is not None and store is not None:
         store = ChaosStore(store, chaos)
-    cache = MeasurementCache(runs=settings, store=store)
+    cache = MeasurementCache(runs=settings, store=store, bulk=bulk)
     points = campaign_points(names)
     failures = []
     if points:
@@ -222,7 +228,7 @@ def run_experiments(names: List[str], settings: RunSettings,
             # The serving sweep is the one driver with a tunable beyond
             # the cache: its scheduling policy.
             if name == "serve":
-                report = runner(cache, serve_policy)
+                report = runner(cache, serve_policy, bulk=bulk)
             else:
                 report = runner(cache)
         except MeasurementFailed as exc:
@@ -366,7 +372,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         run_experiments(names, settings, out=out, store=store, jobs=jobs,
                         policy=policy, chaos=chaos,
                         stats_json=args.stats_json, trace=args.trace,
-                        serve_policy=args.serve_policy)
+                        serve_policy=args.serve_policy, bulk=args.bulk)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

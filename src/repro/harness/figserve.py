@@ -78,8 +78,13 @@ def service_model(cache: MeasurementCache, label: str, backend: str,
 def sweep_backend(cache: MeasurementCache, model: ServiceModel,
                   policy_spec: str,
                   load_fractions: Iterable[float] = LOAD_FRACTIONS,
-                  ) -> List[ServeResult]:
-    """Sweep offered load for one backend; one ServeResult per level."""
+                  bulk: bool = False) -> List[ServeResult]:
+    """Sweep offered load for one backend; one ServeResult per level.
+
+    ``bulk=True`` runs each level through the array replay
+    (:mod:`repro.serve.bulk`) — bit-identical, with automatic fallback
+    to the discrete-event path on ambiguous schedules.
+    """
     cores = cache.config.num_cores
     saturation = cores * model.saturation_rate()
     results = []
@@ -87,12 +92,13 @@ def sweep_backend(cache: MeasurementCache, model: ServiceModel,
         policy = parse_policy(policy_spec)  # fresh instance per run
         results.append(run_open_loop(
             model, rate=fraction * saturation, num_requests=SWEEP_REQUESTS,
-            policy=policy, cores=cores, seed=cache.runs.seed))
+            policy=policy, cores=cores, seed=cache.runs.seed, bulk=bulk))
     return results
 
 
 def run_fig_serve(cache: MeasurementCache,
-                  policy_spec: str = "fifo") -> Report:
+                  policy_spec: str = "fifo",
+                  bulk: bool = False) -> Report:
     """The serving figure: offered load vs achieved throughput and
     latency percentiles, per backend."""
     parse_policy(policy_spec)  # fail fast on a bad spec
@@ -107,7 +113,7 @@ def run_fig_serve(cache: MeasurementCache,
         model = service_model(cache, label, backend, walkers, mode)
         cores = cache.config.num_cores
         saturations[label] = cores * model.saturation_rate()
-        for result in sweep_backend(cache, model, policy_spec):
+        for result in sweep_backend(cache, model, policy_spec, bulk=bulk):
             report.add_row(label, round(result.offered / saturations[label], 2),
                            result.offered, result.achieved,
                            result.p50, result.p95, result.p99)

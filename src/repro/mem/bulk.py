@@ -1,0 +1,507 @@
+"""Bulk-mode building blocks: array views of the index and a load fast path.
+
+Bulk mode (see :mod:`repro.sim.bulk`) evaluates many *independent* probes
+as array programs instead of one discrete event at a time.  This module
+holds the memory-side pieces:
+
+* :func:`bulk_hash` — the :class:`~repro.db.hashfn.HashSpec` mixing
+  pipeline applied to a whole key vector at once (``uint64`` wraparound is
+  exactly the reference's ``& MASK64`` semantics);
+* :class:`IndexArrays` — the live index's bucket headers and overflow
+  nodes re-read out of simulated memory as numpy arrays, so chain walks
+  become level-wise gathers instead of per-node ``PhysicalMemory.read``
+  calls;
+* :func:`build_probe_plans` — per-probe address streams (key load, node
+  slot/next loads, payload emits, mispredicted exits) computed in bulk;
+  a plan replays to the exact uop trace
+  :class:`~repro.cpu.trace.ProbeTraceGenerator` would emit;
+* :func:`make_fast_load` — a closure over one
+  :class:`~repro.mem.MemoryHierarchy` that inlines the whole
+  :meth:`~repro.mem.MemoryHierarchy._access` path (TLB walk, L1 ports and
+  tags, MSHRs, crossbar, LLC, DRAM) against the live hierarchy objects,
+  so hierarchy state and every published statistic stay bit-identical to
+  the event-at-a-time path while skipping its per-access dispatch cost.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..db.column import Column
+from ..db.hashfn import HashSpec
+from .hierarchy import MemoryHierarchy
+
+#: One probe's replay plan: the key-load address, one entry per chain node
+#: ``(slot_load_addr, indirect_key_load_addr | None, payload_load_addr |
+#: None, next_load_addr)``, the empty-header probe address (0 when the
+#: chain is non-empty), whether the loop-exit branch mispredicts, and the
+#: probe's uop/load counts excluding the hash-ALU chain (whose length the
+#: replay knows); the counts let the replay bump its executed-uop totals
+#: once per probe instead of once per uop.
+ProbePlan = Tuple[int, Tuple[Tuple[int, Optional[int], Optional[int], int], ...],
+                  int, bool, int, int]
+
+
+def bulk_hash(spec: HashSpec, keys: np.ndarray) -> np.ndarray:
+    """Apply a hash spec to a ``uint64`` key vector.
+
+    ``uint64`` arithmetic wraps modulo 2**64, which is exactly the
+    scalar reference's ``& MASK64``; every step kind is a pure
+    shift/add/xor/mask, so the vectorized result is bit-identical to
+    ``[spec(int(k)) for k in keys]``.
+    """
+    h = np.asarray(keys, dtype=np.uint64).copy()
+    for step in spec.steps:
+        kind = step.kind
+        amount = np.uint64(step.amount)
+        if kind == "xor_shl":
+            h ^= h << amount
+        elif kind == "xor_shr":
+            h ^= h >> amount
+        elif kind == "add_shl":
+            h += h << amount
+        elif kind == "sub_shl":
+            h = (h << amount) - h
+        elif kind == "and_const":
+            h &= np.uint64(step.const)
+        elif kind == "xor_const":
+            h ^= np.uint64(step.const)
+        elif kind == "add_const":
+            h += np.uint64(step.const)
+        elif kind == "shr":
+            h >>= amount
+        elif kind == "shl":
+            h <<= amount
+        else:  # new step kinds must be mirrored here before bulk use
+            raise ValueError(f"bulk_hash cannot vectorize step {kind!r}")
+    return h
+
+
+class IndexArrays:
+    """Array snapshot of a live :class:`~repro.db.hashtable.HashIndex`.
+
+    Bucket headers and the used prefix of the overflow-node heap are
+    re-read from simulated memory into strided slot/next arrays; a chain
+    pointer then resolves with two integer ops and a gather instead of a
+    ``PhysicalMemory`` byte-decode.
+    """
+
+    def __init__(self, index) -> None:
+        layout = index.layout
+        memory = index.memory
+        # Snapshot the backing store: the plans must reflect the index as
+        # built, and a bytes copy cannot be invalidated by later sbrk calls.
+        raw = np.frombuffer(bytes(memory._store), dtype=np.uint8)
+        base = memory._base
+        stride = layout.stride
+        slot_bytes = layout.key_slot_bytes
+        slot_dtype = "<u4" if slot_bytes == 4 else "<u8"
+
+        def extract(region_base: int, count: int):
+            start = region_base - base
+            slab = raw[start:start + count * stride].reshape(count, stride)
+            off = layout.key_offset
+            slots = (slab[:, off:off + slot_bytes].copy()
+                     .view(slot_dtype).ravel().astype(np.uint64))
+            off = layout.next_offset
+            nexts = (slab[:, off:off + 8].copy()
+                     .view("<u8").ravel().astype(np.int64))
+            return slots, nexts
+
+        self.buckets_base = index.buckets.base
+        self.nodes_base = index.nodes.base
+        self.shift = layout.shift
+        self.header_slot, self.header_next = extract(index.buckets.base,
+                                                     index.num_buckets)
+        used_nodes = (index._next_node - index.nodes.base) // stride
+        self.num_nodes = used_nodes
+        if used_nodes:
+            self.node_slot, self.node_next = extract(index.nodes.base,
+                                                     used_nodes)
+        else:
+            self.node_slot = np.zeros(0, dtype=np.uint64)
+            self.node_next = np.zeros(0, dtype=np.int64)
+
+    def gather(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(slot, next) for each node address (header or heap node)."""
+        in_heap = addrs >= self.nodes_base
+        heap_i = np.clip((addrs - self.nodes_base) >> self.shift,
+                         0, max(self.num_nodes - 1, 0))
+        head_i = np.clip((addrs - self.buckets_base) >> self.shift,
+                         0, len(self.header_slot) - 1)
+        if self.num_nodes:
+            slots = np.where(in_heap, self.node_slot[heap_i],
+                             self.header_slot[head_i])
+            nexts = np.where(in_heap, self.node_next[heap_i],
+                             self.header_next[head_i])
+        else:
+            slots = self.header_slot[head_i]
+            nexts = self.header_next[head_i]
+        return slots, nexts
+
+
+def build_probe_plans(index, probe_keys: Column,
+                      rows: Sequence[int],
+                      model_mispredicts: bool = True) -> List[ProbePlan]:
+    """Per-probe replay plans, computed with batched hashing and level-wise
+    chain walks.
+
+    The result replays to the exact address/dependency stream
+    :meth:`~repro.cpu.trace.ProbeTraceGenerator.probe_uops` emits for the
+    same rows (proven by the differential tests in ``tests/sim``).
+    """
+    layout = index.layout
+    arrays = IndexArrays(index)
+    rows_arr = np.asarray(list(rows), dtype=np.int64)
+    keys = probe_keys.values[rows_arr].astype(np.uint64)
+
+    num_buckets = index.num_buckets
+    bucket_idx = (bulk_hash(index.hash_spec, keys)
+                  & np.uint64(num_buckets - 1)).astype(np.int64)
+    header_addr = index.buckets.base + (bucket_idx << arrays.shift)
+    key_addr = probe_keys.region.base + rows_arr * probe_keys.dtype.nbytes
+    empty = arrays.header_slot[bucket_idx] == np.uint64(layout.empty_sentinel)
+
+    # Level-wise chain walk: every active probe advances one node per
+    # iteration, so the loop depth is the maximum chain length, not the
+    # probe count.
+    chains: List[list] = [[] for _ in range(len(rows_arr))]
+    active = np.nonzero(~empty)[0]
+    cursor = header_addr[active]
+    while active.size:
+        slots, nexts = arrays.gather(cursor)
+        for probe, addr, slot in zip(active.tolist(), cursor.tolist(),
+                                     slots.tolist()):
+            chains[probe].append((addr, slot))
+        alive = nexts != 0
+        active = active[alive]
+        cursor = nexts[alive]
+
+    typical = max(1, round(index.num_keys / max(1, num_buckets)))
+    indirect = layout.indirect
+    key_off = layout.key_offset
+    next_off = layout.next_offset
+    payload_off = layout.payload_offset
+    if indirect:
+        column_base = index.key_column.region.base
+        column_width = index.key_column.dtype.nbytes
+
+    plans: List[ProbePlan] = []
+    key_addr_list = key_addr.tolist()
+    header_list = header_addr.tolist()
+    keys_list = keys.tolist()
+    for i, chain in enumerate(chains):
+        key = keys_list[i]
+        if chain:
+            nodes = []
+            n_uops = 3   # key load + trailer ALU + trailer branch
+            n_loads = 1  # key load
+            for addr, slot in chain:
+                if indirect:
+                    ind_addr: Optional[int] = column_base + slot * column_width
+                    payload: Optional[int] = None
+                    n_uops += 7   # slot, ALU, indirect, cmp, br, next, br
+                    n_loads += 3
+                else:
+                    ind_addr = None
+                    if slot == key:
+                        payload = addr + payload_off
+                        n_uops += 6   # slot, cmp, br, payload, next, br
+                        n_loads += 3
+                    else:
+                        payload = None
+                        n_uops += 5   # slot, cmp, br, next, br
+                        n_loads += 2
+                nodes.append((addr + key_off, ind_addr, payload,
+                              addr + next_off))
+            mispredict = model_mispredicts and len(chain) != typical
+            plans.append((key_addr_list[i], tuple(nodes), 0, mispredict,
+                          n_uops, n_loads))
+        else:
+            mispredict = model_mispredicts and 0 != typical
+            # key load + header load + ALU + branch + trailer ALU + branch
+            plans.append((key_addr_list[i], (),
+                          header_list[i] + key_off, mispredict, 6, 2))
+    return plans
+
+
+
+
+def make_fast_load(memory: MemoryHierarchy):
+    """Build a specialized ``load`` for one hierarchy.
+
+    Returns ``(fast_load, flush)``.  ``fast_load(addr, now)`` gives
+    ``(complete, tlb_stall, is_l1)``; ``flush()`` must be called once
+    after the replay, before reading any hierarchy statistics.
+
+    The closure inlines :meth:`MemoryHierarchy._access` end to end — TLB
+    translate (hit, shared walk, and miss branches), L1 port grant and tag
+    probe, MSHR acquire/release, crossbar hops, the LLC and the DRAM
+    dispatch — performing exactly the reference's state updates on the
+    live hierarchy objects, so tag arrays, in-flight maps, pools and every
+    statistic evolve bit-identically to the event-at-a-time path.  Two
+    deferrals keep the hot path tight, both exactness-preserving:
+
+    * counters that only ever take ``+1`` steps (loads, hits, grants,
+      traversals, …) accumulate in local ints and land in one batched add
+      at ``flush()`` — integer-valued float sums are associative below
+      2**53, so the batched total is bit-equal to the reference's
+      one-by-one accumulation (order-sensitive float sums such as stall
+      and wait cycles stay live);
+    * the port allocators' ``_max_now``/``_prune_cursor`` watermarks are
+      mirrored in locals and written back at ``flush()``.
+
+    If any pool has a tracer attached (the inline path cannot honor
+    sampling hooks) it degrades to a thin wrapper over ``_access``.
+    """
+    from heapq import heappop, heappush
+
+    tlb = memory.tlb
+    l1 = memory.l1d
+    llc = memory.llc
+    if (tlb._walks.tracer is not None or l1.mshrs.tracer is not None
+            or llc.mshrs.tracer is not None):
+        access = memory._access
+        loads_counter = memory.stats.loads
+
+        def traced_load(addr: int, now: float):
+            loads_counter.value += 1
+            result = access(addr, now)
+            return result.complete, result.tlb_stall, result.level == "L1"
+
+        return traced_load, lambda: None
+
+    page_bits = tlb._page_bits
+    tlb_entries = tlb._entries
+    tlb_inflight = tlb._inflight
+    tlb_capacity = tlb.cfg.entries
+    walk_latency = tlb.cfg.miss_latency_cycles
+    tlb_stats = tlb.stats
+    walks = tlb._walks
+    walk_releases = walks._releases
+
+    l1_array = l1.array
+    block_bits = l1_array.block_bits
+    l1_entries = l1_array._entries
+    l1_inflight = l1._inflight
+    l1_stats = l1.stats
+    l1_latency = memory.cfg.l1d.latency_cycles
+    l1_ports = l1.ports
+    l1_port_counts = l1_ports._cycle_counts
+    l1_port_servers = l1_ports.servers
+    l1_port_horizon = l1_ports._horizon
+    l1_mshrs = l1.mshrs
+    l1_mshr_capacity = l1_mshrs.capacity
+    l1_mshr_releases = l1_mshrs._releases
+    l1_insert = l1_array.insert
+
+    llc_array = llc.array
+    llc_entries = llc_array._entries
+    llc_inflight = llc._inflight
+    llc_stats = llc.stats
+    llc_latency = memory.cfg.llc.latency_cycles
+    llc_ports = llc.ports
+    llc_port_counts = llc_ports._cycle_counts
+    llc_port_servers = llc_ports.servers
+    llc_port_horizon = llc_ports._horizon
+    llc_begin_miss = llc.begin_miss
+    llc_finish_miss = llc.finish_miss
+
+    crossbar = memory.crossbar
+    crossbar_latency = crossbar.latency_cycles
+    dram_fetch = memory.dram.fetch
+    mem_stats = memory.stats
+
+    # Mirrored port watermarks (written back by flush()).
+    l1_max_now = l1_ports._max_now
+    l1_prune = l1_ports._prune_cursor
+    llc_max_now = llc_ports._max_now
+    llc_prune = llc_ports._prune_cursor
+
+    # Deferred unit-increment counters (see the docstring).
+    n_loads = 0
+    n_l1_hit = 0
+    n_l1_comb = 0
+    n_fresh = 0       # fresh L1 misses: one MSHR + LLC round trip each
+    n_llc_hit = 0
+    n_llc_comb = 0
+    n_dram = 0
+    mshr_levels = 0   # summed MSHR occupancy samples (ints: order-free)
+    mshr_peak = 0
+
+    def fast_load(addr: int, now: float):
+        nonlocal n_loads, n_l1_hit, n_l1_comb, n_fresh, n_llc_hit
+        nonlocal n_llc_comb, n_dram, mshr_levels, mshr_peak
+        nonlocal l1_max_now, l1_prune, llc_max_now, llc_prune
+        n_loads += 1
+        page = addr >> page_bits
+        block = addr >> block_bits
+
+        # ---- Tlb.translate ------------------------------------------
+        tlb_stall = 0.0
+        translated = now
+        pending = tlb_inflight.get(page)
+        if pending is not None and pending > now:
+            # Share the in-flight walk instead of starting another.
+            tlb_stall = pending - now
+            tlb_stats.stall_cycles.value += tlb_stall
+            translated = pending
+        else:
+            if pending is not None:
+                del tlb_inflight[page]
+            if page in tlb_entries:
+                tlb._tick = tick = tlb._tick + 1
+                tlb_entries[page] = tick
+            else:
+                tlb_stats.misses.value += 1
+                # OccupancyPool.acquire + release_at on the walk pool.
+                while walk_releases and walk_releases[0] <= now:
+                    heappop(walk_releases)
+                if len(walk_releases) < walks.capacity:
+                    start = now
+                else:
+                    start = heappop(walk_releases)
+                    walks.wait_cycles.value += start - now
+                walks.acquisitions.value += 1
+                done = start + walk_latency
+                walks.releases.value += 1
+                heappush(walk_releases, done)
+                usage = walks.usage
+                level = len(walk_releases)
+                usage.samples += 1
+                usage.total += level
+                if level > usage.peak:
+                    usage.peak = level
+                tlb_inflight[page] = done
+                # Tlb._insert (the page cannot be resident here).
+                tlb._tick = tick = tlb._tick + 1
+                if len(tlb_entries) >= tlb_capacity:
+                    del tlb_entries[min(tlb_entries, key=tlb_entries.get)]
+                tlb_entries[page] = tick
+                tlb_stall = done - now
+                tlb_stats.stall_cycles.value += tlb_stall
+                translated = done
+
+        # ---- L1 port grant (PipelinedResource.request, service == 1) --
+        if translated > l1_max_now:
+            l1_max_now = translated
+        cycle = int(translated)
+        if cycle < translated:
+            cycle += 1
+        count = l1_port_counts.get(cycle, 0)
+        while count >= l1_port_servers:
+            cycle += 1
+            count = l1_port_counts.get(cycle, 0)
+        l1_port_counts[cycle] = count + 1
+        cutoff = int(l1_max_now - l1_port_horizon)
+        if l1_prune < cutoff - 50_000:
+            for old in range(l1_prune, cutoff):
+                l1_port_counts.pop(old, None)
+            l1_prune = cutoff
+        port_time = float(cycle)
+
+        # ---- L1 probe ------------------------------------------------
+        pending = l1_inflight.get(block)
+        if pending is not None:
+            if pending > port_time:
+                n_l1_comb += 1
+                hit_time = port_time + l1_latency
+                return ((pending if pending > hit_time else hit_time),
+                        tlb_stall, True)
+            del l1_inflight[block]
+        if block in l1_entries:
+            l1_array._tick = tick = l1_array._tick + 1
+            l1_entries[block] = tick
+            n_l1_hit += 1
+            return port_time + l1_latency, tlb_stall, True
+
+        # ---- fresh L1 miss: MSHR (OccupancyPool.acquire) -------------
+        n_fresh += 1
+        while l1_mshr_releases and l1_mshr_releases[0] <= port_time:
+            heappop(l1_mshr_releases)
+        if len(l1_mshr_releases) < l1_mshr_capacity:
+            miss_start = port_time
+        else:
+            miss_start = heappop(l1_mshr_releases)
+            l1_mshrs.wait_cycles.value += miss_start - port_time
+
+        # ---- crossbar to the LLC, LLC port + probe -------------------
+        llc_arrival = miss_start + crossbar_latency
+        if llc_arrival > llc_max_now:
+            llc_max_now = llc_arrival
+        cycle = int(llc_arrival)
+        if cycle < llc_arrival:
+            cycle += 1
+        count = llc_port_counts.get(cycle, 0)
+        while count >= llc_port_servers:
+            cycle += 1
+            count = llc_port_counts.get(cycle, 0)
+        llc_port_counts[cycle] = count + 1
+        cutoff = int(llc_max_now - llc_port_horizon)
+        if llc_prune < cutoff - 50_000:
+            for old in range(llc_prune, cutoff):
+                llc_port_counts.pop(old, None)
+            llc_prune = cutoff
+        llc_port = float(cycle)
+
+        pending = llc_inflight.get(block)
+        if pending is not None and pending > llc_port:
+            n_llc_comb += 1
+            hit_time = llc_port + llc_latency
+            data_at_llc = pending if pending > hit_time else hit_time
+        else:
+            if pending is not None:
+                del llc_inflight[block]
+            if block in llc_entries:
+                llc_array._tick = tick = llc_array._tick + 1
+                llc_entries[block] = tick
+                n_llc_hit += 1
+                data_at_llc = llc_port + llc_latency
+            else:
+                n_dram += 1
+                data_at_llc = dram_fetch(block, llc_begin_miss(llc_port))
+                llc_finish_miss(block, data_at_llc)
+
+        # ---- fill back to the L1 (CacheLevel.finish_miss) ------------
+        fill_time = data_at_llc + crossbar_latency
+        heappush(l1_mshr_releases, fill_time)
+        level = len(l1_mshr_releases)
+        mshr_levels += level
+        if level > mshr_peak:
+            mshr_peak = level
+        l1_inflight[block] = fill_time
+        l1_insert(block)
+        return fill_time, tlb_stall, False
+
+    def flush() -> None:
+        l1_ports._max_now = l1_max_now
+        l1_ports._prune_cursor = l1_prune
+        llc_ports._max_now = llc_max_now
+        llc_ports._prune_cursor = llc_prune
+        mem_stats.loads.value += n_loads
+        tlb_stats.accesses.value += n_loads
+        l1_ports.grants.value += n_loads
+        l1_ports.busy_cycles.value += float(n_loads)
+        l1_stats.accesses.value += n_loads
+        l1_stats.hits.value += n_l1_hit
+        l1_stats.combined_misses.value += n_l1_comb
+        l1_stats.misses.value += n_fresh
+        crossbar.traversals.value += 2 * n_fresh
+        llc_ports.grants.value += n_fresh
+        llc_ports.busy_cycles.value += float(n_fresh)
+        llc_stats.accesses.value += n_fresh
+        llc_stats.hits.value += n_llc_hit
+        llc_stats.combined_misses.value += n_llc_comb
+        llc_stats.misses.value += n_dram
+        mem_stats.dram_blocks.value += n_dram
+        l1_mshrs.acquisitions.value += n_fresh
+        l1_mshrs.releases.value += n_fresh
+        usage = l1_mshrs.usage
+        usage.samples += n_fresh
+        usage.total += mshr_levels
+        if mshr_peak > usage.peak:
+            usage.peak = mshr_peak
+
+    return fast_load, flush

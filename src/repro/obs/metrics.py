@@ -18,9 +18,14 @@ floats.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from ..errors import SimulationError
+
+try:  # bulk-mode replay vectorizes bucket counting when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 Number = Union[int, float]
 
@@ -239,18 +244,34 @@ class Distribution:
 
     The serving layer's latency metric.  :class:`Histogram`'s power-of-two
     buckets are too coarse for tail percentiles (a p99 estimate could be
-    off by 2x), so this metric uses HDR-histogram-style buckets: values
-    below ``2**(SUB_BITS + 1)`` are recorded exactly; larger values share
-    a bucket with at most ``2**-SUB_BITS`` (~1.5%) relative width.  Like
-    every metric it is JSON-serializable and mergeable, so per-worker
-    latency records fold deterministically into campaign totals.
+    off by 2x), so this metric uses HDR-histogram-style buckets computed
+    on a **fixed-point representation**: observations are scaled by
+    ``2**FP_BITS`` and bucketed as integers, so fractional cycle counts
+    keep their resolution instead of truncating to the bucket below
+    (``int(0.75)`` is 0 — the old scheme reported every sub-cycle latency
+    as 0.0).  Scaled values below ``2**(SUB_BITS + 1)`` are recorded
+    exactly (values below ``2**(SUB_BITS + 1 - FP_BITS)`` cycles land in
+    dedicated ``2**-FP_BITS``-cycle-wide buckets); larger values share a
+    bucket with at most ``2**-SUB_BITS`` relative width.  Like every
+    metric it is JSON-serializable and mergeable, so per-worker latency
+    records fold deterministically into campaign totals; snapshots carry
+    the scale and refuse to merge across incompatible bucket geometries.
     """
 
     kind = "distribution"
 
-    #: Sub-bucket resolution: each power-of-two range is split into
-    #: ``2**SUB_BITS`` linear buckets (relative error <= 1/2**SUB_BITS).
-    SUB_BITS = 6
+    #: Sub-bucket resolution: each power-of-two range of the *scaled*
+    #: value is split into ``2**SUB_BITS`` linear buckets (relative
+    #: error <= 1/2**SUB_BITS).
+    SUB_BITS = 14
+
+    #: Fixed-point fractional bits: values are scaled by ``2**FP_BITS``
+    #: before bucketing, giving sub-integer observations real buckets.
+    FP_BITS = 8
+
+    #: The fixed-point scale factor (kept as a float so scaling is one
+    #: multiply on the hot record() path).
+    _FP_SCALE = float(1 << FP_BITS)
 
     __slots__ = ("counts", "count", "total", "min", "max")
 
@@ -264,12 +285,12 @@ class Distribution:
     @classmethod
     def bucket_of(cls, value: Number) -> int:
         """The bucket index covering ``value`` (monotone in ``value``)."""
-        scaled = int(value)
+        scaled = int(value * cls._FP_SCALE)  # fixed-point, truncating
         if scaled <= 0:
             return 0
         exponent = scaled.bit_length()
         if exponent <= cls.SUB_BITS + 1:
-            return scaled  # small values: exact
+            return scaled  # small scaled values: exact
         shift = exponent - 1 - cls.SUB_BITS
         return (scaled >> shift) + (shift << cls.SUB_BITS)
 
@@ -278,12 +299,12 @@ class Distribution:
         """A representative (midpoint) value for one bucket."""
         subs = 1 << cls.SUB_BITS
         if bucket < 2 * subs:
-            return float(bucket)
+            return bucket / cls._FP_SCALE
         shift = (bucket >> cls.SUB_BITS) - 1
         mantissa = bucket - (shift << cls.SUB_BITS)
         low = mantissa << shift
         high = (mantissa + 1) << shift
-        return (low + high - 1) / 2.0
+        return (low + high - 1) / 2.0 / cls._FP_SCALE
 
     def record(self, value: Number) -> None:
         """Add one observation to its bucket and the running moments."""
@@ -296,6 +317,57 @@ class Distribution:
         if self.max is None or value > self.max:
             self.max = value
 
+    def record_many(self, values: Sequence[Number]) -> None:
+        """Add many observations, bit-identically to a :meth:`record` loop.
+
+        Bucket counts are order-free integer increments and the extrema
+        are order-free comparisons, so both vectorize; the running
+        ``total`` is kept as a sequential left-fold over ``values`` in
+        order, because float addition is not associative.  Falls back to
+        the scalar loop when numpy is unavailable or a value leaves the
+        range where the vectorized bit-length trick is exact (scaled
+        magnitudes at or above ``2**53``, non-finite values).
+        """
+        n = len(values)
+        if n == 0:
+            return
+        arr = None
+        if _np is not None:
+            arr = _np.asarray(values, dtype=_np.float64)
+            if not (bool(_np.isfinite(arr).all())
+                    and float(_np.abs(arr).max()) * self._FP_SCALE < 2.0 ** 53):
+                arr = None
+        if arr is None:
+            for value in values:
+                self.record(value)
+            return
+        scaled = (arr * self._FP_SCALE).astype(_np.int64)
+        # bit_length, vectorized: the int64 -> float64 conversion is
+        # exact below 2**53 (guarded above), and frexp's exponent of an
+        # exactly represented positive integer is its bit length.
+        exponent = _np.frexp(scaled.astype(_np.float64))[1]
+        shift = exponent - 1 - self.SUB_BITS
+        clamped = _np.where(shift > 0, shift, 0)
+        buckets = _np.where(shift > 0,
+                            (scaled >> clamped) + (clamped << self.SUB_BITS),
+                            scaled)
+        buckets = _np.where(scaled > 0, buckets, 0)
+        ids, reps = _np.unique(buckets, return_counts=True)
+        counts = self.counts
+        for bucket, repeat in zip(ids.tolist(), reps.tolist()):
+            counts[bucket] = counts.get(bucket, 0) + repeat
+        self.count += n
+        total = self.total
+        for value in arr.tolist():  # float adds are order-sensitive
+            total += value
+        self.total = total
+        low = float(arr.min())
+        high = float(arr.max())
+        if self.min is None or low < self.min:
+            self.min = low
+        if self.max is None or high > self.max:
+            self.max = high
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -307,7 +379,8 @@ class Distribution:
         ``ceil(q * count)`` and returns that bucket's representative
         value, clamped to the exactly tracked extrema — so ``quantile``
         is monotone in ``q``, bounded by min/max, and within one bucket
-        width (~1.5% relative) of the true order statistic.
+        width (``2**-SUB_BITS`` relative, or ``2**-FP_BITS`` cycles
+        absolute for sub-integer values) of the true order statistic.
         """
         if not 0.0 <= q <= 1.0:
             raise SimulationError(f"quantile must be in [0, 1], got {q}")
@@ -344,6 +417,7 @@ class Distribution:
         """JSON-ready snapshot (string bucket keys, sorted)."""
         return {
             "kind": self.kind,
+            "scale": 1 << self.FP_BITS,
             "counts": {str(bucket): self.counts[bucket]
                        for bucket in sorted(self.counts)},
             "count": self.count,
@@ -354,7 +428,18 @@ class Distribution:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Distribution":
-        """Rebuild from a :meth:`to_dict` snapshot."""
+        """Rebuild from a :meth:`to_dict` snapshot.
+
+        Snapshots carry the fixed-point ``scale`` their bucket indices
+        were computed under (older snapshots carried none, i.e. scale 1);
+        decoding one with a different geometry would silently remap every
+        bucket, so it is rejected instead.
+        """
+        scale = int(data.get("scale", 1))
+        if scale != 1 << cls.FP_BITS:
+            raise SimulationError(
+                f"distribution snapshot uses fixed-point scale {scale}, "
+                f"this build buckets at scale {1 << cls.FP_BITS}")
         distribution = cls()
         distribution.counts = {int(bucket): count
                                for bucket, count in data["counts"].items()}

@@ -25,6 +25,7 @@ cycle-denominated service times).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
@@ -68,8 +69,11 @@ class ArrivalProcess:
 
 
 def _check_rate(rate: float) -> float:
-    if not rate > 0:
-        raise ServeError(f"arrival rate must be positive, got {rate!r}")
+    # NaN compares false against 0; inf would mean zero-gap arrivals (the
+    # whole stream landing at one instant), so both are rejected.
+    if not (rate > 0 and math.isfinite(rate)):
+        raise ServeError(
+            f"arrival rate must be finite and positive, got {rate!r}")
     return float(rate)
 
 

@@ -19,6 +19,7 @@ Three policies, in increasing willingness to trade latency for batching:
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional
 
 from ..errors import ServeError
@@ -91,8 +92,10 @@ class BatchByDeadline(SchedulingPolicy):
     """
 
     def __init__(self, wait: float, max_batch: Optional[int] = None) -> None:
-        if not wait >= 0:
-            raise ServeError(f"wait must be >= 0, got {wait!r}")
+        # Reject NaN (compares false) and inf (a server that yields an
+        # infinite hold-open delay never wakes, wedging the engine).
+        if not (wait >= 0 and math.isfinite(wait)):
+            raise ServeError(f"wait must be finite and >= 0, got {wait!r}")
         if max_batch is not None and max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {max_batch}")
         self.wait = float(wait)

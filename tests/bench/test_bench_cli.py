@@ -50,6 +50,16 @@ def test_committed_baseline_fingerprints_match(capsys):
     assert entry["fingerprint"] == result.fingerprint
 
 
+def test_committed_bulk_sweep_fingerprint_matches(capsys):
+    """Same contract for the bulk-mode serve sweep: the benchmark only
+    reports a speedup after proving the array replay bit-identical to
+    the serving DES, and its fingerprint must match the baseline."""
+    result = run_benchmarks(repeats=1, only=["bulk_serve_sweep"])[0]
+    baseline = json.load(open("BENCH_sim.json"))
+    entry = baseline["benchmarks"][result.name]
+    assert entry["fingerprint"] == result.fingerprint
+
+
 def test_check_fails_on_fingerprint_drift(tmp_path, capsys):
     result = run_benchmarks(repeats=1, only=["engine_dispatch"])[0]
     entry = result.to_dict()

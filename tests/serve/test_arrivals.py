@@ -131,6 +131,17 @@ def test_non_positive_rates_rejected(rate):
         DeterministicArrivals(rate)
 
 
+@pytest.mark.parametrize("rate", [float("inf"), float("nan"), -float("inf")])
+def test_non_finite_rates_rejected(rate):
+    """Regression: an infinite rate used to pass the ``> 0`` check and
+    produce a zero mean gap — the whole stream landing at one instant —
+    and NaN poisoned every downstream arrival time."""
+    with pytest.raises(ServeError):
+        PoissonArrivals(rate)
+    with pytest.raises(ServeError):
+        DeterministicArrivals(rate)
+
+
 def test_keys_per_request_must_be_positive():
     with pytest.raises(ServeError):
         DeterministicArrivals(1.0).requests(3, keys_per_request=0)

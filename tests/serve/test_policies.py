@@ -121,3 +121,12 @@ def test_policy_constructor_validation():
         BatchByDeadline(-1.0)
     with pytest.raises(ServeError):
         BatchByDeadline(1.0, max_batch=0)
+
+
+@pytest.mark.parametrize("wait", [float("inf"), float("nan")])
+def test_deadline_rejects_non_finite_waits(wait):
+    """Regression: a non-finite hold window used to pass the ``< 0``
+    check; an infinite wait deadlocks the collect loop (the deadline
+    never arrives) and NaN disables the hold comparison entirely."""
+    with pytest.raises(ServeError):
+        BatchByDeadline(wait)

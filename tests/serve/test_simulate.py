@@ -89,6 +89,33 @@ def test_makespan_covers_the_last_arrival():
     assert result.achieved > 0
 
 
+def test_achieved_is_measured_from_the_first_arrival():
+    """Regression: achieved used to divide by the full makespan, so the
+    idle lead-in before the first request counted as busy time and
+    understated throughput at low loads and small request counts."""
+    requests = [Request(seq=0, client=0, arrival=5000.0, keys=8),
+                Request(seq=1, client=0, arrival=5100.0, keys=8)]
+    result = simulate_service(requests, MODEL, policy=FifoPolicy(), cores=1)
+    assert result.first_arrival == 5000.0
+    span = result.makespan - result.first_arrival
+    assert result.achieved == result.completed * 1000.0 / span
+    # The old formula (divide by the whole makespan) was visibly lower.
+    assert result.achieved > result.completed * 1000.0 / result.makespan
+
+
+def test_achieved_is_invariant_under_a_shifted_stream():
+    """Delaying every arrival by a constant must not change achieved
+    throughput: the served window shifts with the work."""
+    base = [Request(seq=i, client=0, arrival=100.0 * (i + 1), keys=8)
+            for i in range(20)]
+    shifted = [Request(seq=r.seq, client=r.client,
+                       arrival=r.arrival + 40_000.0, keys=r.keys)
+               for r in base]
+    a = simulate_service(base, MODEL, policy=FifoPolicy(), cores=2)
+    b = simulate_service(shifted, MODEL, policy=FifoPolicy(), cores=2)
+    assert a.achieved == pytest.approx(b.achieved, rel=1e-12)
+
+
 # ---------------------------------------------------------------------------
 # open-loop load behaviour
 # ---------------------------------------------------------------------------

@@ -1,0 +1,131 @@
+"""Differential tests: bulk-mode replay vs the discrete-event reference.
+
+The bulk path's whole contract is *bit identity* — not approximation —
+so every test here compares complete results: all CoreTimingResult
+fields, the latency distribution snapshot, and the full stats-registry
+dict (every counter, occupancy sample and engine event count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.timing import measure_indexing
+from repro.db.column import Column
+from repro.db.datagen import make_rng, probe_keys, unique_keys
+from repro.db.hashfn import ROBUST_HASH_32, ROBUST_HASH_64
+from repro.db.hashtable import HashIndex, choose_num_buckets
+from repro.db.node import KERNEL_LAYOUT, MONETDB_LAYOUT
+from repro.db.types import DataType
+from repro.mem.bulk import bulk_hash
+from repro.mem.layout import AddressSpace
+from repro.sim.bulk import bulk_measure_indexing
+
+
+def build_workload(layout, num_keys=4_000, num_probes=900):
+    space = AddressSpace()
+    keys = unique_keys(num_keys, 4, make_rng(11))
+    base = None
+    if layout.indirect:
+        base = Column("base", DataType.for_key_bytes(4), np.asarray(keys))
+        base.materialize(space)
+    index = HashIndex(space, layout, choose_num_buckets(num_keys, 1.0),
+                      ROBUST_HASH_32, capacity=num_keys, key_column=base)
+    for row, key in enumerate(keys):
+        index.insert(int(key), row if layout.indirect else row + 1)
+    probes = probe_keys(np.asarray(keys), num_probes, 1.0, 4, make_rng(13))
+    column = Column("probes", DataType.for_key_bytes(4), probes)
+    column.materialize(space)
+    return index, column
+
+
+@pytest.fixture(scope="module")
+def kernel_workload():
+    return build_workload(KERNEL_LAYOUT)
+
+
+@pytest.fixture(scope="module")
+def monetdb_workload():
+    return build_workload(MONETDB_LAYOUT)
+
+
+def assert_identical(des, bulk):
+    for name in des.__dataclass_fields__:
+        if name == "stats":
+            continue
+        assert getattr(des, name) == getattr(bulk, name), name
+    assert des.stats == bulk.stats
+
+
+# ---------------------------------------------------------------------------
+# differential twin: every layout x core combination, full-state equality
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("core", ["ooo", "inorder"])
+def test_kernel_layout_bit_identical(kernel_workload, core):
+    index, column = kernel_workload
+    des = measure_indexing(index, column, core=core, warmup_probes=256)
+    bulk = bulk_measure_indexing(index, column, core=core, warmup_probes=256)
+    assert_identical(des, bulk)
+
+
+@pytest.mark.parametrize("core", ["ooo", "inorder"])
+def test_indirect_layout_bit_identical(monetdb_workload, core):
+    index, column = monetdb_workload
+    des = measure_indexing(index, column, core=core, warmup_probes=256)
+    bulk = bulk_measure_indexing(index, column, core=core, warmup_probes=256)
+    assert_identical(des, bulk)
+
+
+def test_explicit_row_subset_matches(kernel_workload):
+    index, column = kernel_workload
+    rows = list(range(0, 800, 2))
+    des = measure_indexing(index, column, core="ooo", warmup_probes=64,
+                           rows=rows)
+    bulk = bulk_measure_indexing(index, column, core="ooo", warmup_probes=64,
+                                 rows=rows)
+    assert_identical(des, bulk)
+
+
+def test_cold_index_matches(kernel_workload):
+    index, column = kernel_workload
+    des = measure_indexing(index, column, core="ooo", warmup_probes=128,
+                           measure_probes=300, warm_index=False)
+    bulk = bulk_measure_indexing(index, column, core="ooo", warmup_probes=128,
+                                 measure_probes=300, warm_index=False)
+    assert_identical(des, bulk)
+
+
+def test_measure_indexing_bulk_flag_dispatches(kernel_workload):
+    index, column = kernel_workload
+    des = measure_indexing(index, column, core="ooo", warmup_probes=256)
+    via_flag = measure_indexing(index, column, core="ooo", warmup_probes=256,
+                                bulk=True)
+    assert_identical(des, via_flag)
+
+
+def test_bulk_rejects_unknown_core(kernel_workload):
+    index, column = kernel_workload
+    with pytest.raises(ValueError):
+        bulk_measure_indexing(index, column, core="vliw")
+
+
+# ---------------------------------------------------------------------------
+# bulk_hash: vectorized hashing is bit-identical to the scalar spec
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", [ROBUST_HASH_32, ROBUST_HASH_64],
+                         ids=lambda s: s.name)
+def test_bulk_hash_matches_scalar_spec(spec):
+    rng = make_rng(5)
+    keys = rng.integers(0, 2 ** 64, size=2_000, dtype=np.uint64)
+    hashed = bulk_hash(spec, keys)
+    assert hashed.dtype == np.uint64
+    reference = [spec(int(key)) for key in keys]
+    assert hashed.tolist() == reference
+
+
+def test_bulk_hash_edge_keys():
+    edges = np.array([0, 1, 2 ** 32 - 1, 2 ** 63, 2 ** 64 - 1],
+                     dtype=np.uint64)
+    assert bulk_hash(ROBUST_HASH_32, edges).tolist() == [
+        ROBUST_HASH_32(int(key)) for key in edges]
