@@ -37,6 +37,16 @@ discrete-event path itself (bulk's contract is bit identity with it):
     policy, four cores), timed with ``bulk=True`` versus the
     discrete-event serving engine.
 
+One guards the resilience layer, where the reference twin is the plain
+serving DES (the resilient clean path's contract is bit identity with
+it) and the floor bounds *overhead* rather than demanding a speedup:
+
+``resilience_sweep``
+    An offered-load sweep run through the resilient serving path with
+    only an SLO armed (no shedding, no faults) versus the plain DES;
+    the fingerprint also pins a seeded shed+fault+fallback sweep so any
+    drift in the degraded-mode machinery fails ``--check`` loudly.
+
 Run via ``python -m repro.bench`` (see :mod:`repro.bench.__main__`); the
 committed ``BENCH_sim.json`` baseline is regenerated with ``--output``
 (which enforces the acceptance floors) and guarded in CI with
@@ -67,9 +77,11 @@ from ..mem.cache import CacheArray
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.layout import AddressSpace
 from ..mem.reference import ReferenceCacheArray, use_reference_arrays
-from ..serve.policies import FifoPolicy
+from ..serve.faults import WalkerFaultModel
+from ..serve.policies import FifoPolicy, parse_policy
 from ..serve.service import ServiceModel
-from ..serve.simulate import build_requests, simulate_service
+from ..serve.simulate import (ResilienceConfig, build_requests,
+                              simulate_service)
 from ..sim.bulk import bulk_measure_indexing
 from ..sim.engine import Engine
 from ..sim.reference import ReferenceEngine
@@ -84,6 +96,10 @@ FLOORS: Dict[str, float] = {
     "fig8_point": 1.25,
     "bulk_fig8_point": 5.0,
     "bulk_serve_sweep": 10.0,
+    # Parity benchmark: the resilient clean path versus the plain DES.
+    # The floor bounds overhead (resilient may cost at most 2x plain)
+    # instead of demanding a speedup.
+    "resilience_sweep": 0.5,
 }
 
 #: ``--check`` tolerance: fail if the measured speedup drops below
@@ -471,12 +487,129 @@ def bench_bulk_serve_sweep(repeats: int) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------------
+# resilience_sweep: the resilient serving path vs the plain DES
+# ----------------------------------------------------------------------
+
+#: Three fractions straddle saturation so the sweep exercises an idle,
+#: a busy, and an overloaded queue; the request count keeps both DES
+#: runs in a noise-robust timing range.
+_RESILIENCE_FRACTIONS = (0.5, 0.9, 1.4)
+_RESILIENCE_REQUESTS = 4_096
+_RESILIENCE_SLO = 30_000.0
+_RESILIENCE_FAULT_RATE = 40.0
+
+
+def _build_resilience_inputs():
+    """The serve-bench model and one Poisson stream per load level."""
+    model = ServiceModel("bench", 8,
+                         {1: 840.0, 4: 2260.0, 16: 7400.0, 64: 26000.0})
+    saturation = _SERVE_CORES * model.saturation_rate()
+    streams = []
+    for fraction in _RESILIENCE_FRACTIONS:
+        rate = fraction * saturation
+        streams.append((rate, build_requests(
+            rate, _RESILIENCE_REQUESTS, model.keys_per_request,
+            clients=_SERVE_CLIENTS, seed=_SERVE_SEED)))
+    return model, streams
+
+
+def _run_resilience_sweep(model, streams,
+                          resilience: Optional[ResilienceConfig]) -> List:
+    return [simulate_service(requests, model, policy=FifoPolicy(),
+                             cores=_SERVE_CORES, offered=rate,
+                             resilience=resilience)
+            for rate, requests in streams]
+
+
+#: Counters only the resilient path registers; on a clean SLO-only run
+#: they are all zero, so parity drops them (asserting the zeros) before
+#: comparing against the plain DES, which never creates them.
+_RESILIENCE_ONLY_STATS = ("serve.aborts", "serve.expired",
+                          "serve.in_slo", "serve.shed")
+
+
+def _resilience_parity_key(results) -> Tuple:
+    key = []
+    for result in results:
+        stats = dict(result.stats)
+        for name in _RESILIENCE_ONLY_STATS:
+            counter = stats.pop(name, None)
+            value = 0 if counter is None else counter["value"]
+            if value not in (0, result.in_slo):
+                raise AssertionError(
+                    f"clean resilient run tripped {name!r}")
+        key.append((result.completed, result.makespan, result.achieved,
+                    _stable_crc(result.latency.to_dict()),
+                    _stable_crc(stats)))
+    return tuple(key)
+
+
+def _resilience_faulted_key(model, streams) -> Tuple:
+    """Fingerprint a seeded shed+fault+fallback sweep (untimed, once):
+    the degraded-mode machinery — walker deaths, capacity scaling, the
+    host fallback, admission shedding, deadline accounting — all feed
+    this checksum, so behavioural drift fails ``--check``."""
+    faults = WalkerFaultModel(seed=_SERVE_SEED,
+                              rate=_RESILIENCE_FAULT_RATE,
+                              walkers_per_core=2)
+    resilience = ResilienceConfig(slo=_RESILIENCE_SLO, faults=faults,
+                                  fallback=model.scaled(2.5))
+    results = [simulate_service(requests, model,
+                                policy=parse_policy("shed:32"),
+                                cores=_SERVE_CORES, offered=rate,
+                                resilience=resilience)
+               for rate, requests in streams]
+    return tuple((result.completed, result.shed, result.expired,
+                  result.faults, result.in_slo, result.makespan,
+                  _stable_crc(result.latency.to_dict()))
+                 for result in results)
+
+
+def bench_resilience_sweep(repeats: int) -> BenchResult:
+    """Time the resilient serving path (SLO armed, nothing tripping)
+    against the plain DES on the same sweep, asserting bit identity —
+    the clean-path parity contract the serving tests pin per point."""
+    def run_resilient(state):
+        model, streams = state
+        return _run_resilience_sweep(
+            model, streams, ResilienceConfig(slo=_RESILIENCE_SLO))
+
+    def run_plain(state):
+        model, streams = state
+        return _run_resilience_sweep(model, streams, None)
+
+    optimized_s, opt = _time_best(_build_resilience_inputs, run_resilient,
+                                  repeats, key=_resilience_parity_key)
+    reference_s, ref = _time_best(_build_resilience_inputs, run_plain,
+                                  repeats, key=_resilience_parity_key)
+    if opt != ref:
+        raise AssertionError(
+            "resilience_sweep benchmark: resilient clean path diverged "
+            "from the plain DES")
+    faulted = _resilience_faulted_key(*_build_resilience_inputs())
+    return BenchResult(
+        name="resilience_sweep",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "levels": len(opt),
+            "completed": sum(level[0] for level in opt),
+            "sweep_crc": _crc(opt),
+            "faulted_served": sum(level[0] for level in faulted),
+            "faulted_shed": sum(level[1] for level in faulted),
+            "faulted_crc": _crc(faulted),
+        },
+    )
+
+
 BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
     "engine_dispatch": bench_engine_dispatch,
     "cache_probe": bench_cache_probe,
     "fig8_point": bench_fig8_point,
     "bulk_fig8_point": bench_bulk_fig8_point,
     "bulk_serve_sweep": bench_bulk_serve_sweep,
+    "resilience_sweep": bench_resilience_sweep,
 }
 
 

@@ -93,6 +93,36 @@ class ChaosSpec:
         return attempt < self.max_injections and self.wants(site, key, rate)
 
 
+def walker_faults(seed: int, *, walkers: int, rate: float,
+                  horizon: float, kind: str = "fail-stop",
+                  key: str = ""):
+    """Seeded :class:`~repro.widx.machine.UnitFault` schedule for one run.
+
+    Extends the chaos injector *into* the simulation: each walker gets
+    one deterministic uniform draw (the ChaosSpec content-hash formula,
+    so campaign-level and simulation-level faults share one seeded
+    universe) and dies at ``draw * horizon / rate`` cycles when selected
+    — ``rate`` is the per-walker selection probability in [0, 1], and
+    earlier deaths come from the same draws at higher rates, keeping
+    degradation monotone.  Returns a tuple sorted by injection cycle.
+    """
+    from ..widx.machine import UnitFault
+
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    spec = ChaosSpec(seed=seed)
+    faults = []
+    for walker in range(walkers):
+        draw = spec.draw("walker-fault", f"{key}/walker{walker}")
+        if draw < rate:
+            cycle = draw * horizon / rate
+            faults.append(UnitFault(unit=f"walker{walker}", cycle=cycle,
+                                    kind=kind))
+    return tuple(sorted(faults, key=lambda fault: fault.cycle))
+
+
 def inject_worker_faults(spec: Optional[ChaosSpec], key: str,
                          attempt: int) -> None:
     """Process-level faults; call at the top of a campaign worker's point

@@ -33,13 +33,15 @@ from typing import Dict, List, Optional
 
 from ..errors import CampaignInterrupted, MeasurementFailed, ServeError
 from ..obs import Tracer
+from ..serve.control import parse_controller
 from ..serve.policies import parse_policy
 from .campaign import Campaign, MeasurementPoint, RetryPolicy, default_jobs
 from .cachestore import CacheStore
 from .chaos import ChaosSpec, ChaosStore
 from .report import Report, failure_report
 from .runner import MeasurementCache, RunSettings
-from . import fig2, fig4, fig5, fig8, fig9, fig10, fig11, figserve
+from . import (fig2, fig4, fig5, fig8, fig9, fig10, fig11, figresilience,
+               figserve)
 
 #: Experiment registry: name -> (needs_measurements, runner, points).
 #: ``points`` declares the measurement points the runner will consume so
@@ -60,6 +62,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "11": (True, fig11.run_fig11, fig11.points_fig11),
     "area": (False, lambda cache: fig11.run_area(), None),
     "serve": (True, figserve.run_fig_serve, figserve.points_fig_serve),
+    "resilience": (True, figresilience.run_fig_resilience,
+                   figresilience.points_fig_resilience),
 }
 
 _FAST = {name for name, (needs, _, _) in EXPERIMENTS.items() if not needs}
@@ -120,6 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduling policy for the fig-serve sweep: "
                              "'fifo', 'size:N' or 'deadline:CYCLES[:N]' "
                              "(default: fifo)")
+    parser.add_argument("--serve-slo", type=float, default=None,
+                        metavar="CYCLES", dest="serve_slo",
+                        help="latency SLO in cycles for the fig-serve sweep; "
+                             "adds goodput/shed columns via the resilient "
+                             "serving path (default: off)")
+    parser.add_argument("--serve-controller", default=None, metavar="SPEC",
+                        dest="serve_controller",
+                        help="degraded-mode controller for the fig-serve "
+                             "sweep: 'p99:WINDOW[:BREACH[:RECOVER[:ACTION]]]' "
+                             "(needs --serve-slo; default: off)")
     parser.add_argument("--stats-json", default=None, metavar="PATH",
                         dest="stats_json",
                         help="write the merged stats-registry snapshot and "
@@ -193,7 +207,9 @@ def run_experiments(names: List[str], settings: RunSettings,
                     stats_json: Optional[str] = None,
                     trace: Optional[str] = None,
                     serve_policy: str = "fifo",
-                    bulk: bool = False) -> List[Report]:
+                    bulk: bool = False,
+                    serve_slo: Optional[float] = None,
+                    serve_controller: Optional[str] = None) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -225,10 +241,14 @@ def run_experiments(names: List[str], settings: RunSettings,
         _needs, runner, _points = EXPERIMENTS[name]
         started = time.time()
         try:
-            # The serving sweep is the one driver with a tunable beyond
-            # the cache: its scheduling policy.
+            # The serving sweeps are the drivers with tunables beyond
+            # the cache: scheduling policy, SLO, and controller.
             if name == "serve":
-                report = runner(cache, serve_policy, bulk=bulk)
+                report = runner(cache, serve_policy, bulk=bulk,
+                                slo=serve_slo,
+                                controller_spec=serve_controller)
+            elif name == "resilience":
+                report = runner(cache, bulk=bulk)
             else:
                 report = runner(cache)
         except MeasurementFailed as exc:
@@ -347,6 +367,15 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         return 2
     try:
         parse_policy(args.serve_policy)
+        if args.serve_controller is not None:
+            parse_controller(args.serve_controller)
+            if args.serve_slo is None:
+                print("error: --serve-controller needs --serve-slo",
+                      file=out)
+                return 2
+        if args.serve_slo is not None and not args.serve_slo > 0:
+            print("error: --serve-slo must be positive", file=out)
+            return 2
     except ServeError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -372,7 +401,9 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
         run_experiments(names, settings, out=out, store=store, jobs=jobs,
                         policy=policy, chaos=chaos,
                         stats_json=args.stats_json, trace=args.trace,
-                        serve_policy=args.serve_policy, bulk=args.bulk)
+                        serve_policy=args.serve_policy, bulk=args.bulk,
+                        serve_slo=args.serve_slo,
+                        serve_controller=args.serve_controller)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

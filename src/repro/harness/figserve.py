@@ -17,11 +17,12 @@ bit-identical reports.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from ..serve.control import parse_controller
 from ..serve.policies import parse_policy
 from ..serve.service import ServiceModel
-from ..serve.simulate import ServeResult, run_open_loop
+from ..serve.simulate import ResilienceConfig, ServeResult, run_open_loop
 from .campaign import MeasurementPoint, serve_point
 from .report import Report
 from .runner import MeasurementCache
@@ -78,12 +79,16 @@ def service_model(cache: MeasurementCache, label: str, backend: str,
 def sweep_backend(cache: MeasurementCache, model: ServiceModel,
                   policy_spec: str,
                   load_fractions: Iterable[float] = LOAD_FRACTIONS,
-                  bulk: bool = False) -> List[ServeResult]:
+                  bulk: bool = False,
+                  resilience: Optional[ResilienceConfig] = None
+                  ) -> List[ServeResult]:
     """Sweep offered load for one backend; one ServeResult per level.
 
     ``bulk=True`` runs each level through the array replay
     (:mod:`repro.serve.bulk`) — bit-identical, with automatic fallback
-    to the discrete-event path on ambiguous schedules.
+    to the discrete-event path on ambiguous schedules.  ``resilience``
+    routes each level through the resilient serving path (SLO
+    accounting, degraded-mode controller).
     """
     cores = cache.config.num_cores
     saturation = cores * model.saturation_rate()
@@ -92,31 +97,56 @@ def sweep_backend(cache: MeasurementCache, model: ServiceModel,
         policy = parse_policy(policy_spec)  # fresh instance per run
         results.append(run_open_loop(
             model, rate=fraction * saturation, num_requests=SWEEP_REQUESTS,
-            policy=policy, cores=cores, seed=cache.runs.seed, bulk=bulk))
+            policy=policy, cores=cores, seed=cache.runs.seed, bulk=bulk,
+            resilience=resilience))
     return results
 
 
 def run_fig_serve(cache: MeasurementCache,
                   policy_spec: str = "fifo",
-                  bulk: bool = False) -> Report:
+                  bulk: bool = False,
+                  slo: Optional[float] = None,
+                  controller_spec: Optional[str] = None) -> Report:
     """The serving figure: offered load vs achieved throughput and
-    latency percentiles, per backend."""
+    latency percentiles, per backend.
+
+    ``slo`` (cycles) adds goodput/shed columns via the resilient serving
+    path; ``controller_spec`` (see :func:`~repro.serve.control
+    .parse_controller`) additionally closes the degraded-mode control
+    loop.  Both default off, leaving the report byte-identical to the
+    pre-resilience figure.
+    """
     parse_policy(policy_spec)  # fail fast on a bad spec
+    resilience = None
+    if slo is not None or controller_spec is not None:
+        controller = (parse_controller(controller_spec)
+                      if controller_spec is not None else None)
+        resilience = ResilienceConfig(slo=slo, controller=controller)
+    columns = ["backend", "load", "offered", "achieved", "p50", "p95", "p99"]
+    title_extra = ""
+    if resilience is not None:
+        columns += ["goodput", "shed"]
+        title_extra = f", slo={slo:g}"
+        if controller_spec is not None:
+            title_extra += f", controller={controller_spec}"
     report = Report(
         title=f"Serving: open-loop throughput vs latency on the "
               f"{SERVE_NAME} kernel ({KEYS_PER_REQUEST} keys/request, "
-              f"policy={policy_spec})",
-        columns=["backend", "load", "offered", "achieved",
-                 "p50", "p95", "p99"])
+              f"policy={policy_spec}{title_extra})",
+        columns=columns)
     saturations = {}
     for label, backend, walkers, mode in BACKENDS:
         model = service_model(cache, label, backend, walkers, mode)
         cores = cache.config.num_cores
         saturations[label] = cores * model.saturation_rate()
-        for result in sweep_backend(cache, model, policy_spec, bulk=bulk):
-            report.add_row(label, round(result.offered / saturations[label], 2),
-                           result.offered, result.achieved,
-                           result.p50, result.p95, result.p99)
+        for result in sweep_backend(cache, model, policy_spec, bulk=bulk,
+                                    resilience=resilience):
+            row = [label, round(result.offered / saturations[label], 2),
+                   result.offered, result.achieved,
+                   result.p50, result.p95, result.p99]
+            if resilience is not None:
+                row += [round(result.goodput, 4), result.shed]
+            report.add_row(*row)
     for label, _backend, _walkers, _mode in BACKENDS:
         report.add_note(
             f"{label}: saturation {saturations[label]:.3f} requests/kcycle "

@@ -50,9 +50,9 @@ from ..obs import Counter, Occupancy, StatsRegistry
 from ..sim.bulk import BulkFallback
 from .arrivals import Request
 from .policies import (BatchByDeadline, BatchBySize, FifoPolicy,
-                       SchedulingPolicy)
+                       SchedulingPolicy, admission_depth, request_timeout)
 from .service import ServiceModel
-from .simulate import ServeResult, _validate_run
+from .simulate import ResilienceConfig, ServeResult, _validate_run
 
 #: Per-core replay state: (samples, total, peak) of the admission queue.
 DepthStats = Tuple[int, int, int]
@@ -61,14 +61,31 @@ DepthStats = Tuple[int, int, int]
 def simulate_service_bulk(requests: Sequence[Request], model: ServiceModel, *,
                           policy: SchedulingPolicy, cores: int,
                           offered: float = 0.0,
-                          registry: Optional[StatsRegistry] = None
-                          ) -> ServeResult:
+                          registry: Optional[StatsRegistry] = None,
+                          resilience: Optional[ResilienceConfig] = None,
+                          queue_depth: Optional[int] = None) -> ServeResult:
     """Array replay of :func:`~repro.serve.simulate.simulate_service`.
 
     Raises :class:`~repro.sim.bulk.BulkFallback` when the run cannot be
-    replayed unambiguously; callers catch it and use the DES.
+    replayed unambiguously; callers catch it and use the DES.  Shedding,
+    deadlines, walker faults, and the degraded-mode controller all make
+    the schedule contended (which requests are dropped or re-served
+    depends on event interleaving), so any of them is an immediate
+    fallback; an SLO alone only adds accounting on top of the unchanged
+    clean schedule, and stays on the bulk path.
     """
     _validate_run(requests, model, cores)
+    if (queue_depth is not None
+            or admission_depth(policy) is not None
+            or request_timeout(policy) is not None
+            or (resilience is not None
+                and (resilience.controller is not None
+                     or (resilience.faults is not None
+                         and resilience.faults.active)))):
+        raise BulkFallback(
+            "shedding, deadlines, walker faults, or a controller make "
+            "the serve schedule contended")
+    slo = resilience.slo if resilience is not None else None
 
     # -- policy dispatch.  A fifo server is exactly a size-1 batcher:
     # both take one request when blocked and pop one backlog head when
@@ -173,12 +190,24 @@ def simulate_service_bulk(requests: Sequence[Request], model: ServiceModel, *,
                         + gets_and_holds + len(batch_cycles) + cores)
     registry.register("serve.engine.dispatched", dispatched)
 
+    in_slo = 0
+    if slo is not None:
+        # The resilient DES with only an SLO runs the clean schedule and
+        # adds the drop/abort counters (all zero) plus the in-SLO count;
+        # mirror that registry layout here, with the count vectorized.
+        scope.counter("shed")
+        scope.counter("expired")
+        scope.counter("aborts")
+        in_slo = int((np.asarray(latencies) <= slo).sum())
+        scope.counter("in_slo").value = in_slo
+
     return ServeResult(
         label=model.label, policy=policy.name, offered=offered, cores=cores,
         requests=len(requests), completed=int(completed.value),
         makespan=makespan, latency=latency,
         first_arrival=float(arrivals_np.min()),
-        stats=registry.to_dict())
+        stats=registry.to_dict(),
+        slo=slo, in_slo=in_slo)
 
 
 def _replay_serial(requests: Sequence[Request], arrivals_np: "np.ndarray",

@@ -1,0 +1,175 @@
+"""Deterministic degraded-mode controller for the serving layer.
+
+The controller closes the loop between observed tail latency and the
+admission/batching knobs: it samples a windowed p99 from the completion
+latencies, compares it to the SLO, and — after a hysteretic number of
+consecutive breaches — degrades service (shed harder, switch to a
+batching policy, or repair walkers from a spare pool).  Recovery is the
+mirror image: enough consecutive in-SLO windows step the degradation
+back down one level at a time.
+
+Everything here is engine-free and pure: :class:`Controller` is a state
+machine over p99 readings, so its hysteresis is unit-testable without a
+simulation, and the serving path drives it from a deterministic
+window-tick process.  Determinism of the whole run follows — the
+controller sees the same readings in the same order on every run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ServeError
+
+#: Actions a controller spec can request on SLO regression.
+CONTROLLER_ACTIONS = ("shed", "batch", "walkers", "all")
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Parsed ``--serve-controller`` configuration.
+
+    ``window`` is the sampling period in cycles; a breach is a window
+    whose p99 completion latency exceeds ``margin * slo`` (the margin
+    keeps the controller from oscillating exactly at the SLO boundary).
+    ``breach`` consecutive breaches raise the degradation level by one,
+    ``recover`` consecutive clean windows lower it by one.
+    """
+
+    window: float               # cycles per observation window
+    breach: int = 2             # consecutive breached windows to degrade
+    recover: int = 3            # consecutive clean windows to recover
+    action: str = "shed"        # which knob(s) to turn: CONTROLLER_ACTIONS
+    margin: float = 0.8         # degrade when p99 > margin * slo
+    depth: int = 16             # base admission depth for "shed"
+    batch: int = 4              # batch cap for "batch"
+    spares: int = 2             # spare walkers for "walkers"
+    max_level: int = 8          # degradation level ceiling
+
+    def __post_init__(self) -> None:
+        if not (self.window > 0 and math.isfinite(self.window)):
+            raise ServeError(
+                f"controller window must be finite and > 0, "
+                f"got {self.window!r}")
+        if self.breach < 1:
+            raise ServeError(f"breach count must be >= 1, got {self.breach}")
+        if self.recover < 1:
+            raise ServeError(
+                f"recover count must be >= 1, got {self.recover}")
+        if self.action not in CONTROLLER_ACTIONS:
+            raise ServeError(
+                f"unknown controller action {self.action!r}; "
+                f"choose from {CONTROLLER_ACTIONS}")
+        if not (0 < self.margin <= 1):
+            raise ServeError(
+                f"margin must be in (0, 1], got {self.margin!r}")
+        if self.depth < 1:
+            raise ServeError(f"depth must be >= 1, got {self.depth}")
+        if self.batch < 1:
+            raise ServeError(f"batch must be >= 1, got {self.batch}")
+        if self.spares < 0:
+            raise ServeError(f"spares must be >= 0, got {self.spares}")
+        if self.max_level < 1:
+            raise ServeError(
+                f"max_level must be >= 1, got {self.max_level}")
+
+    def shed_depth_at(self, level: int) -> Optional[int]:
+        """Admission depth the "shed" action imposes at ``level``.
+
+        Level 0 means no controller-imposed depth; each level above
+        halves the base depth (floor 1), so deeper degradation sheds
+        harder.
+        """
+        if level <= 0:
+            return None
+        return max(1, self.depth >> (level - 1))
+
+
+def parse_controller(spec: str) -> ControllerSpec:
+    """Parse a ``--serve-controller`` spec string.
+
+    Form: ``p99:WINDOW[:BREACH[:RECOVER[:ACTION]]]`` — e.g.
+    ``p99:20000``, ``p99:20000:2:3:shed``, ``p99:50000:1:4:all``.
+    Only the p99 signal is supported (it is what fig-serve reports and
+    what the SLO is quoted against).
+    """
+    parts = spec.strip().split(":")
+    if not parts or parts[0].lower() != "p99" or len(parts) < 2:
+        raise ServeError(
+            f"bad controller spec {spec!r}; want "
+            f"'p99:WINDOW[:BREACH[:RECOVER[:ACTION]]]'")
+    if len(parts) > 5:
+        raise ServeError(
+            f"bad controller spec {spec!r}: too many fields")
+    try:
+        window = float(parts[1])
+        breach = int(parts[2]) if len(parts) > 2 else 2
+        recover = int(parts[3]) if len(parts) > 3 else 3
+    except ValueError as exc:
+        raise ServeError(f"bad controller spec {spec!r}: {exc}") from exc
+    action = parts[4].lower() if len(parts) > 4 else "shed"
+    return ControllerSpec(window=window, breach=breach, recover=recover,
+                          action=action)
+
+
+class Controller:
+    """Hysteretic degradation state machine over windowed p99 readings.
+
+    ``observe`` consumes one window's p99 (or ``None`` for a window with
+    no completions) and returns the *change* in degradation level (-1,
+    0, or +1).  An empty window under a nonzero level counts as a breach
+    — no completions while degraded means the system is still drowning,
+    not that it recovered.
+    """
+
+    def __init__(self, spec: ControllerSpec, slo: float) -> None:
+        if not (slo > 0 and math.isfinite(slo)):
+            raise ServeError(f"SLO must be finite and > 0, got {slo!r}")
+        self.spec = spec
+        self.slo = float(slo)
+        self.level = 0
+        self.peak_level = 0
+        self.windows = 0
+        self.breaches = 0
+        self.degradations = 0
+        self.recoveries = 0
+        self._breach_streak = 0
+        self._clean_streak = 0
+
+    def breached(self, p99: Optional[float]) -> bool:
+        """Whether one window's p99 reading counts as an SLO breach."""
+        if p99 is None:
+            # An empty window is only evidence of trouble if we are
+            # already degraded; at level 0 it is just an idle lull.
+            return self.level > 0
+        return p99 > self.spec.margin * self.slo
+
+    def observe(self, p99: Optional[float]) -> int:
+        """Consume one window's p99; return the level delta (-1/0/+1)."""
+        self.windows += 1
+        if self.breached(p99):
+            self.breaches += 1
+            self._breach_streak += 1
+            self._clean_streak = 0
+            if (self._breach_streak >= self.spec.breach
+                    and self.level < self.spec.max_level):
+                self.level += 1
+                self.peak_level = max(self.peak_level, self.level)
+                self.degradations += 1
+                self._breach_streak = 0
+                return 1
+            return 0
+        self._clean_streak += 1
+        self._breach_streak = 0
+        if self._clean_streak >= self.spec.recover and self.level > 0:
+            self.level -= 1
+            self.recoveries += 1
+            self._clean_streak = 0
+            return -1
+        return 0
+
+    def __repr__(self) -> str:
+        return (f"Controller(level={self.level}, windows={self.windows}, "
+                f"breaches={self.breaches}, slo={self.slo:g})")

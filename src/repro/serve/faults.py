@@ -1,0 +1,166 @@
+"""Seeded walker-fault model for the serving layer.
+
+The serving simulation composes calibrated service models, so a walker
+fault shows up as a *capacity* event: a core that loses ``k`` of its
+``W`` walkers serves every batch at ``W / (W - k)`` times the calibrated
+cycles (the surviving walkers redistribute the traversal work), and a
+core whose walkers are all dead falls back to the host-core service
+model — the paper's all-or-nothing offload abort, priced by a separate
+calibration.  A batch in flight when a walker dies is aborted at the
+death instant and re-served from scratch under the degraded capacity,
+matching the machine-level semantics in :mod:`repro.widx.machine`.
+
+**Determinism.**  Whether and when each walker dies is a pure function of
+``(seed, core, walker)`` — the same content-hash draw discipline as
+:class:`repro.harness.chaos.ChaosSpec` — never of simulation state.  The
+draw is shared across fault rates: raising the rate only *compresses*
+the same death schedule toward zero, which is what makes goodput weakly
+non-increasing in the fault rate (every capacity loss happens no later).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import stable_digest
+from ..errors import ServeError
+from .service import ServiceModel
+
+#: Death-time scale: fault rates are quoted in deaths per walker per
+#: megacycle, the natural unit for runs lasting tens of kilocycles.
+CYCLES_PER_RATE_UNIT = 1.0e6
+
+
+def fault_draw(seed: int, site: str, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (site, key).
+
+    Same digest formula as :meth:`repro.harness.chaos.ChaosSpec.draw`, so
+    simulation-level faults live in the same seeded universe as the
+    campaign-level chaos injector.
+    """
+    digest = stable_digest({"chaos": seed, "site": site, "key": key})
+    return int(digest[:13], 16) / 16.0 ** 13
+
+
+@dataclass(frozen=True)
+class WalkerFaultModel:
+    """Seeded fail-stop schedule for the walkers behind each serving core.
+
+    ``rate`` is in deaths per walker per megacycle; each walker dies at
+    most once, at ``-ln(1 - u) / rate`` megacycles for its own uniform
+    draw ``u`` (exponential time-to-failure).  ``rate <= 0`` disables
+    faults entirely — the schedule is empty and the serving path is
+    bit-identical to a fault-free run.
+    """
+
+    seed: int
+    rate: float                   # deaths per walker per megacycle
+    walkers_per_core: int
+
+    def __post_init__(self) -> None:
+        if not (self.rate >= 0 and math.isfinite(self.rate)):
+            raise ServeError(
+                f"fault rate must be finite and >= 0, got {self.rate!r}")
+        if self.walkers_per_core < 0:
+            raise ServeError(f"walkers_per_core must be >= 0, "
+                             f"got {self.walkers_per_core}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this model can inject any fault at all."""
+        return self.rate > 0 and self.walkers_per_core > 0
+
+    def death_times(self, core: int) -> Tuple[float, ...]:
+        """Sorted death cycles for the walkers of ``core`` (may be empty)."""
+        if not self.active:
+            return ()
+        times = []
+        for walker in range(self.walkers_per_core):
+            u = fault_draw(self.seed, "walker-death",
+                           f"core{core}/walker{walker}")
+            times.append(-math.log1p(-u) * CYCLES_PER_RATE_UNIT / self.rate)
+        return tuple(sorted(times))
+
+
+class CoreCapacity:
+    """One core's time-varying service capacity under walker deaths.
+
+    Capacity at time ``t`` is a pure function of the (static) death
+    schedule and any controller-issued repairs: ``dead(t)`` walkers are
+    down, so batches cost ``W / (W - dead)`` times the calibrated cycles,
+    or the host fallback model's cycles once every walker is dead.
+    Purity is what keeps the serving run deterministic — no event needs
+    to fire for a death to take effect.
+    """
+
+    def __init__(self, deaths: Tuple[float, ...], walkers: int,
+                 model: ServiceModel,
+                 fallback: Optional[ServiceModel]) -> None:
+        if walkers > 0 and deaths and fallback is None:
+            raise ServeError(
+                "a walker-fault schedule needs a host fallback service "
+                "model (the core must keep serving when all walkers die)")
+        self.deaths = deaths
+        self.walkers = walkers
+        self.model = model
+        self.fallback = fallback
+        self.repairs: List[float] = []
+        self._scaled: Dict[int, ServiceModel] = {}
+
+    def dead(self, now: float) -> int:
+        """Dead walkers at time ``now`` (deaths crossed minus repairs)."""
+        crossed = 0
+        for death in self.deaths:
+            if death <= now:
+                crossed += 1
+            else:
+                break
+        repaired = sum(1 for repair in self.repairs if repair <= now)
+        return max(0, min(self.walkers, crossed - repaired))
+
+    def repair(self, now: float) -> bool:
+        """Reassign one spare walker at ``now`` (controller action).
+
+        Returns False when nothing is dead to repair.
+        """
+        if self.dead(now) == 0:
+            return False
+        self.repairs.append(now)
+        return True
+
+    def next_death_after(self, now: float) -> Optional[float]:
+        """The first death strictly after ``now`` (None when no more)."""
+        for death in self.deaths:
+            if death > now:
+                return death
+        return None
+
+    def cycles_for(self, requests: int, now: float) -> float:
+        """Service cycles for a batch starting at ``now``."""
+        dead = self.dead(now)
+        if dead == 0:
+            return self.model.cycles_for(requests)
+        if dead >= self.walkers:
+            return self.fallback.cycles_for(requests)
+        scaled = self._scaled.get(dead)
+        if scaled is None:
+            scaled = self.model.scaled(self.walkers / (self.walkers - dead))
+            self._scaled[dead] = scaled
+        return scaled.cycles_for(requests)
+
+    def faults_by(self, horizon: float) -> int:
+        """Deaths that actually landed within the run (for reporting)."""
+        return sum(1 for death in self.deaths if death <= horizon)
+
+
+def build_capacities(faults: Optional[WalkerFaultModel], cores: int,
+                     model: ServiceModel,
+                     fallback: Optional[ServiceModel]) -> List[CoreCapacity]:
+    """Per-core capacity timelines for one serving run."""
+    if faults is None or not faults.active:
+        return [CoreCapacity((), 0, model, None) for _ in range(cores)]
+    return [CoreCapacity(faults.death_times(core), faults.walkers_per_core,
+                         model, fallback)
+            for core in range(cores)]

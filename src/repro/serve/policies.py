@@ -15,6 +15,22 @@ Three policies, in increasing willingness to trade latency for batching:
 * :class:`BatchByDeadline` — after the first request arrives, hold the
   batch open a fixed number of cycles, then serve everything queued
   (optionally capped).
+
+On top of those, two composable *admission wrappers* (the resilience
+layer; see :mod:`repro.serve.simulate`):
+
+* :class:`ShedPolicy` (``shed:QDEPTH:<inner>``) — bounded admission: an
+  arrival that finds ``QDEPTH`` requests already queued on its core is
+  rejected (shed) instead of parked, so overload turns into explicit
+  drops rather than unbounded backlog.
+* :class:`TimeoutPolicy` (``timeout:CYCLES:<inner>``) — a per-request
+  deadline of ``CYCLES`` after arrival; requests past it are dropped
+  (expired) whether they are still queued or would expire mid-service.
+
+Wrappers only *declare* the admission semantics — the resilient serving
+path in :func:`~repro.serve.simulate.simulate_service` enforces them at
+the source and server; a wrapper's ``collect`` simply delegates to its
+inner policy, so wrapped policies stay usable anywhere a policy is.
 """
 
 from __future__ import annotations
@@ -120,9 +136,96 @@ class BatchByDeadline(SchedulingPolicy):
         return batch
 
 
+class AdmissionWrapper(SchedulingPolicy):
+    """Base for policies that wrap another policy with admission semantics.
+
+    ``collect`` delegates to the wrapped policy — the shed/timeout
+    behavior itself is enforced by the resilient serving path, which
+    reads the wrapper's declaration via :func:`admission_depth` /
+    :func:`request_timeout`.
+    """
+
+    def __init__(self, inner: SchedulingPolicy) -> None:
+        if not isinstance(inner, SchedulingPolicy):
+            raise ServeError(
+                f"admission wrapper needs a policy to wrap, got {inner!r}")
+        self.inner = inner
+
+    def collect(self, queue: BoundedQueue):
+        """Delegate batch formation to the wrapped policy."""
+        batch = yield from self.inner.collect(queue)
+        return batch
+
+
+class ShedPolicy(AdmissionWrapper):
+    """Bounded admission: shed arrivals that find ``depth`` queued."""
+
+    def __init__(self, depth: int, inner: Optional[SchedulingPolicy] = None,
+                 ) -> None:
+        super().__init__(inner if inner is not None else FifoPolicy())
+        if depth < 1:
+            raise ServeError(f"shed depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.name = f"shed:{depth}:{self.inner.name}"
+
+
+class TimeoutPolicy(AdmissionWrapper):
+    """Per-request deadline: drop requests ``cycles`` after arrival.
+
+    The deadline aborts queued *and* in-service work: a request still
+    queued at its deadline expires when the server next collects, and a
+    request that would cross its deadline mid-service is dropped from
+    the batch before the core commits to serving it (the all-or-nothing
+    offload model — a traversal either completes in time or is never
+    charged to the walkers).
+    """
+
+    def __init__(self, cycles: float,
+                 inner: Optional[SchedulingPolicy] = None) -> None:
+        super().__init__(inner if inner is not None else FifoPolicy())
+        if not (cycles > 0 and math.isfinite(cycles)):
+            raise ServeError(
+                f"timeout must be finite and > 0, got {cycles!r}")
+        self.cycles = float(cycles)
+        self.name = f"timeout:{cycles:g}:{self.inner.name}"
+
+
+def admission_depth(policy: SchedulingPolicy) -> Optional[int]:
+    """The tightest shed depth declared by ``policy``'s wrappers (or None)."""
+    depth: Optional[int] = None
+    while isinstance(policy, AdmissionWrapper):
+        if isinstance(policy, ShedPolicy):
+            depth = policy.depth if depth is None else min(depth, policy.depth)
+        policy = policy.inner
+    return depth
+
+
+def request_timeout(policy: SchedulingPolicy) -> Optional[float]:
+    """The tightest per-request deadline declared by ``policy`` (or None)."""
+    timeout: Optional[float] = None
+    while isinstance(policy, AdmissionWrapper):
+        if isinstance(policy, TimeoutPolicy):
+            timeout = (policy.cycles if timeout is None
+                       else min(timeout, policy.cycles))
+        policy = policy.inner
+    return timeout
+
+
+def base_policy(policy: SchedulingPolicy) -> SchedulingPolicy:
+    """The innermost (batch-forming) policy under any admission wrappers."""
+    while isinstance(policy, AdmissionWrapper):
+        policy = policy.inner
+    return policy
+
+
 def parse_policy(spec: str) -> SchedulingPolicy:
-    """Parse a policy spec string: ``fifo``, ``size:N`` or
-    ``deadline:CYCLES[:N]``."""
+    """Parse a policy spec string.
+
+    Base specs: ``fifo``, ``size:N`` or ``deadline:CYCLES[:N]``.
+    Admission wrappers compose recursively around any base spec:
+    ``shed:QDEPTH[:<spec>]`` and ``timeout:CYCLES[:<spec>]`` (the inner
+    spec defaults to ``fifo``), e.g. ``shed:64:timeout:5000:size:4``.
+    """
     parts = spec.strip().split(":")
     kind = parts[0].lower()
     try:
@@ -134,8 +237,17 @@ def parse_policy(spec: str) -> SchedulingPolicy:
             wait = float(parts[1])
             cap = int(parts[2]) if len(parts) == 3 else None
             return BatchByDeadline(wait, cap)
+        if kind == "shed" and len(parts) >= 2:
+            inner = (parse_policy(":".join(parts[2:])) if len(parts) > 2
+                     else None)
+            return ShedPolicy(int(parts[1]), inner)
+        if kind == "timeout" and len(parts) >= 2:
+            inner = (parse_policy(":".join(parts[2:])) if len(parts) > 2
+                     else None)
+            return TimeoutPolicy(float(parts[1]), inner)
     except ValueError as exc:
         raise ServeError(f"bad scheduling policy spec {spec!r}: {exc}") from exc
     raise ServeError(
-        f"bad scheduling policy spec {spec!r}; want 'fifo', 'size:N' or "
-        f"'deadline:CYCLES[:N]'")
+        f"bad scheduling policy spec {spec!r}; want 'fifo', 'size:N', "
+        f"'deadline:CYCLES[:N]', 'shed:QDEPTH[:SPEC]' or "
+        f"'timeout:CYCLES[:SPEC]'")

@@ -14,6 +14,7 @@ cycle-approximate substrate (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
@@ -163,6 +164,21 @@ class ServiceModel:
     def calibrated_batches(self):
         """The calibrated batch sizes (in requests), sorted."""
         return list(self._batches)
+
+    def scaled(self, factor: float) -> "ServiceModel":
+        """A copy with every calibrated point scaled by ``factor``.
+
+        The resilience layer's degraded-capacity model: a core that has
+        lost ``k`` of its ``W`` walkers serves with the same curve shape
+        at ``W / (W - k)`` times the cycles (traversal work redistributes
+        evenly over the surviving walkers).
+        """
+        if not (factor > 0 and math.isfinite(factor)):
+            raise ServeError(f"scale factor must be finite and > 0, "
+                             f"got {factor!r}")
+        return ServiceModel(
+            self.label, self.keys_per_request,
+            {batch: cycles * factor for batch, cycles in self._cycles.items()})
 
     def cycles_for(self, requests: int) -> float:
         """Service cycles for a batch of ``requests`` requests."""

@@ -11,6 +11,15 @@ Open loop means arrivals never throttle: the admission queues are sized
 to hold the whole request stream, so offered load beyond saturation
 builds backlog and latency instead of slowing the source — the regime
 the throughput–latency figure exists to show.
+
+**Resilience.**  The happy path above is byte-for-byte the PR 6 serving
+simulation.  A run becomes *resilient* — a separate source/server pair
+with admission control, per-request deadlines, walker faults, and an
+optional degraded-mode controller — only when asked: a ``shed:`` /
+``timeout:`` policy wrapper, an explicit ``queue_depth``, or a
+:class:`ResilienceConfig` (SLO, fault model, controller).  Plain runs
+never touch the resilient code, which is what keeps fig-serve's output
+bit-identical to the pre-resilience tree.
 """
 
 from __future__ import annotations
@@ -24,8 +33,50 @@ from ..sim.engine import Engine
 from ..sim.resources import BoundedQueue
 from .arrivals import (ArrivalProcess, DeterministicArrivals, PoissonArrivals,
                        Request, merge_requests)
-from .policies import SchedulingPolicy
+from .control import Controller, ControllerSpec
+from .faults import CoreCapacity, WalkerFaultModel, build_capacities
+from .policies import (BatchBySize, SchedulingPolicy, admission_depth,
+                       request_timeout)
 from .service import ServiceModel
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Opt-in resilience settings for one serving run.
+
+    ``slo`` is the end-to-end latency target in cycles (defines the
+    goodput numerator, and the controller's setpoint).  ``faults`` is a
+    seeded walker-death schedule; when it can fire, ``fallback`` must
+    supply the host-core service model the core degrades to once all its
+    walkers are dead.  ``controller`` closes the loop from windowed p99
+    to the admission/batching knobs and requires an SLO.
+    """
+
+    slo: Optional[float] = None
+    faults: Optional[WalkerFaultModel] = None
+    controller: Optional[ControllerSpec] = None
+    fallback: Optional[ServiceModel] = None
+
+    def __post_init__(self) -> None:
+        if self.slo is not None and not self.slo > 0:
+            raise ServeError(f"SLO must be > 0 cycles, got {self.slo!r}")
+        if self.faults is not None and self.faults.active \
+                and self.fallback is None:
+            raise ServeError(
+                "an active walker-fault model needs a host fallback "
+                "service model (cores must keep serving when all their "
+                "walkers are dead)")
+        if self.controller is not None and self.slo is None:
+            raise ServeError(
+                "a serve controller needs an SLO to regulate against "
+                "(pass --serve-slo with --serve-controller)")
+
+    @property
+    def active(self) -> bool:
+        """Whether any resilience feature is actually switched on."""
+        return (self.slo is not None
+                or (self.faults is not None and self.faults.active)
+                or self.controller is not None)
 
 
 @dataclass
@@ -42,6 +93,11 @@ class ServeResult:
     latency: Distribution       # end-to-end request latency, cycles
     first_arrival: float = 0.0  # when the first request arrived
     stats: Dict[str, Any] = field(default_factory=dict)
+    shed: int = 0               # arrivals rejected at admission
+    expired: int = 0            # requests dropped past their deadline
+    faults: int = 0             # walker deaths that landed within the run
+    slo: Optional[float] = None  # latency SLO in cycles (None = no SLO)
+    in_slo: int = 0             # completions within the SLO
 
     @property
     def achieved(self) -> float:
@@ -58,6 +114,27 @@ class ServeResult:
         if span <= 0:
             return 0.0
         return self.completed * 1000.0 / span
+
+    @property
+    def goodput(self) -> float:
+        """In-SLO completions per kilocycle (== achieved when no SLO).
+
+        The resilience figure's headline metric: served work only counts
+        when it lands inside the latency target, so shedding that keeps
+        the remaining traffic in-SLO can *raise* goodput even as it
+        lowers raw throughput.
+        """
+        if self.slo is None:
+            return self.achieved
+        span = self.makespan - self.first_arrival
+        if span <= 0:
+            return 0.0
+        return self.in_slo * 1000.0 / span
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered requests rejected at admission."""
+        return self.shed / self.requests if self.requests else 0.0
 
     @property
     def p50(self) -> float:
@@ -103,6 +180,196 @@ def _server(engine: Engine, queue: BoundedQueue, policy: SchedulingPolicy,
             completed.value += 1
 
 
+class _ResilientState:
+    """Mutable control state shared by one resilient run's processes.
+
+    The source consults it for the admission bound, the servers for the
+    active policy and deadline, and the controller process mutates it —
+    all on one engine, so every read/write is deterministically ordered.
+    """
+
+    def __init__(self, policy: SchedulingPolicy, queue_depth: Optional[int],
+                 config: Optional[ResilienceConfig], scope,
+                 cores: int) -> None:
+        self.base = policy
+        self.active = policy
+        self.timeout = request_timeout(policy)
+        self.shed_declared = admission_depth(policy) is not None
+        depths = [d for d in (queue_depth, admission_depth(policy))
+                  if d is not None]
+        self.static_depth = min(depths) if depths else None
+        self.slo = config.slo if config is not None else None
+        self.shed = scope.counter("shed")
+        self.expired = scope.counter("expired")
+        self.aborts = scope.counter("aborts")
+        self.in_slo = (scope.counter("in_slo")
+                       if self.slo is not None else None)
+        self.servers_live = cores
+        self.last_done = 0.0
+        self.completions = 0
+        self.controller: Optional[Controller] = None
+        self.controller_depth: Optional[int] = None
+        self.spares_used = 0
+        self._window: Optional[Distribution] = None
+        if config is not None and config.controller is not None:
+            self.controller = Controller(config.controller, config.slo)
+            self._window = Distribution()
+
+    def bound(self) -> Optional[int]:
+        """The admission depth currently in force (None = unbounded)."""
+        depths = [d for d in (self.static_depth, self.controller_depth)
+                  if d is not None]
+        return min(depths) if depths else None
+
+    def can_shed(self) -> bool:
+        """Whether a full queue sheds (vs. raising): shedding must be
+        *declared*, by a ``shed:`` wrapper or a controller degradation."""
+        return self.shed_declared or self.controller_depth is not None
+
+    def on_complete(self, latency_cycles: float, done: float) -> None:
+        self.completions += 1
+        self.last_done = done
+        if self.in_slo is not None and latency_cycles <= self.slo:
+            self.in_slo.value += 1
+        if self._window is not None:
+            self._window.record(latency_cycles)
+
+    def server_done(self) -> None:
+        self.servers_live -= 1
+
+    def window_p99(self) -> Optional[float]:
+        """This window's p99 (None when empty); resets the window."""
+        window = self._window
+        if window is None or window.count == 0:
+            return None
+        p99 = window.p99
+        self._window = Distribution()
+        return p99
+
+
+def _resilient_source(engine: Engine, requests: Sequence[Request],
+                      queues: List[BoundedQueue], state: _ResilientState):
+    """The open-loop source with bounded admission.
+
+    Identical yield pattern to :func:`_source` except that an arrival
+    finding its core's queue at the admission bound is shed (when a shed
+    depth is declared) or raises — the satellite contract that open-loop
+    admission must never silently block.
+    """
+    cores = len(queues)
+    for request in requests:
+        delay = request.arrival - engine.now
+        if delay > 0:
+            yield delay
+        queue = queues[request.seq % cores]
+        bound = state.bound()
+        if bound is not None and len(queue) >= bound:
+            if state.can_shed():
+                state.shed.value += 1
+                continue
+            raise ServeError(
+                f"admission queue {queue.name!r} is full ({len(queue)} "
+                f"queued, bound {bound}) and no shed depth is declared; "
+                f"the open-loop source must never block — wrap the policy "
+                f"in 'shed:N' or raise queue_depth")
+        yield queue.put(request)
+    for queue in queues:
+        queue.close()
+
+
+def _drop_doomed(batch: List[Request], now: float, timeout: Optional[float],
+                 capacity: CoreCapacity, expired) -> List[Request]:
+    """Drop requests that cannot finish by their deadline.
+
+    Covers both queued expiry (deadline already past) and in-service
+    expiry (deadline inside the batch's service window): serving a
+    request that will miss its deadline anyway is wasted capacity, so
+    the core drops it *before* committing — the all-or-nothing offload
+    model.  Shrinking the batch can shorten the service time, so filter
+    to a fixed point.
+    """
+    if timeout is None:
+        return batch
+    while batch:
+        cycles = capacity.cycles_for(len(batch), now)
+        alive = [r for r in batch if r.arrival + timeout >= now + cycles]
+        if len(alive) == len(batch):
+            break
+        expired.value += len(batch) - len(alive)
+        batch = alive
+    return batch
+
+
+def _resilient_server(engine: Engine, queue: BoundedQueue,
+                      state: _ResilientState, capacity: CoreCapacity,
+                      latency: Distribution, completed, batches, busy_cycles):
+    """The per-core server under deadlines, faults, and policy swaps.
+
+    Matches :func:`_server` yield-for-yield when no deadline filters and
+    no death interrupts a batch — the clean-path bit-parity the bulk
+    replay and the fault-rate-zero acceptance check rely on.
+    """
+    while True:
+        batch = yield from state.active.collect(queue)
+        if batch is None:
+            state.server_done()
+            return
+        while batch:
+            start = engine.now
+            batch = _drop_doomed(batch, start, state.timeout, capacity,
+                                 state.expired)
+            if not batch:
+                break
+            cycles = capacity.cycles_for(len(batch), start)
+            death = capacity.next_death_after(start)
+            if death is not None and death < start + cycles:
+                # A walker dies mid-batch: the offload aborts at the
+                # death instant and the whole batch re-serves under the
+                # degraded capacity (traversals are all-or-nothing).
+                yield death - start
+                busy_cycles.value += death - start
+                state.aborts.value += 1
+                continue
+            yield cycles
+            done = engine.now
+            batches.value += 1
+            busy_cycles.value += cycles
+            for request in batch:
+                request_latency = done - request.arrival
+                latency.record(request_latency)
+                completed.value += 1
+                state.on_complete(request_latency, done)
+            break
+
+
+def _controller_proc(engine: Engine, state: _ResilientState,
+                     capacities: List[CoreCapacity]):
+    """Window tick: read the windowed p99, move the degradation level.
+
+    Runs until every server has drained, so the controller never
+    outlives the work by more than one window.
+    """
+    controller = state.controller
+    spec = controller.spec
+    while state.servers_live > 0:
+        yield spec.window
+        delta = controller.observe(state.window_p99())
+        if delta == 0:
+            continue
+        now = engine.now
+        if spec.action in ("shed", "all"):
+            state.controller_depth = spec.shed_depth_at(controller.level)
+        if spec.action in ("batch", "all"):
+            state.active = (BatchBySize(spec.batch) if controller.level > 0
+                            else state.base)
+        if (delta > 0 and spec.action in ("walkers", "all")
+                and state.spares_used < spec.spares):
+            # Repair the most-degraded core with one spare walker.
+            worst = max(capacities, key=lambda cap: cap.dead(now))
+            if worst.repair(now):
+                state.spares_used += 1
+
+
 def _validate_run(requests: Sequence[Request], model: ServiceModel,
                   cores: int) -> None:
     """Shared admission checks for the DES and bulk serving paths."""
@@ -121,7 +388,9 @@ def simulate_service(requests: Sequence[Request], model: ServiceModel, *,
                      policy: SchedulingPolicy, cores: int,
                      offered: float = 0.0,
                      registry: Optional[StatsRegistry] = None,
-                     bulk: bool = False) -> ServeResult:
+                     bulk: bool = False,
+                     resilience: Optional[ResilienceConfig] = None,
+                     queue_depth: Optional[int] = None) -> ServeResult:
     """Serve a fixed request stream on ``cores`` identical servers.
 
     ``requests`` must already be in global arrival order (see
@@ -133,17 +402,34 @@ def simulate_service(requests: Sequence[Request], model: ServiceModel, *,
     (:mod:`repro.serve.bulk`), which produces bit-identical results and
     falls back to this discrete-event path whenever event ordering is
     ambiguous (see :class:`~repro.sim.bulk.BulkFallback`).
+
+    ``resilience`` and ``queue_depth`` (and ``shed:``/``timeout:``
+    policy wrappers) switch the run onto the resilient source/server
+    pair; without them the original plain path runs, untouched.
     """
     _validate_run(requests, model, cores)
+    if queue_depth is not None and queue_depth < 1:
+        raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
+    resilient = (queue_depth is not None
+                 or admission_depth(policy) is not None
+                 or request_timeout(policy) is not None
+                 or (resilience is not None and resilience.active))
     if bulk:
         from ..sim.bulk import BulkFallback
         from .bulk import simulate_service_bulk
         try:
             return simulate_service_bulk(requests, model, policy=policy,
                                          cores=cores, offered=offered,
-                                         registry=registry)
+                                         registry=registry,
+                                         resilience=resilience,
+                                         queue_depth=queue_depth)
         except BulkFallback:
             pass  # a contended/tied schedule: replay on the DES below
+    if resilient:
+        return _simulate_resilient(requests, model, policy=policy,
+                                   cores=cores, offered=offered,
+                                   registry=registry, resilience=resilience,
+                                   queue_depth=queue_depth)
 
     if registry is None:
         registry = StatsRegistry()
@@ -176,6 +462,91 @@ def simulate_service(requests: Sequence[Request], model: ServiceModel, *,
         makespan=makespan, latency=latency,
         first_arrival=min(request.arrival for request in requests),
         stats=registry.to_dict())
+
+
+def _simulate_resilient(requests: Sequence[Request], model: ServiceModel, *,
+                        policy: SchedulingPolicy, cores: int, offered: float,
+                        registry: Optional[StatsRegistry],
+                        resilience: Optional[ResilienceConfig],
+                        queue_depth: Optional[int]) -> ServeResult:
+    """The resilient twin of the plain serving run.
+
+    Same engine, same queue sizing, same per-core layout; adds bounded
+    admission, per-request deadlines, the walker-fault capacity model,
+    and (optionally) the degraded-mode controller.  With everything
+    disabled but an SLO, the event schedule is identical to the plain
+    path — only the in-SLO accounting differs.
+    """
+    if registry is None:
+        registry = StatsRegistry()
+    scope = registry.scope("serve")
+    latency = scope.distribution("latency")
+    completed = scope.counter("completed")
+    batches = scope.counter("batches")
+    busy_cycles = scope.register("busy_cycles", Counter(0.0))
+    state = _ResilientState(policy, queue_depth, resilience, scope, cores)
+    faults_model = resilience.faults if resilience is not None else None
+    fallback = resilience.fallback if resilience is not None else None
+    capacities = build_capacities(faults_model, cores, model, fallback)
+
+    engine = Engine()
+    # Queue capacity stays open-loop-sized; the admission *bound* is
+    # enforced by the resilient source (it can tighten mid-run under a
+    # controller, which a fixed queue capacity could not express).
+    queues = [BoundedQueue(engine, max(1, len(requests)), name=f"core{i}.admit")
+              for i in range(cores)]
+    for i, queue in enumerate(queues):
+        queue.register_into(registry, f"serve.core{i}.queue")
+        engine.monitor_resource(queue.name, queue)
+    engine.process(_resilient_source(engine, requests, queues, state),
+                   name="serve.source")
+    for i, queue in enumerate(queues):
+        engine.process(
+            _resilient_server(engine, queue, state, capacities[i], latency,
+                              completed, batches, busy_cycles),
+            name=f"serve.core{i}.server")
+    if state.controller is not None:
+        engine.process(_controller_proc(engine, state, capacities),
+                       name="serve.controller")
+    end = engine.run()
+    engine.register_into(registry, "serve.engine")
+
+    # With a controller the engine runs up to one idle window past the
+    # last completion; the makespan is still the last completion.
+    makespan = (state.last_done
+                if state.controller is not None and state.completions
+                else end)
+    fault_total = 0
+    if faults_model is not None and faults_model.active:
+        fault_total = sum(cap.faults_by(makespan) for cap in capacities)
+        scope.counter("faults").value = fault_total
+    if state.controller is not None:
+        controller_scope = registry.scope("serve.controller")
+        controller_scope.counter("windows").value = state.controller.windows
+        controller_scope.counter("breaches").value = state.controller.breaches
+        controller_scope.counter("degradations").value = \
+            state.controller.degradations
+        controller_scope.counter("recoveries").value = \
+            state.controller.recoveries
+        controller_scope.counter("peak_level").value = \
+            state.controller.peak_level
+
+    served = int(completed.value)
+    shed = int(state.shed.value)
+    expired = int(state.expired.value)
+    if served + shed + expired != len(requests):
+        raise ServeError(
+            f"request conservation violated: {len(requests)} arrived but "
+            f"{served} served + {shed} shed + {expired} expired")
+    return ServeResult(
+        label=model.label, policy=policy.name, offered=offered, cores=cores,
+        requests=len(requests), completed=served,
+        makespan=makespan, latency=latency,
+        first_arrival=min(request.arrival for request in requests),
+        stats=registry.to_dict(),
+        shed=shed, expired=expired, faults=fault_total,
+        slo=state.slo,
+        in_slo=int(state.in_slo.value) if state.in_slo is not None else 0)
 
 
 def build_requests(rate: float, num_requests: int, keys_per_request: int, *,
@@ -219,9 +590,12 @@ def build_requests(rate: float, num_requests: int, keys_per_request: int, *,
 def run_open_loop(model: ServiceModel, *, rate: float, num_requests: int,
                   policy: SchedulingPolicy, cores: int,
                   clients: int = 1, seed: int = 0,
-                  arrival: str = "poisson", bulk: bool = False) -> ServeResult:
+                  arrival: str = "poisson", bulk: bool = False,
+                  resilience: Optional[ResilienceConfig] = None,
+                  queue_depth: Optional[int] = None) -> ServeResult:
     """Convenience: build the arrival stream and serve it."""
     requests = build_requests(rate, num_requests, model.keys_per_request,
                               clients=clients, seed=seed, arrival=arrival)
     return simulate_service(requests, model, policy=policy, cores=cores,
-                            offered=rate, bulk=bulk)
+                            offered=rate, bulk=bulk, resilience=resilience,
+                            queue_depth=queue_depth)

@@ -80,7 +80,8 @@ class _Entry:
 class Process(Event):
     """A running process; it is itself an event that fires on completion."""
 
-    __slots__ = ("_generator", "_engine", "name", "waiting_on", "_on_wait")
+    __slots__ = ("_generator", "_engine", "name", "waiting_on", "_on_wait",
+                 "_halted")
 
     def __init__(self, engine: "Engine", generator: ProcessGenerator,
                  name: str = "") -> None:
@@ -89,12 +90,47 @@ class Process(Event):
         self._engine = engine
         self.name = name or getattr(generator, "__name__", "process")
         self.waiting_on: Any = None
+        self._halted = False
         # One bound method for the lifetime of the process instead of a
         # fresh one per wait (`self._wait_done` allocates on every access).
         self._on_wait = self._wait_done
 
+    def terminate(self) -> None:
+        """Fail-stop the process from outside (fault injection).
+
+        Closes the generator (its ``finally`` blocks run), then fires the
+        completion event so dependents — close chains, joiners, the
+        engine's live-process accounting — advance normally.  Any wakeup
+        already scheduled for this process becomes a no-op.  Idempotent,
+        and a no-op on a process that already finished.
+        """
+        if self.triggered:
+            return
+        self._halted = True
+        self.waiting_on = None
+        self._generator.close()
+        self.succeed(None)
+
+    def suspend(self) -> None:
+        """Stall the process forever (fault injection's hang mode).
+
+        Unlike :meth:`terminate` the process never completes: the engine
+        keeps counting it live, so once the event queue drains the run
+        reports a deadlock (:class:`~repro.errors.SimulationHang`) with
+        this process in the diagnostics — exactly how a wedged hardware
+        walker would surface through the watchdog.
+        """
+        if self.triggered:
+            return
+        self._halted = True
+        self.waiting_on = ("suspended", None)
+
     def _resume(self, value: Any = None, exc: Optional[BaseException] = None,
                 ) -> None:
+        if self._halted:
+            # A stale wakeup (scheduled before a fault halted us): the
+            # fault already decided this process's fate.
+            return
         engine = self._engine
         self.waiting_on = None
         try:
@@ -134,6 +170,8 @@ class Process(Event):
             return "runnable"
         if isinstance(target, tuple) and target and target[0] == "delay":
             return f"sleeping until t={target[1]}"
+        if isinstance(target, tuple) and target and target[0] == "suspended":
+            return "suspended (stalled by fault injection)"
         if isinstance(target, Process):
             return f"waiting on process {target.name!r}"
         return f"waiting on {type(target).__name__}"

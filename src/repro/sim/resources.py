@@ -350,6 +350,35 @@ class BoundedQueue:
             self._getters.append(event)
         return event
 
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a parked get (fault salvage).
+
+        When a consumer process is fail-stopped while blocked in
+        ``get()``, its pending event must leave the waiting line —
+        otherwise the next put would hand an item to a corpse.  Returns
+        whether the event was found (False = it already fired or never
+        parked here).
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            return False
+        return True
+
+    def restore(self, item: Any) -> None:
+        """Put ``item`` back at the *front* of the queue (fault salvage).
+
+        Used when a consumer died after dequeuing ``item`` but before
+        doing any externally-visible work on it: the item returns to the
+        head so a surviving consumer processes the stream in the original
+        order.  Hands off directly if a consumer is already waiting; may
+        transiently exceed capacity otherwise (salvage must not block).
+        """
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return
+        self._items.appendleft(item)
+
     def close(self) -> None:
         """Signal end-of-stream: waiting and future getters receive
         QUEUE_CLOSED, and producers blocked in ``put()`` are woken with

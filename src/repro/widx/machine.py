@@ -20,18 +20,51 @@ MSHR and bandwidth contention between units is modelled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..config import SystemConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, WidxFault
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.physmem import PhysicalMemory
 from ..sim.engine import Engine, Process
-from ..sim.resources import BoundedQueue
+from ..sim.events import Event
+from ..sim.resources import QUEUE_CLOSED, BoundedQueue
 from ..sim.sanitize import hierarchy_pools, sanitize_run
 from ..sim.watchdog import Watchdog
 from .programs import GeneratedProgram
 from .unit import UnitCycleBreakdown, UnitStats, WidxUnit
+
+#: Fault kinds a unit can suffer mid-offload.
+FAULT_KINDS = ("fail-stop", "stall")
+
+
+@dataclass(frozen=True)
+class UnitFault:
+    """One injected unit fault: ``unit`` dies (or wedges) at ``cycle``.
+
+    ``fail-stop`` kills the unit's process outright; in the shared
+    organization a walker's death is *survivable* — its in-flight hashed
+    key is salvaged back onto the shared queue for the surviving walkers
+    — while a dispatcher/producer death, a private/coupled walker death,
+    or the last walker's death aborts the whole offload (raised as
+    :class:`~repro.errors.WidxFault` after the run drains).  ``stall``
+    freezes the unit forever without completing it, so the run wedges
+    and surfaces through the engine's deadlock detection
+    (:class:`~repro.errors.SimulationHang`) — the watchdog path.
+    """
+
+    unit: str
+    cycle: float
+    kind: str = "fail-stop"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {FAULT_KINDS}")
+        if self.cycle < 0:
+            raise ConfigError(
+                f"fault cycle must be >= 0, got {self.cycle!r}")
 
 
 @dataclass
@@ -104,6 +137,12 @@ class WidxMachine:
         self._key_queues: List[BoundedQueue] = []
         self._out_queue: Optional[BoundedQueue] = None
         self._built = False
+        # Fault-injection state (run(faults=...)).
+        self._procs: Dict[str, Process] = {}
+        self._dead: Set[str] = set()
+        self._faults_applied = 0
+        self._fault_abort: Optional[UnitFault] = None
+        self._finished_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -228,10 +267,15 @@ class WidxMachine:
         for unit in self._walkers:
             if unit in self._autonomous:
                 continue
-            walker_procs.append(engine.process(unit.run(), unit.name))
+            proc = engine.process(unit.run(), unit.name)
+            walker_procs.append(proc)
+            self._procs[unit.name] = proc
         for unit in self._autonomous:
-            autonomous_procs.append(engine.process(unit.run(), unit.name))
-        engine.process(self._producer.run(), "producer")
+            proc = engine.process(unit.run(), unit.name)
+            autonomous_procs.append(proc)
+            self._procs[unit.name] = proc
+        self._procs["producer"] = engine.process(self._producer.run(),
+                                                 "producer")
 
         # Close the hashed-key queues once every autonomous unit finishes,
         # and the producer queue once every walker finishes.
@@ -255,8 +299,14 @@ class WidxMachine:
     def collect(self, expected_tuples: int) -> WidxRunResult:
         """Gather results after the (shared) engine has run to completion."""
         matches = int(self._producer.stats.invocations)
+        # With faults armed, an injection scheduled past the end of the
+        # work leaves the engine clock at the injection time, not the
+        # completion time; the recorded all-units-done instant is the
+        # honest makespan.
+        total = (self._finished_at
+                 if self._finished_at is not None else self.engine.now)
         return WidxRunResult(
-            total_cycles=self.engine.now,
+            total_cycles=total,
             tuples=expected_tuples,
             matches=matches,
             config_cycles=self.configuration_cycles(),
@@ -265,7 +315,8 @@ class WidxMachine:
 
     def run(self, expected_tuples: int,
             watchdog: Optional[Watchdog] = None,
-            sanitize: bool = True) -> WidxRunResult:
+            sanitize: bool = True,
+            faults: Iterable[UnitFault] = ()) -> WidxRunResult:
         """Run the offload to completion; returns timing and stats.
 
         A :class:`~repro.sim.watchdog.Watchdog` (a default-limits one
@@ -273,18 +324,141 @@ class WidxMachine:
         run; afterwards the end-of-run sanitizer verifies the engine
         drained, every inter-unit queue emptied, and no MSHR/TLB pool
         leaked — so a wedged run raises instead of reporting garbage.
+
+        ``faults`` injects :class:`UnitFault` events mid-run.  A
+        survivable fault (shared-mode walker death with survivors)
+        degrades the run; an unsurvivable one raises
+        :class:`~repro.errors.WidxFault` once the engine drains, and a
+        stall raises :class:`~repro.errors.SimulationHang` — never a
+        silent wrong answer.
         """
         self.launch()
+        faults = tuple(faults)
+        if faults:
+            self._arm_faults(faults)
         if watchdog is not None:
             watchdog.attach(self.engine)
         elif self.engine.watchdog is None:
             Watchdog().attach(self.engine)
         self.engine.run()
+        if self._fault_abort is not None:
+            fault = self._fault_abort
+            raise WidxFault(
+                f"offload aborted: {fault.kind} of {fault.unit!r} at cycle "
+                f"{fault.cycle:g} is unrecoverable in "
+                f"{self.config.widx.mode!r} mode")
+        if self._faults_applied:
+            for queue in self._key_queues + [self._out_queue]:
+                if queue is not None and len(queue) > 0:
+                    raise WidxFault(
+                        f"in-flight work lost to a fault: queue "
+                        f"{queue.name!r} still holds {len(queue)} item(s) "
+                        f"after the run drained")
         if sanitize:
             sanitize_run(self.engine,
                          self._key_queues + [self._out_queue],
                          self.hierarchy)
         return self.collect(expected_tuples)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def _arm_faults(self, faults: Iterable[UnitFault]) -> None:
+        """Schedule each fault's injection and the makespan tracker."""
+        engine = self.engine
+        for fault in faults:
+            if fault.unit not in self._procs:
+                raise ConfigError(
+                    f"cannot inject fault into unknown unit {fault.unit!r}; "
+                    f"units are {sorted(self._procs)}")
+            # Default arg binds the current fault (late binding would
+            # deliver the last fault to every callback).
+            engine.schedule_at(fault.cycle,
+                               lambda fault=fault: self._apply_fault(fault))
+        # Record when all units are done: injections scheduled past that
+        # instant still advance the engine clock, but must not inflate
+        # the reported makespan (see collect()).
+        state = {"remaining": len(self._procs)}
+
+        def on_done(_event) -> None:
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                self._finished_at = engine.now
+
+        for proc in self._procs.values():
+            proc.add_callback(on_done)
+
+    def _live_walkers(self) -> List[WidxUnit]:
+        """Walkers whose processes are still running (not dead, not done)."""
+        return [unit for unit in self._walkers
+                if unit.name not in self._dead
+                and not self._procs[unit.name].triggered]
+
+    def _apply_fault(self, fault: UnitFault) -> None:
+        proc = self._procs[fault.unit]
+        if proc.triggered or fault.unit in self._dead:
+            return  # the unit already finished (or died): the fault missed
+        self._faults_applied += 1
+        self._dead.add(fault.unit)
+        if fault.kind == "stall":
+            # The unit wedges without completing: close chains never
+            # fire, the queue drains, and the engine reports a deadlock
+            # with this process named in the diagnostics.
+            proc.suspend()
+            return
+        unit = self.units[fault.unit]
+        # The dying unit is already in _dead, so _live_walkers() counts
+        # only potential survivors.
+        survivable = (self.config.widx.mode == "shared"
+                      and unit in self._walkers
+                      and unit not in self._autonomous
+                      and len(self._live_walkers()) >= 1)
+        if not survivable:
+            self._fault_abort = fault
+            self._abort_all()
+            return
+        self._salvage_walker(unit, proc)
+        proc.terminate()
+
+    def _salvage_walker(self, unit: WidxUnit, proc: Process) -> None:
+        """Requeue a dying shared-mode walker's in-flight hashed key.
+
+        Exact for single-emit traversals (hash probes with unique keys):
+        either the walker had not yet emitted for its current key — the
+        key goes back on the shared queue head for a surviving walker —
+        or its emit is already committed to the output queue (put()
+        delivers even when parked) and dropping the rest of the
+        invocation loses nothing externally visible.
+        """
+        in_queue = unit.in_queue
+        target = proc.waiting_on
+        if isinstance(target, Event) and not target.triggered:
+            # Parked in get(): withdraw the pending event so the next
+            # put cannot hand a key to a corpse.  (A parked *put* — not
+            # in the getter line — leaves its item to deliver normally.)
+            in_queue.cancel_get(target)
+            return
+        if (isinstance(target, Event) and target.triggered
+                and target.value is not None
+                and target.value is not QUEUE_CLOSED
+                and unit.current_item is None):
+            # The handoff fired but the walker never woke to process the
+            # key (its resume is scheduled behind this injection).
+            in_queue.restore(target.value)
+            return
+        if unit.current_item is not None and unit.invocation_emits == 0:
+            # Mid-traversal, nothing emitted: replay the key elsewhere.
+            in_queue.restore(unit.current_item)
+
+    def _abort_all(self) -> None:
+        """Unrecoverable fault: fail-stop every unit and close every
+        queue, so the run drains immediately instead of deadlocking."""
+        for proc in self._procs.values():
+            proc.terminate()
+        for queue in self._key_queues + [self._out_queue]:
+            if queue is not None:
+                queue.close()
 
     @staticmethod
     def _chain_close(procs: List[Process], queues: List[Optional[BoundedQueue]]) -> None:

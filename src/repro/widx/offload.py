@@ -20,17 +20,17 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..config import SystemConfig, DEFAULT_CONFIG
 from ..cpu.timing import warm_hash_index
 from ..db.column import Column
 from ..db.hashtable import HashIndex
-from ..errors import MemoryError_, WidxFault
+from ..errors import MemoryError_, SimulationHang, WidxFault
 from ..mem.hierarchy import MemoryHierarchy
 from ..obs import StatsRegistry
 from ..sim.watchdog import Watchdog
-from .machine import WidxMachine, WidxRunResult
+from .machine import UnitFault, WidxMachine, WidxRunResult
 from .programs import (GeneratedProgram, coupled_walker_program,
                        dispatcher_program, producer_program, walker_program)
 
@@ -78,7 +78,8 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
                   fallback_to_host: bool = False,
                   configure_hook=None,
                   watchdog: Optional[Watchdog] = None,
-                  tracer=None) -> OffloadOutcome:
+                  tracer=None,
+                  faults: Sequence[UnitFault] = ()) -> OffloadOutcome:
     """Probe ``index`` with the first ``probes`` keys of ``probe_column``
     on the configured Widx organization; returns timing plus results.
 
@@ -102,6 +103,12 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
     ``watchdog`` overrides the default progress watchdog — pass one built
     from tighter :class:`~repro.sim.watchdog.WatchdogLimits` to budget the
     measurement's simulated cycles or wall-clock time.
+
+    ``faults`` injects seeded :class:`~repro.widx.machine.UnitFault`
+    events mid-offload (see :func:`repro.harness.chaos.walker_faults`).
+    A survivable walker death degrades the run; an unrecoverable fault
+    or stall aborts it — recovered on the host when
+    ``fallback_to_host`` is set, raised otherwise.
     """
     if not probe_column.is_materialized:
         raise WidxFault("probe keys must be materialized in simulated memory")
@@ -132,7 +139,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
         return _offload_probe_with_region(
             index, probe_column, probes, config, warm, validate, memory,
             fallback_to_host, configure_hook, reference, out_region,
-            watchdog, tracer, engine, unit_cls)
+            watchdog, tracer, engine, unit_cls, faults)
     finally:
         space.release(out_region)
 
@@ -141,7 +148,8 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
                                validate, memory, fallback_to_host,
                                configure_hook, reference, out_region,
                                watchdog=None, tracer=None,
-                               engine=None, unit_cls=None) -> OffloadOutcome:
+                               engine=None, unit_cls=None,
+                               faults=()) -> OffloadOutcome:
     space = index.space
     layout = index.layout
     widx = config.widx
@@ -213,9 +221,18 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
 
     # --- run and read back --------------------------------------------
     try:
-        run = machine.run(expected_tuples=probes, watchdog=watchdog)
+        run = machine.run(expected_tuples=probes, watchdog=watchdog,
+                          faults=faults)
     except (MemoryError_, WidxFault):
         if not fallback_to_host:
+            raise
+        return _host_fallback(index, probe_column, probes, config,
+                              machine, programs, reference)
+    except SimulationHang:
+        # Only an injected stall makes a hang *expected* (the watchdog /
+        # deadlock detector catching a wedged walker); a hang in a
+        # fault-free run is a real bug and must propagate.
+        if not (faults and fallback_to_host):
             raise
         return _host_fallback(index, probe_column, probes, config,
                               machine, programs, reference)

@@ -139,6 +139,13 @@ class WidxUnit:
         self.track = f"widx.{name}"
         self._start_time: Optional[float] = None
         self._end_time: Optional[float] = None
+        # Fault-salvage bookkeeping: the queue item currently being
+        # processed, and how many EMITs this invocation has issued.  A
+        # fail-stopped walker's item is safe to requeue for a surviving
+        # walker only while invocation_emits == 0 (nothing externally
+        # visible happened yet); see WidxMachine._apply_fault.
+        self.current_item: Optional[Tuple[int, ...]] = None
+        self.invocation_emits = 0
 
     def set_tracer(self, tracer) -> None:
         """Record an "invoke" span per invocation onto ``tracer``."""
@@ -191,6 +198,8 @@ class WidxUnit:
                     cycles.idle += engine.now - waited_from
                     if item is QUEUE_CLOSED:
                         break
+                    self.current_item = item
+                    self.invocation_emits = 0
                     load_inputs(item)
                     invocations.value += 1
                     if tracer is not None:
@@ -198,6 +207,7 @@ class WidxUnit:
                     yield from invoke()
                     if tracer is not None:
                         tracer.end(self.track, "invoke", engine.now)
+                    self.current_item = None
         finally:
             self._end_time = self.engine.now
 
@@ -323,6 +333,11 @@ class WidxUnit:
                         pending = 0.0
                     values = tuple(regs[i] for i in sources)
                     waited_from = engine.now
+                    # Count the emit before the put suspends: once put()
+                    # runs, the value is committed to the queue (a parked
+                    # put still delivers), so a fault landing during the
+                    # wait must not treat this invocation as salvageable.
+                    self.invocation_emits += 1
                     yield out_queue.put(values)
                     cycles.queue += engine.now - waited_from
                     pending = 1.0

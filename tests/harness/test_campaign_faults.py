@@ -168,3 +168,32 @@ def test_keyboard_interrupt_serial_raises_campaign_interrupted(monkeypatch):
     campaign = Campaign(cache)
     with pytest.raises(CampaignInterrupted):
         campaign.run(POINTS, jobs=1)
+
+
+def test_chaos_killed_serve_point_retries_bit_identical():
+    """The serve op rides the same retry/chaos plumbing as every other
+    campaign op: a worker killed while calibrating a service point is
+    retried, and the recovered measurement is bit-identical to a
+    fault-free campaign's."""
+    from repro.harness.campaign import serve_point
+
+    serve_points = [serve_point("kernel", "Small", "widx", 8, 1, "shared"),
+                    serve_point("kernel", "Small", "inorder", 8)]
+
+    clean_cache = _fresh_cache()
+    Campaign(clean_cache).run(serve_points, jobs=1)
+
+    chaos_cache = _fresh_cache()
+    chaos = ChaosSpec(seed=11, kill_rate=1.0, error_rate=0.5,
+                      max_injections=1, target="serve")
+    outcome = Campaign(
+        chaos_cache, policy=RetryPolicy(max_retries=3, backoff_base=0.01,
+                                        degrade_after=50),
+        chaos=chaos).run(serve_points, jobs=2)
+    assert outcome.ok
+    assert outcome.measured_points == len(serve_points)
+
+    for point in serve_points:
+        clean = encode_measurement(_measure_point(clean_cache, point))
+        recovered = encode_measurement(_measure_point(chaos_cache, point))
+        assert clean == recovered, point

@@ -68,7 +68,7 @@ def test_simulated_figure_with_tiny_settings():
 
 def test_experiment_registry_covers_every_paper_artifact():
     expected = {"2a", "2b", "4a", "4b", "4c", "5", "8a", "8b", "9a", "9b",
-                "10", "11", "query-level", "area", "serve"}
+                "10", "11", "query-level", "area", "serve", "resilience"}
     assert set(EXPERIMENTS) == expected
 
 

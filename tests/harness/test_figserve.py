@@ -96,3 +96,42 @@ def test_cli_rejects_bad_serve_policy():
     code, text = run_cli("--figure", "fig-serve", "--serve-policy", "lifo")
     assert code == 2
     assert "policy" in text
+
+
+# ---------------------------------------------------------------------------
+# byte-identity: the resilience layer must not move fig-serve by one bit
+# ---------------------------------------------------------------------------
+
+def test_fig_serve_report_matches_pre_resilience_golden():
+    """The golden was rendered from the tree before admission control,
+    walker faults, and the controller existed.  The resilient serving
+    path is opt-in; with no SLO, no wrappers, and no fault model, the
+    plain path runs untouched and the report is byte-identical."""
+    import os
+    golden_path = os.path.join(os.path.dirname(__file__), "goldens",
+                               "figserve_p400_w100_s42.txt")
+    with open(golden_path, "r", encoding="utf-8", newline="") as handle:
+        golden = handle.read()
+    cache = MeasurementCache(runs=SETTINGS)
+    assert figserve.run_fig_serve(cache).format() + "\n" == golden
+
+
+def test_fig_serve_with_slo_adds_goodput_columns():
+    cache = MeasurementCache(runs=SETTINGS)
+    report = figserve.run_fig_serve(cache, slo=5000.0)
+    assert "goodput" in report.columns
+    assert "shed" in report.columns
+    assert all(shed == 0 for shed in report.column("shed"))  # no controller
+    for goodput, achieved in zip(report.column("goodput"),
+                                 report.column("achieved")):
+        assert goodput <= achieved + 5e-5  # goodput rounds to 4 places
+
+
+def test_fig_serve_controller_engages_under_the_slo(space=None):
+    """A tight SLO plus a controller: the degraded-mode loop must
+    actually shed at the highest load levels."""
+    cache = MeasurementCache(runs=SETTINGS)
+    report = figserve.run_fig_serve(cache, slo=1200.0,
+                                    controller_spec="p99:3000:1:3:shed")
+    assert sum(report.column("shed")) > 0
+    assert "controller=p99:3000:1:3:shed" in report.title

@@ -1,0 +1,118 @@
+"""Property-based tests for serving-layer resilience.
+
+Two families of invariant, each over a randomized grid the example
+tests cannot cover:
+
+1. **Conservation under shedding**: for any policy (plain, shed,
+   timeout, composed), offered rate, core count, and fault rate, every
+   request is accounted for exactly once —
+   ``arrived == served + shed + expired`` — and the run's own runtime
+   check (the simulation raises on violation) never fires.
+
+2. **Fault-schedule monotonicity**: death draws are shared across
+   rates, so raising the fault rate scales the same schedule by
+   ``1/rate`` — every death happens no later, the dead-walker count at
+   any instant never decreases, and the deaths landing within any
+   horizon never decrease.  This is the mechanism that makes goodput
+   degrade monotonically at the figure level (asserted there on the
+   fixed grid; realized goodput is not pointwise monotone because an
+   earlier death can shift batch boundaries either way).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.faults import WalkerFaultModel
+from repro.serve.policies import parse_policy
+from repro.serve.service import ServiceModel
+from repro.serve.simulate import ResilienceConfig, run_open_loop
+
+MODEL = ServiceModel("synthetic", 8, {1: 100.0, 2: 160.0, 4: 280.0})
+FALLBACK = ServiceModel("host", 8, {1: 300.0, 2: 520.0, 4: 960.0})
+
+POLICY_SPECS = ("fifo", "size:4", "shed:4", "shed:16", "timeout:2000",
+                "shed:8:timeout:2500", "shed:4:timeout:1500:size:2")
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=st.sampled_from(POLICY_SPECS),
+       load=st.floats(min_value=0.2, max_value=3.0),
+       cores=st.integers(min_value=1, max_value=4),
+       fault_rate=st.sampled_from([0.0, 20.0, 80.0]),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_conservation_under_shedding_and_faults(spec, load, cores,
+                                                fault_rate, seed):
+    shedding = "shed" in spec
+    if fault_rate > 0 and not shedding:
+        # Faults without shedding can be legitimately unbounded; the
+        # conservation grid only covers configurations that drain.
+        fault_rate = 0.0
+    faults = WalkerFaultModel(seed=seed, rate=fault_rate,
+                              walkers_per_core=2)
+    resilience = ResilienceConfig(
+        slo=5000.0, faults=faults if faults.active else None,
+        fallback=FALLBACK if faults.active else None)
+    rate = load * cores * MODEL.saturation_rate()
+    result = run_open_loop(MODEL, rate=rate, num_requests=120,
+                           policy=parse_policy(spec), cores=cores,
+                           seed=seed, resilience=resilience)
+    assert result.completed + result.shed + result.expired == 120
+    assert 0 <= result.in_slo <= result.completed
+    assert result.latency.count == result.completed
+    if not shedding:
+        assert result.shed == 0
+    if "timeout" not in spec:
+        assert result.expired == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       walkers=st.integers(min_value=1, max_value=8),
+       low=st.floats(min_value=0.5, max_value=50.0),
+       factor=st.floats(min_value=1.0, max_value=20.0),
+       core=st.integers(min_value=0, max_value=3))
+def test_death_schedule_is_monotone_in_rate(seed, walkers, low, factor,
+                                            core):
+    high = low * factor
+    slow = WalkerFaultModel(seed=seed, rate=low, walkers_per_core=walkers)
+    fast = WalkerFaultModel(seed=seed, rate=high, walkers_per_core=walkers)
+    slow_times = slow.death_times(core)
+    fast_times = fast.death_times(core)
+    assert len(slow_times) == len(fast_times) == walkers
+    # Shared draws: the faster schedule is the slow one scaled by
+    # low/high, so every death is no later...
+    for a, b in zip(slow_times, fast_times):
+        assert b <= a
+    # ...the dead count at any instant never decreases...
+    for probe in list(slow_times) + list(fast_times) + [0.0, 1e6]:
+        crossed_slow = sum(1 for t in slow_times if t <= probe)
+        crossed_fast = sum(1 for t in fast_times if t <= probe)
+        assert crossed_fast >= crossed_slow
+    # ...and any horizon contains at least as many deaths.
+    for horizon in (1e3, 1e5, 1e7):
+        assert sum(1 for t in fast_times if t <= horizon) >= \
+            sum(1 for t in slow_times if t <= horizon)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 12),
+       load=st.floats(min_value=0.4, max_value=1.5))
+def test_goodput_under_faults_never_beats_fault_free(seed, load):
+    """The end-to-end form of monotonicity that *does* hold pointwise:
+    a faulted run never out-performs the fault-free run of the same
+    workload on goodput (capacity only degrades, and the SLO accounting
+    sees every late completion)."""
+    rate = load * 2 * MODEL.saturation_rate()
+
+    def goodput(fault_rate):
+        faults = WalkerFaultModel(seed=seed, rate=fault_rate,
+                                  walkers_per_core=2)
+        resilience = ResilienceConfig(
+            slo=4000.0, faults=faults if faults.active else None,
+            fallback=FALLBACK if faults.active else None)
+        return run_open_loop(MODEL, rate=rate, num_requests=150,
+                             policy=parse_policy("shed:16"), cores=2,
+                             seed=seed, resilience=resilience).goodput
+
+    clean = goodput(0.0)
+    for fault_rate in (25.0, 100.0):
+        assert goodput(fault_rate) <= clean + 1e-9

@@ -145,3 +145,68 @@ def test_fallback_cases_still_served_exactly_by_the_wrapper():
         wrapped = simulate_service(requests, MODEL, policy=FifoPolicy(),
                                    cores=1, bulk=True)
         assert_identical(des, wrapped)
+
+
+# ---------------------------------------------------------------------------
+# resilience: bulk replays slo-only accounting and declines everything
+# contended (shedding, deadlines, faults, controllers)
+# ---------------------------------------------------------------------------
+
+def test_bulk_slo_only_matches_resilient_des_bit_identical():
+    from repro.serve.simulate import ResilienceConfig
+    requests = build_requests(10.0, 200, 8, seed=42)
+    resilience = ResilienceConfig(slo=1500.0)
+    des = simulate_service(requests, MODEL, policy=FifoPolicy(), cores=2,
+                           resilience=resilience)
+    bulk = simulate_service_bulk(requests, MODEL, policy=FifoPolicy(),
+                                 cores=2, resilience=resilience)
+    assert bulk.in_slo == des.in_slo
+    assert bulk.slo == des.slo == 1500.0
+    assert bulk.latency.to_dict() == des.latency.to_dict()
+    assert bulk.goodput == des.goodput
+    assert bulk.stats == des.stats
+
+
+def test_bulk_declines_shed_and_timeout_wrappers():
+    requests = build_requests(10.0, 50, 8, seed=42)
+    for spec in ("shed:4", "timeout:2000", "shed:8:timeout:1000:size:2"):
+        with pytest.raises(BulkFallback):
+            simulate_service_bulk(requests, MODEL,
+                                  policy=parse_policy(spec), cores=2)
+
+
+def test_bulk_declines_queue_depth_faults_and_controllers():
+    from repro.serve.control import parse_controller
+    from repro.serve.faults import WalkerFaultModel
+    from repro.serve.simulate import ResilienceConfig
+    requests = build_requests(10.0, 50, 8, seed=42)
+    with pytest.raises(BulkFallback):
+        simulate_service_bulk(requests, MODEL, policy=FifoPolicy(),
+                              cores=2, queue_depth=4)
+    fallback = ServiceModel("host", 8, {1: 300.0})
+    faulted = ResilienceConfig(
+        slo=1000.0,
+        faults=WalkerFaultModel(seed=1, rate=4.0, walkers_per_core=2),
+        fallback=fallback)
+    with pytest.raises(BulkFallback):
+        simulate_service_bulk(requests, MODEL, policy=FifoPolicy(),
+                              cores=2, resilience=faulted)
+    controlled = ResilienceConfig(slo=1000.0,
+                                  controller=parse_controller("p99:1000"))
+    with pytest.raises(BulkFallback):
+        simulate_service_bulk(requests, MODEL, policy=FifoPolicy(),
+                              cores=2, resilience=controlled)
+
+
+def test_bulk_flag_with_resilience_falls_back_to_des_exactly():
+    """The user-facing wrapper: --bulk plus shedding silently replays
+    on the DES and the results match a non-bulk run bit-for-bit."""
+    requests = build_requests(30.0, 200, 8, seed=42)
+    des = simulate_service(requests, MODEL,
+                           policy=parse_policy("shed:4"), cores=2)
+    wrapped = simulate_service(requests, MODEL,
+                               policy=parse_policy("shed:4"), cores=2,
+                               bulk=True)
+    assert wrapped.latency.to_dict() == des.latency.to_dict()
+    assert wrapped.shed == des.shed
+    assert wrapped.stats == des.stats

@@ -1,0 +1,177 @@
+"""Tests for the seeded walker-fault model behind the serving layer."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.faults import (CoreCapacity, WalkerFaultModel,
+                                build_capacities, fault_draw)
+from repro.serve.service import ServiceModel
+from repro.serve.policies import FifoPolicy
+from repro.serve.simulate import ResilienceConfig, run_open_loop
+
+MODEL = ServiceModel("widx", 8, {1: 100.0, 2: 160.0, 4: 280.0})
+FALLBACK = ServiceModel("host", 8, {1: 300.0, 2: 520.0, 4: 960.0})
+
+
+def run(rate, *, fault_rate, walkers=2, requests=300, seed=42, **kwargs):
+    faults = WalkerFaultModel(seed=seed, rate=fault_rate,
+                              walkers_per_core=walkers)
+    resilience = ResilienceConfig(
+        slo=5000.0, faults=faults if faults.active else None,
+        fallback=FALLBACK if faults.active else None)
+    return run_open_loop(MODEL, rate=rate, num_requests=requests,
+                         policy=FifoPolicy(), cores=2, seed=seed,
+                         resilience=resilience, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the seeded draw and the death schedule
+# ---------------------------------------------------------------------------
+
+def test_fault_draw_is_deterministic_and_uniform_range():
+    a = fault_draw(42, "walker-death", "core0/walker0")
+    b = fault_draw(42, "walker-death", "core0/walker0")
+    assert a == b
+    assert 0.0 <= a < 1.0
+    assert fault_draw(42, "walker-death", "core0/walker1") != a
+    assert fault_draw(43, "walker-death", "core0/walker0") != a
+
+
+def test_death_times_are_deterministic_and_sorted():
+    model = WalkerFaultModel(seed=7, rate=4.0, walkers_per_core=4)
+    times = model.death_times(0)
+    assert times == model.death_times(0)
+    assert list(times) == sorted(times)
+    assert len(times) == 4
+    assert all(t > 0 for t in times)
+    assert model.death_times(1) != times  # per-core schedules differ
+
+
+def test_death_times_scale_exactly_as_one_over_rate():
+    """Shared draws: raising the rate compresses the *same* schedule,
+    which is the mechanism behind goodput degradation being monotone."""
+    slow = WalkerFaultModel(seed=7, rate=2.0, walkers_per_core=3)
+    fast = WalkerFaultModel(seed=7, rate=8.0, walkers_per_core=3)
+    for a, b in zip(slow.death_times(0), fast.death_times(0)):
+        assert b == pytest.approx(a / 4.0, rel=1e-12)
+
+
+def test_zero_rate_is_inactive_with_an_empty_schedule():
+    model = WalkerFaultModel(seed=7, rate=0.0, walkers_per_core=4)
+    assert not model.active
+    assert model.death_times(0) == ()
+
+
+def test_fault_model_validation():
+    with pytest.raises(ServeError):
+        WalkerFaultModel(seed=1, rate=-1.0, walkers_per_core=2)
+    with pytest.raises(ServeError):
+        WalkerFaultModel(seed=1, rate=float("nan"), walkers_per_core=2)
+    with pytest.raises(ServeError):
+        WalkerFaultModel(seed=1, rate=1.0, walkers_per_core=-1)
+
+
+# ---------------------------------------------------------------------------
+# CoreCapacity: the time-varying service curve
+# ---------------------------------------------------------------------------
+
+def test_capacity_degrades_stepwise_with_each_death():
+    cap = CoreCapacity((100.0, 200.0), 2, MODEL, FALLBACK)
+    clean = cap.cycles_for(1, 50.0)
+    assert clean == MODEL.cycles_for(1)
+    half = cap.cycles_for(1, 150.0)       # one of two walkers dead: 2x
+    assert half == pytest.approx(2.0 * clean)
+    dead = cap.cycles_for(1, 250.0)       # all dead: host fallback
+    assert dead == FALLBACK.cycles_for(1)
+    assert cap.dead(50.0) == 0
+    assert cap.dead(100.0) == 1           # deaths take effect at the instant
+    assert cap.dead(250.0) == 2
+    assert cap.faults_by(150.0) == 1
+    assert cap.faults_by(1e9) == 2
+
+
+def test_capacity_next_death_is_strictly_after():
+    cap = CoreCapacity((100.0, 200.0), 2, MODEL, FALLBACK)
+    assert cap.next_death_after(0.0) == 100.0
+    assert cap.next_death_after(100.0) == 200.0
+    assert cap.next_death_after(200.0) is None
+
+
+def test_repair_restores_one_walker():
+    cap = CoreCapacity((100.0, 200.0), 2, MODEL, FALLBACK)
+    assert cap.dead(300.0) == 2
+    assert cap.repair(300.0)
+    assert cap.dead(300.0) == 1
+    assert cap.cycles_for(1, 300.0) == pytest.approx(
+        2.0 * MODEL.cycles_for(1))
+    assert cap.repair(300.0)
+    assert cap.dead(300.0) == 0
+    assert not cap.repair(300.0)          # nothing left to repair
+
+
+def test_capacity_requires_a_fallback_when_walkers_can_all_die():
+    with pytest.raises(ServeError):
+        CoreCapacity((100.0,), 2, MODEL, None)
+
+
+def test_build_capacities_inactive_model_yields_static_cores():
+    caps = build_capacities(None, 3, MODEL, None)
+    assert len(caps) == 3
+    assert all(cap.deaths == () for cap in caps)
+    assert all(cap.cycles_for(1, 1e9) == MODEL.cycles_for(1)
+               for cap in caps)
+
+
+# ---------------------------------------------------------------------------
+# ResilienceConfig validation
+# ---------------------------------------------------------------------------
+
+def test_resilience_config_validation():
+    with pytest.raises(ServeError):
+        ResilienceConfig(slo=0.0)
+    active = WalkerFaultModel(seed=1, rate=4.0, walkers_per_core=2)
+    with pytest.raises(ServeError):
+        ResilienceConfig(faults=active)   # active faults need a fallback
+    # An inactive fault model needs nothing.
+    idle = WalkerFaultModel(seed=1, rate=0.0, walkers_per_core=2)
+    assert not ResilienceConfig(faults=idle).active
+    assert ResilienceConfig(slo=100.0).active
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: faults degrade the serving run without breaking it
+# ---------------------------------------------------------------------------
+
+def test_fault_rate_zero_matches_fault_free_run_bit_identical():
+    clean = run(10.0, fault_rate=0.0)
+    zero = run(10.0, fault_rate=0.0)
+    assert clean.latency.to_dict() == zero.latency.to_dict()
+    assert clean.faults == 0
+
+
+def test_faults_land_degrade_latency_and_conserve():
+    # Rate chosen so deaths land inside this run's ~30k-cycle makespan.
+    clean = run(10.0, fault_rate=0.0, requests=400)
+    faulty = run(10.0, fault_rate=40.0, requests=400)
+    assert faulty.faults > 0
+    assert faulty.completed + faulty.shed + faulty.expired == 400
+    assert faulty.p99 > clean.p99
+    assert faulty.goodput < clean.goodput
+    assert faulty.makespan > clean.makespan
+
+
+def test_fault_run_is_deterministic():
+    a = run(10.0, fault_rate=40.0, requests=400)
+    b = run(10.0, fault_rate=40.0, requests=400)
+    assert a.latency.to_dict() == b.latency.to_dict()
+    assert (a.faults, a.completed, a.makespan) == (b.faults, b.completed,
+                                                   b.makespan)
+
+
+def test_all_walkers_dead_still_serves_via_fallback():
+    """A rate high enough to kill every walker almost immediately must
+    not deadlock or lose requests — the cores limp on the host model."""
+    result = run(5.0, fault_rate=1e6, requests=100)
+    assert result.faults == 2 * 2              # every walker on both cores
+    assert result.completed + result.shed + result.expired == 100
+    assert result.completed > 0

@@ -130,3 +130,72 @@ def test_deadline_rejects_non_finite_waits(wait):
     never arrives) and NaN disables the hold comparison entirely."""
     with pytest.raises(ServeError):
         BatchByDeadline(wait)
+
+
+# ---------------------------------------------------------------------------
+# admission wrappers: shed:QDEPTH and timeout:CYCLES compose around any
+# base policy and are transparent to batch collection
+# ---------------------------------------------------------------------------
+
+def test_parse_shed_wrapper():
+    from repro.serve.policies import (ShedPolicy, admission_depth,
+                                      base_policy, request_timeout)
+    policy = parse_policy("shed:16")
+    assert isinstance(policy, ShedPolicy)
+    assert admission_depth(policy) == 16
+    assert request_timeout(policy) is None
+    assert isinstance(base_policy(policy), FifoPolicy)
+    assert policy.name == "shed:16:fifo"
+
+
+def test_parse_timeout_wrapper():
+    from repro.serve.policies import (TimeoutPolicy, admission_depth,
+                                      base_policy, request_timeout)
+    policy = parse_policy("timeout:2500")
+    assert isinstance(policy, TimeoutPolicy)
+    assert request_timeout(policy) == 2500.0
+    assert admission_depth(policy) is None
+    assert isinstance(base_policy(policy), FifoPolicy)
+    assert policy.name == "timeout:2500:fifo"
+
+
+def test_wrappers_compose_recursively():
+    from repro.serve.policies import (admission_depth, base_policy,
+                                      request_timeout)
+    policy = parse_policy("shed:8:timeout:3000:size:4")
+    assert admission_depth(policy) == 8
+    assert request_timeout(policy) == 3000.0
+    inner = base_policy(policy)
+    assert isinstance(inner, BatchBySize) and inner.max_batch == 4
+    assert policy.name == "shed:8:timeout:3000:size:4"
+
+
+def test_wrapped_policy_collects_like_its_base():
+    """The wrapper is an admission annotation: batch collection must be
+    exactly the base policy's."""
+    def feed(engine, queue):
+        for seq in range(6):
+            yield queue.put(request(seq))
+        queue.close()
+
+    plain = drive(BatchBySize(3), feed)
+    wrapped = drive(parse_policy("shed:100:size:3"), feed)
+    assert wrapped == plain == [[0, 1, 2], [3, 4, 5]]
+
+
+@pytest.mark.parametrize("spec", ["shed", "shed:0", "shed:x", "timeout",
+                                  "timeout:0", "timeout:-5", "timeout:nan",
+                                  "shed:4:lifo", "timeout:10:shed"])
+def test_parse_wrapper_rejects_bad_specs(spec):
+    with pytest.raises(ServeError):
+        parse_policy(spec)
+
+
+def test_wrapper_constructor_validation():
+    from repro.serve.policies import ShedPolicy, TimeoutPolicy
+    with pytest.raises(ServeError):
+        ShedPolicy(0, FifoPolicy())
+    with pytest.raises(ServeError):
+        TimeoutPolicy(float("inf"), FifoPolicy())
+    with pytest.raises(ServeError):
+        TimeoutPolicy(0.0, FifoPolicy())

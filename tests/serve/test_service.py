@@ -79,3 +79,21 @@ def test_model_from_measurements_checks_key_multiples():
                              walkers=0, mode="", batch_keys=12, cycles=50.0)
     with pytest.raises(ServeError):
         ServiceModel.from_measurements("inorder", 8, [bad])
+
+
+def test_scaled_model_multiplies_every_batch_cost():
+    model = ServiceModel("m", 8, {1: 100.0, 2: 160.0, 4: 280.0})
+    double = model.scaled(2.0)
+    for batch in (1, 2, 3, 4, 8):
+        assert double.cycles_for(batch) == pytest.approx(
+            2.0 * model.cycles_for(batch))
+    assert double.keys_per_request == model.keys_per_request
+    # The original is untouched (scaled returns a copy).
+    assert model.cycles_for(1) == 100.0
+
+
+def test_scaled_rejects_non_positive_and_non_finite_factors():
+    model = ServiceModel("m", 8, {1: 100.0})
+    for factor in (0.0, -1.0, float("inf"), float("nan")):
+        with pytest.raises(ServeError):
+            model.scaled(factor)

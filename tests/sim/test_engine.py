@@ -243,3 +243,85 @@ def test_failed_event_thrown_into_waiter():
     engine.process(waiter())
     engine.run()
     assert caught == ["upstream broke"]
+
+
+# ---------------------------------------------------------------------------
+# fault-injection primitives: terminate and suspend
+# ---------------------------------------------------------------------------
+
+def test_terminate_stops_a_process_and_runs_its_finally():
+    engine = Engine()
+    log = []
+
+    def victim():
+        try:
+            log.append("start")
+            yield 100
+            log.append("never")
+        finally:
+            log.append("cleanup")
+
+    proc = engine.process(victim())
+    engine.schedule_at(5.0, proc.terminate)
+    engine.run()
+    assert log == ["start", "cleanup"]
+    assert proc.triggered
+
+
+def test_terminate_is_idempotent_and_safe_after_completion():
+    engine = Engine()
+
+    def quick():
+        yield 1
+
+    proc = engine.process(quick())
+    engine.run()
+    proc.terminate()           # already complete: a no-op
+    proc.terminate()
+    assert proc.triggered
+
+
+def test_terminated_process_does_not_wake_from_stale_events():
+    """A timeout scheduled before the kill must not resume the corpse."""
+    engine = Engine()
+    log = []
+
+    def victim():
+        log.append("start")
+        yield 100              # the stale wakeup lands at t=100
+        log.append("woke")
+
+    proc = engine.process(victim())
+    engine.schedule_at(5.0, proc.terminate)
+    engine.run()
+    assert log == ["start"]
+
+
+def test_suspend_halts_without_completing_and_trips_the_hang_check():
+    from repro.errors import SimulationHang
+    engine = Engine()
+
+    def stuck():
+        yield 100
+        yield 100
+
+    proc = engine.process(stuck())
+    engine.schedule_at(5.0, proc.suspend)
+    with pytest.raises(SimulationHang, match="deadlock") as excinfo:
+        engine.run()
+    assert not proc.triggered
+    # The diagnostics name the suspension so a chaos-injected stall is
+    # distinguishable from a real deadlock.
+    assert "suspended (stalled by fault injection)" in str(excinfo.value)
+
+
+def test_suspend_after_completion_is_a_no_op():
+    engine = Engine()
+
+    def quick():
+        yield 1
+
+    proc = engine.process(quick())
+    engine.run()
+    proc.suspend()
+    assert proc.triggered

@@ -237,3 +237,89 @@ class TestBoundedQueue:
         queue.close()
         queue.close()
         assert queue.closed
+
+
+class TestQueueSalvage:
+    """cancel_get and restore: the dispatcher-side primitives for
+    salvaging a dead walker's in-flight work."""
+
+    def test_cancel_get_removes_a_parked_getter(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, 4)
+        got = []
+
+        def getter():
+            item = yield queue.get()
+            got.append(item)
+
+        proc = engine.process(getter())
+        target = None
+
+        def canceller():
+            yield 1
+            # The getter is parked; cancel its wait, then feed the queue.
+            event = proc.waiting_on
+            assert queue.cancel_get(event)
+            assert not queue.cancel_get(event)   # already removed
+            proc.terminate()
+            yield queue.put("x")
+
+        engine.process(canceller())
+        engine.run()
+        assert got == []
+        assert len(queue) == 1                   # 'x' was never consumed
+
+    def test_restore_hands_off_to_a_waiting_getter(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, 4)
+        got = []
+
+        def getter():
+            item = yield queue.get()
+            got.append(item)
+
+        def restorer():
+            yield 1
+            queue.restore("salvaged")
+
+        engine.process(getter())
+        engine.process(restorer())
+        engine.run()
+        assert got == ["salvaged"]
+
+    def test_restore_requeues_at_the_front(self):
+        engine = Engine()
+        queue = BoundedQueue(engine, 4)
+        order = []
+
+        def filler():
+            yield queue.put("a")
+            yield queue.put("b")
+            queue.restore("front")
+            queue.close()
+
+        def drainer():
+            yield 0.5
+            while True:
+                item = yield queue.get()
+                if item is QUEUE_CLOSED:
+                    return
+                order.append(item)
+
+        engine.process(filler())
+        engine.process(drainer())
+        engine.run()
+        assert order == ["front", "a", "b"]
+
+    def test_restore_may_transiently_exceed_capacity(self):
+        """Salvage must never lose the item, even into a full queue."""
+        engine = Engine()
+        queue = BoundedQueue(engine, 1)
+
+        def filler():
+            yield queue.put("a")
+            queue.restore("rescued")
+
+        engine.process(filler())
+        engine.run()
+        assert len(queue) == 2

@@ -1,0 +1,191 @@
+"""Tests for seeded fault injection into the Widx machine.
+
+A walker can fail-stop (its process terminates mid-offload) or stall
+(it halts without completing, which the watchdog must catch).  In shared
+mode the dispatcher salvages the dead walker's in-flight probe and the
+survivors finish the offload with the result still validating; every
+unsurvivable fault aborts cleanly — :class:`~repro.errors.WidxFault`, or
+the host re-run when ``fallback_to_host`` is set — never a hang or a
+silently wrong answer.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.errors import ConfigError, SimulationHang, WidxFault
+from repro.harness.chaos import walker_faults
+from repro.widx.machine import FAULT_KINDS, UnitFault
+from repro.widx.offload import offload_probe
+from tests.conftest import build_direct_index, materialized_probe_column
+
+KILL_EARLY = (UnitFault(unit="walker1", cycle=1000.0),)
+
+PROBES = 300
+
+
+def make_runner(space, *, mode="shared", walkers=2):
+    """Build the workload once; return a callable that offloads it with
+    a given fault schedule (one address space hosts one build)."""
+    index, keys, truth = build_direct_index(space, num_keys=1500)
+    column = materialized_probe_column(space, keys, count=PROBES)
+    config = DEFAULT_CONFIG.with_widx(mode=mode, num_walkers=walkers)
+
+    def run(faults, **kwargs):
+        return offload_probe(index, column, config=config, probes=PROBES,
+                             faults=faults, **kwargs)
+    return run
+
+
+def run_faulted(space, faults, *, mode="shared", walkers=2, **kwargs):
+    return make_runner(space, mode=mode, walkers=walkers)(faults, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# UnitFault and the seeded schedule
+# ---------------------------------------------------------------------------
+
+def test_unit_fault_validation():
+    assert UnitFault(unit="walker0", cycle=5.0).kind == "fail-stop"
+    with pytest.raises(ConfigError):
+        UnitFault(unit="walker0", cycle=-1.0)
+    with pytest.raises(ConfigError):
+        UnitFault(unit="walker0", cycle=5.0, kind="explode")
+    assert set(FAULT_KINDS) == {"fail-stop", "stall"}
+
+
+def test_walker_faults_schedule_is_seeded_and_sorted():
+    a = walker_faults(42, walkers=8, rate=0.5, horizon=10_000.0)
+    b = walker_faults(42, walkers=8, rate=0.5, horizon=10_000.0)
+    assert a == b
+    assert 0 < len(a) < 8
+    assert all(f.cycle <= 10_000.0 for f in a)
+    assert [f.cycle for f in a] == sorted(f.cycle for f in a)
+    assert walker_faults(43, walkers=8, rate=0.5, horizon=10_000.0) != a
+
+
+def test_walker_faults_selection_grows_with_rate():
+    low = walker_faults(42, walkers=16, rate=0.2, horizon=10_000.0)
+    high = walker_faults(42, walkers=16, rate=0.9, horizon=10_000.0)
+    assert len(high) >= len(low)
+    # Shared draws: every walker selected at the low rate is selected at
+    # the high rate, and dies no later.
+    low_units = {f.unit: f.cycle for f in low}
+    high_units = {f.unit: f.cycle for f in high}
+    for unit, cycle in low_units.items():
+        assert unit in high_units
+        assert high_units[unit] <= cycle
+    assert walker_faults(42, walkers=8, rate=0.0, horizon=100.0) == ()
+
+
+def test_walker_faults_validation():
+    with pytest.raises(ValueError):
+        walker_faults(1, walkers=4, rate=1.5, horizon=100.0)
+    with pytest.raises(ValueError):
+        walker_faults(1, walkers=4, rate=0.5, horizon=0.0)
+
+
+def test_fault_against_unknown_unit_is_rejected(space):
+    with pytest.raises(ConfigError, match="walker9"):
+        run_faulted(space, (UnitFault(unit="walker9", cycle=10.0),))
+
+
+# ---------------------------------------------------------------------------
+# survivable kills: shared-mode walkers redistribute and still validate
+# ---------------------------------------------------------------------------
+
+def test_shared_mode_survives_a_walker_kill_and_validates(space):
+    outcome = run_faulted(space, KILL_EARLY)
+    assert outcome.validated is True
+    assert not outcome.fell_back
+
+
+def test_killed_walker_degrades_makespan_at_two_walkers(space):
+    """At 2 walkers the machine is walker-bound, so losing one must
+    visibly stretch the offload (the survivor absorbs the queue)."""
+    run = make_runner(space)
+    clean = run(())
+    faulty = run(KILL_EARLY)
+    assert faulty.validated is True
+    assert faulty.run.total_cycles > clean.run.total_cycles
+
+
+def test_killed_walker_stops_consuming_work(space):
+    run = make_runner(space)
+    clean = run(())
+    faulty = run(KILL_EARLY)
+    def invocations(outcome, unit):
+        return outcome.run.unit_stats[unit].invocations
+    assert invocations(faulty, "walker1") < invocations(clean, "walker1")
+    assert invocations(faulty, "walker0") > invocations(clean, "walker0")
+
+
+def test_fault_injection_is_deterministic(space):
+    run = make_runner(space)
+    a = run(KILL_EARLY)
+    b = run(KILL_EARLY)
+    assert a.run.total_cycles == b.run.total_cycles
+    assert sorted(a.payloads) == sorted(b.payloads)
+
+
+def test_fault_after_completion_is_a_no_op(space):
+    run = make_runner(space)
+    clean = run(())
+    late = run((UnitFault(unit="walker1", cycle=1e12),))
+    assert late.validated is True
+    assert late.run.total_cycles == clean.run.total_cycles
+
+
+# ---------------------------------------------------------------------------
+# unsurvivable faults: clean aborts, never hangs or wrong answers
+# ---------------------------------------------------------------------------
+
+def test_killing_every_walker_raises_widx_fault(space):
+    faults = (UnitFault(unit="walker0", cycle=1000.0),
+              UnitFault(unit="walker1", cycle=1100.0))
+    with pytest.raises(WidxFault, match="unrecoverable"):
+        run_faulted(space, faults)
+
+
+def test_killing_the_dispatcher_raises_widx_fault(space):
+    with pytest.raises(WidxFault):
+        run_faulted(space, (UnitFault(unit="dispatcher", cycle=1000.0),))
+
+
+def test_private_mode_walker_kill_is_unsurvivable(space):
+    """Private-mode walkers own their hash lanes; no one can absorb a
+    dead walker's keys, so the offload must abort."""
+    with pytest.raises(WidxFault):
+        run_faulted(space, KILL_EARLY, mode="private")
+
+
+def test_unsurvivable_kill_recovers_via_host_fallback(space):
+    faults = (UnitFault(unit="walker0", cycle=1000.0),
+              UnitFault(unit="walker1", cycle=1100.0))
+    outcome = run_faulted(space, faults, fallback_to_host=True)
+    assert outcome.fell_back
+    assert outcome.abort_cycles > 0
+    assert outcome.validated is True
+
+
+def test_stall_trips_the_watchdog_as_a_hang(space):
+    with pytest.raises(SimulationHang):
+        run_faulted(space, (UnitFault(unit="walker1", cycle=1000.0,
+                                      kind="stall"),))
+
+
+def test_stall_recovers_via_host_fallback(space):
+    outcome = run_faulted(space, (UnitFault(unit="walker1", cycle=1000.0,
+                                            kind="stall"),),
+                          fallback_to_host=True)
+    assert outcome.fell_back
+    assert outcome.validated is True
+
+
+def test_seeded_schedule_drives_the_machine_end_to_end(space):
+    """walker_faults -> offload_probe: the chaos layer's schedule is
+    directly consumable by the machine."""
+    faults = walker_faults(42, walkers=2, rate=1.0, horizon=2000.0)
+    assert len(faults) == 2          # rate 1.0 selects every walker
+    outcome = run_faulted(space, faults, fallback_to_host=True)
+    assert outcome.fell_back         # both walkers die: host re-run
+    assert outcome.validated is True
