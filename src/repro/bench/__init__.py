@@ -47,6 +47,17 @@ it) and the floor bounds *overhead* rather than demanding a speedup:
     the fingerprint also pins a seeded shed+fault+fallback sweep so any
     drift in the degraded-mode machinery fails ``--check`` loudly.
 
+``serve_core_refactor``
+    The same resilient-vs-plain comparison with a *tight* floor: the
+    resilient path now routes every decision through the extracted
+    transport-agnostic :class:`~repro.serve.core.ServingCore`, and this
+    floor (0.79 = the pre-extraction 0.83 ratio less a 5% allowance)
+    proves the extraction itself cost at most ~5% on the DES driver.
+    The fingerprint additionally replays a slice of the sweep through
+    the third driver — :class:`~repro.live.service.LiveService` in
+    deterministic replay — so cross-driver drift in the shared core
+    fails ``--check``.
+
 Run via ``python -m repro.bench`` (see :mod:`repro.bench.__main__`); the
 committed ``BENCH_sim.json`` baseline is regenerated with ``--output``
 (which enforces the acceptance floors) and guarded in CI with
@@ -100,6 +111,10 @@ FLOORS: Dict[str, float] = {
     # The floor bounds overhead (resilient may cost at most 2x plain)
     # instead of demanding a speedup.
     "resilience_sweep": 0.5,
+    # Refactor guard: the resilient path measured 0.83x plain before the
+    # serving core was extracted into repro.serve.core; this floor
+    # allows the extraction at most ~5% additional overhead on top.
+    "serve_core_refactor": 0.79,
 }
 
 #: ``--check`` tolerance: fail if the measured speedup drops below
@@ -163,11 +178,7 @@ def _time_best(setup: Callable[[], object], run: Callable[[object], object],
     best_time: Optional[float] = None
     result: object = None
     for attempt in range(repeats):
-        state = setup()
-        start = perf_counter()
-        outcome = run(state)
-        elapsed = perf_counter() - start
-        keyed = key(outcome) if key is not None else outcome
+        elapsed, keyed = _time_once(setup, run, key)
         if attempt == 0:
             result = keyed
         elif keyed != result:
@@ -175,6 +186,17 @@ def _time_best(setup: Callable[[], object], run: Callable[[object], object],
         if best_time is None or elapsed < best_time:
             best_time = elapsed
     return best_time, result
+
+
+def _time_once(setup: Callable[[], object], run: Callable[[object], object],
+               key: Optional[Callable[[object], object]] = None
+               ) -> Tuple[float, object]:
+    """One setup + timed run; the key reduction stays untimed."""
+    state = setup()
+    start = perf_counter()
+    outcome = run(state)
+    elapsed = perf_counter() - start
+    return elapsed, key(outcome) if key is not None else outcome
 
 
 # ----------------------------------------------------------------------
@@ -603,6 +625,98 @@ def bench_resilience_sweep(repeats: int) -> BenchResult:
     )
 
 
+# ----------------------------------------------------------------------
+# serve_core_refactor: the extracted serving core's overhead and its
+# cross-driver identity
+# ----------------------------------------------------------------------
+
+#: Requests replayed through the live driver for the cross-driver
+#: fingerprint (untimed; kept small so --check stays fast).
+_CORE_REFACTOR_SLICE = 512
+
+
+def _live_replay_key(model, streams) -> Tuple:
+    """Fingerprint the extracted core through its third driver.
+
+    Replays a slice of the sweep's lowest-load stream through
+    :class:`~repro.live.service.LiveService` on a manual clock — the
+    same :class:`~repro.serve.core.ServingCore` the DES exercises, fed
+    by a completely different driver.  Core drift that happens to keep
+    the DES goldens green still shows up here.
+    """
+    from ..live.clock import ManualClock
+    from ..live.service import LiveService
+
+    _rate, requests = streams[0]
+    service = LiveService(model, policy=FifoPolicy(), cores=_SERVE_CORES,
+                          resilience=ResilienceConfig(slo=_RESILIENCE_SLO),
+                          clock=ManualClock())
+    for request in requests[:_CORE_REFACTOR_SLICE]:
+        service.clock.advance_to(request.arrival)
+        service.offer(keys=request.keys, now=request.arrival)
+    service.close()
+    service.drain()
+    result = service.result()
+    return (result.completed, result.in_slo, round(result.makespan, 6),
+            _stable_crc(result.latency.to_dict()))
+
+
+def bench_serve_core_refactor(repeats: int) -> BenchResult:
+    """Guard the serving-core extraction: tight overhead floor plus a
+    cross-driver identity fingerprint.
+
+    Times the ServingCore-backed resilient path against the plain DES
+    on the ``resilience_sweep`` geometry — the pre-extraction ratio was
+    0.83x, and the 0.79 floor caps the extraction's own cost at ~5%.
+    The two sides are timed *interleaved* (plain then resilient within
+    each repeat) and the reported ratio comes from the best repeat-pair:
+    with a tight floor, background-load drift between two sequential
+    timing blocks would dominate the <5% signal this benchmark exists
+    to detect, while within one pair both sides see comparable load.
+    """
+    def run_core(state):
+        model, streams = state
+        return _run_resilience_sweep(
+            model, streams, ResilienceConfig(slo=_RESILIENCE_SLO))
+
+    def run_plain(state):
+        model, streams = state
+        return _run_resilience_sweep(model, streams, None)
+
+    optimized_s = reference_s = None
+    opt = ref = None
+    for attempt in range(repeats):
+        elapsed_ref, keyed_ref = _time_once(
+            _build_resilience_inputs, run_plain, _resilience_parity_key)
+        elapsed_opt, keyed_opt = _time_once(
+            _build_resilience_inputs, run_core, _resilience_parity_key)
+        if attempt == 0:
+            ref, opt = keyed_ref, keyed_opt
+        elif (keyed_ref, keyed_opt) != (ref, opt):
+            raise AssertionError("non-deterministic benchmark run")
+        if (reference_s is None
+                or elapsed_ref / elapsed_opt > reference_s / optimized_s):
+            reference_s, optimized_s = elapsed_ref, elapsed_opt
+    if opt != ref:
+        raise AssertionError(
+            "serve_core_refactor benchmark: the extracted core's clean "
+            "path diverged from the plain DES")
+    live = _live_replay_key(*_build_resilience_inputs())
+    return BenchResult(
+        name="serve_core_refactor",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "levels": len(opt),
+            "completed": sum(level[0] for level in opt),
+            "sweep_crc": _crc(opt),
+            "live_completed": live[0],
+            "live_in_slo": live[1],
+            "live_crc": _crc(live),
+        },
+    )
+
+
 BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
     "engine_dispatch": bench_engine_dispatch,
     "cache_probe": bench_cache_probe,
@@ -610,6 +724,7 @@ BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
     "bulk_fig8_point": bench_bulk_fig8_point,
     "bulk_serve_sweep": bench_bulk_serve_sweep,
     "resilience_sweep": bench_resilience_sweep,
+    "serve_core_refactor": bench_serve_core_refactor,
 }
 
 

@@ -32,7 +32,7 @@ from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from ..errors import CampaignInterrupted, MeasurementFailed, ServeError
-from ..obs import Tracer
+from ..obs import Tracer, Trail
 from ..serve.control import parse_controller
 from ..serve.policies import parse_policy
 from .campaign import Campaign, MeasurementPoint, RetryPolicy, default_jobs
@@ -141,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record a Chrome trace-event file of one Widx "
                              "offload (open in about:tracing / Perfetto)")
+    parser.add_argument("--trails", type=int, default=None, metavar="N",
+                        help="with --trace: capture per-request walker "
+                             "trails (each LD hop's address and cache "
+                             "level; the last N kept) into the trace file "
+                             "and the --stats-json payload")
     return parser
 
 
@@ -209,7 +214,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                     serve_policy: str = "fifo",
                     bulk: bool = False,
                     serve_slo: Optional[float] = None,
-                    serve_controller: Optional[str] = None) -> List[Report]:
+                    serve_controller: Optional[str] = None,
+                    trails: Optional[int] = None) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -222,7 +228,10 @@ def run_experiments(names: List[str], settings: RunSettings,
     ``stats_json`` writes the merged stats-registry snapshot plus every
     report (via :meth:`Report.to_dict`) as JSON; ``trace`` re-runs one
     Widx point with a :class:`~repro.obs.Tracer` attached and writes a
-    Chrome trace-event file.
+    Chrome trace-event file.  ``trails`` (with ``trace``) additionally
+    captures per-request walker trails during that drill: the last N
+    traversal paths land as per-hop spans in the trace file and, when
+    ``stats_json`` is also given, as a ``trails`` object in the payload.
     """
     if chaos is not None and store is not None:
         store = ChaosStore(store, chaos)
@@ -263,17 +272,18 @@ def run_experiments(names: List[str], settings: RunSettings,
     if failures:
         print(failure_report(failures).format(), file=out)
         print(file=out)
+    trail = None
     if trace is not None:
-        _trace_drill(cache, points, trace, out)
+        trail = _trace_drill(cache, points, trace, out, trails=trails)
     if stats_json is not None:
         _write_stats_json(stats_json, names, settings, cache, reports,
-                          failures, out)
+                          failures, out, trail=trail)
     return reports
 
 
 def _write_stats_json(path: str, names: List[str], settings: RunSettings,
                       cache: MeasurementCache, reports: List[Report],
-                      failures, out) -> None:
+                      failures, out, trail: Optional[Trail] = None) -> None:
     """Serialize the run's statistics and reports to one JSON file.
 
     Volatile campaign accounting (wall-clock, worker counts, store hit
@@ -289,6 +299,8 @@ def _write_stats_json(path: str, names: List[str], settings: RunSettings,
     }
     if failures:
         payload["failures"] = failure_report(failures).to_dict()
+    if trail is not None:
+        payload["trails"] = trail.to_dict()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -296,7 +308,8 @@ def _write_stats_json(path: str, names: List[str], settings: RunSettings,
 
 
 def _trace_drill(cache: MeasurementCache, points: List[MeasurementPoint],
-                 path: str, out) -> None:
+                 path: str, out,
+                 trails: Optional[int] = None) -> Optional[Trail]:
     """Re-run the selection's first Widx point with a tracer attached.
 
     Traces are a drill-down artifact, not a campaign output: cached
@@ -304,11 +317,17 @@ def _trace_drill(cache: MeasurementCache, points: List[MeasurementPoint],
     offload in-process with the same workload, settings and seed.  With
     no Widx point in the selection an empty (but valid) trace is still
     written.
+
+    ``trails`` additionally hooks a bounded :class:`~repro.obs.Trail`
+    ring (capacity ``trails``) onto the drill's walkers; the captured
+    traversal paths are folded into the trace file as per-hop spans and
+    the Trail is returned for the ``--stats-json`` payload.
     """
     from ..widx.offload import offload_probe
 
     target = next((p for p in points if p.op == "widx"), None)
     tracer = Tracer()
+    trail = Trail(capacity=trails) if trails is not None else None
     if target is None:
         print(f"[trace: no Widx point in this selection; "
               f"empty trace written to {path}]", file=out)
@@ -320,12 +339,17 @@ def _trace_drill(cache: MeasurementCache, points: List[MeasurementPoint],
                                         mode=target.mode)
         started = time.time()
         offload_probe(index, probes, config=config,
-                      probes=cache.runs.probes, tracer=tracer)
+                      probes=cache.runs.probes, tracer=tracer, trail=trail)
         elapsed = time.time() - started
+        captured = ""
+        if trail is not None:
+            trail.feed_tracer(tracer)
+            captured = f" ({len(trail)} trails captured)"
         print(f"[trace: {'/'.join(map(str, target.cache_tuple()))} "
               f"re-simulated in {elapsed:.1f}s; {tracer.num_events} events "
-              f"written to {path}]", file=out)
+              f"written to {path}{captured}]", file=out)
     tracer.write(path)
+    return trail
 
 
 def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
@@ -365,6 +389,14 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
     if not 0.0 <= args.chaos_rate <= 1.0:
         print("error: --chaos-rate must be in [0, 1]", file=out)
         return 2
+    if args.trails is not None:
+        if args.trails < 1:
+            print("error: --trails must be >= 1", file=out)
+            return 2
+        if args.trace is None:
+            print("error: --trails needs --trace (trails are captured "
+                  "during the trace drill-down)", file=out)
+            return 2
     try:
         parse_policy(args.serve_policy)
         if args.serve_controller is not None:
@@ -403,7 +435,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                         stats_json=args.stats_json, trace=args.trace,
                         serve_policy=args.serve_policy, bulk=args.bulk,
                         serve_slo=args.serve_slo,
-                        serve_controller=args.serve_controller)
+                        serve_controller=args.serve_controller,
+                        trails=args.trails)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

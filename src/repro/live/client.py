@@ -1,0 +1,87 @@
+"""A seeded burst client for the live serving front-end.
+
+Replays a pre-built open-loop request schedule (the same
+:func:`~repro.serve.simulate.build_requests` streams the DES driver
+consumes) against a running :class:`~repro.live.server.LiveServer` and
+collects every response.  In replay mode each probe carries its arrival
+cycle, so the run is deterministic end to end; in wall mode the client
+paces itself with real sleeps at the schedule's inter-arrival gaps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - asyncio ships with every supported CPython
+    import asyncio
+except ImportError:  # pragma: no cover
+    asyncio = None  # type: ignore[assignment]
+
+from ..errors import ServeError
+from ..serve.arrivals import Request
+
+
+async def run_burst(host: str, port: int, requests: Sequence[Request], *,
+                    replay: bool = True,
+                    cycles_per_second: float = 1.0e9,
+                    shutdown: bool = True) -> Dict[str, Any]:
+    """Send ``requests`` to a live server; return the collected responses.
+
+    The returned dict holds ``responses`` (per-request settlements,
+    keyed by seq), ``stats`` (the pre-shutdown snapshot) and — when
+    ``shutdown`` is set — ``result`` (the server's final
+    conservation-checked summary).
+    """
+    if asyncio is None:  # pragma: no cover - exercised only when stubbed
+        raise ServeError("the live client needs asyncio")
+    reader, writer = await asyncio.open_connection(host, port)
+    responses: Dict[int, Dict[str, Any]] = {}
+    stats: Optional[Dict[str, Any]] = None
+    result: Optional[Dict[str, Any]] = None
+    errors: List[str] = []
+    done = asyncio.Event()
+
+    async def collect() -> None:
+        nonlocal stats, result
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            message = json.loads(line)
+            if "seq" in message:
+                responses[message["seq"]] = message
+            elif "stats" in message:
+                stats = message["stats"]
+                if not shutdown:
+                    break
+            elif "result" in message:
+                result = message["result"]
+                break
+            elif "error" in message:
+                errors.append(message["error"])
+        done.set()
+
+    collector = asyncio.ensure_future(collect())
+    try:
+        previous = 0.0
+        for request in requests:
+            if not replay:
+                gap_seconds = (request.arrival - previous) / cycles_per_second
+                previous = request.arrival
+                if gap_seconds > 0:
+                    await asyncio.sleep(gap_seconds)
+            message = {"op": "probe", "keys": request.keys,
+                       "at": request.arrival}
+            writer.write(json.dumps(message).encode("utf-8") + b"\n")
+            await writer.drain()
+        writer.write(b'{"op": "stats"}\n')
+        if shutdown:
+            writer.write(b'{"op": "shutdown"}\n')
+        await writer.drain()
+        await done.wait()
+    finally:
+        collector.cancel()
+        writer.close()
+    return {"responses": responses, "stats": stats, "result": result,
+            "errors": errors}

@@ -1,0 +1,85 @@
+"""Clocks for the wall-clock serving driver.
+
+The :class:`~repro.serve.core.ServingCore` is clock-free: it consumes
+explicit ``now`` timestamps in *cycles*.  The discrete-event driver gets
+those from the engine; the live driver gets them from one of the clocks
+here.  Both expose a single reading method, ``now()``, returning
+monotonic cycles.
+
+:class:`WallClock` maps ``time.monotonic`` onto cycles at a configured
+frequency — the production path.  :class:`ManualClock` is advanced
+explicitly by the caller — the deterministic-replay path, used both by
+the tests (so replay results never depend on host speed) and by the
+demo server's virtual-time mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ServeError
+
+
+class WallClock:
+    """Monotonic wall-clock time expressed in simulated cycles.
+
+    ``cycles_per_second`` sets the exchange rate (default 1 GHz, so one
+    cycle is one nanosecond).  ``time_fn`` is injectable for tests.  The
+    origin is captured at construction, so ``now()`` starts near zero —
+    matching the DES convention that runs begin at cycle 0.
+    """
+
+    def __init__(self, cycles_per_second: float = 1.0e9,
+                 time_fn=time.monotonic) -> None:
+        if not cycles_per_second > 0:
+            raise ServeError(f"cycles_per_second must be > 0, "
+                             f"got {cycles_per_second!r}")
+        self.cycles_per_second = float(cycles_per_second)
+        self._time_fn = time_fn
+        self._origin = time_fn()
+
+    def now(self) -> float:
+        """Cycles elapsed since the clock was created."""
+        return (self._time_fn() - self._origin) * self.cycles_per_second
+
+    def seconds_until(self, cycle: float) -> float:
+        """Wall seconds from now until ``cycle`` (0 when already past).
+
+        The asyncio pump sleeps this long before firing the service's
+        next timed event.
+        """
+        return max(0.0, (cycle - self.now()) / self.cycles_per_second)
+
+
+class ManualClock:
+    """A clock that only moves when told to — deterministic replay.
+
+    ``advance`` moves time forward by a delta; ``advance_to`` moves to an
+    absolute cycle (and refuses to go backwards, preserving the
+    monotonic contract every driver relies on).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """The manually advanced current cycle."""
+        return self._now
+
+    def advance(self, cycles: float) -> float:
+        """Move forward by ``cycles``; returns the new time."""
+        if cycles < 0:
+            raise ServeError(f"cannot advance a clock backwards "
+                             f"({cycles!r} cycles)")
+        self._now += cycles
+        return self._now
+
+    def advance_to(self, cycle: float) -> float:
+        """Move to absolute ``cycle`` (no-op when already past it)."""
+        if cycle > self._now:
+            self._now = float(cycle)
+        return self._now
+
+    def seconds_until(self, cycle: float) -> float:
+        """Virtual time never needs real sleeping."""
+        return 0.0

@@ -16,7 +16,7 @@ or https://ui.perfetto.dev) — the CLI's ``--trace``.
 """
 
 from .metrics import (Breakdown, Counter, Distribution, Histogram, Occupancy,
-                      decode_metric)
+                      Trail, decode_metric)
 from .registry import StatsRegistry
 from .trace import Tracer
 
@@ -28,5 +28,6 @@ __all__ = [
     "Occupancy",
     "StatsRegistry",
     "Tracer",
+    "Trail",
     "decode_metric",
 ]

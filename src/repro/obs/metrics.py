@@ -18,7 +18,7 @@ floats.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SimulationError
 
@@ -372,6 +372,39 @@ class Distribution:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def reset(self) -> None:
+        """Discard every observation, in place.
+
+        The windowing primitive: a controller (or live p99 monitor) that
+        samples a rolling window records into one distribution, reads its
+        quantiles, and resets it for the next window — no reallocation,
+        no second windowing scheme.  A reset distribution is
+        indistinguishable from a freshly constructed one.
+        """
+        self.counts.clear()
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self, *, reset: bool = False) -> "Distribution":
+        """A detached copy of the current state; optionally reset after.
+
+        ``snapshot(reset=True)`` is the windowed read: it hands back this
+        window's observations as an independent distribution and clears
+        the live one for the next window, atomically from the caller's
+        point of view.
+        """
+        copy = Distribution()
+        copy.counts = dict(self.counts)
+        copy.count = self.count
+        copy.total = self.total
+        copy.min = self.min
+        copy.max = self.max
+        if reset:
+            self.reset()
+        return copy
+
     def quantile(self, q: float) -> float:
         """The value at quantile ``q`` in [0, 1] (0.0 on no samples).
 
@@ -633,8 +666,143 @@ class Breakdown:
         return f"{type(self).__name__}({inner})"
 
 
+class Trail:
+    """A bounded ring of per-request traversal trails.
+
+    One *entry* is one walker invocation: which walker served it, the
+    queue item (probe key operands) it carried, when it started and
+    finished, and the sequence of memory *hops* the traversal took —
+    ``(cycle, address, cache level)`` per pointer chase, the provenance
+    PULSE-style adaptive placement needs.  Capture is opt-in and doubly
+    bounded: the ring keeps the last ``capacity`` entries and each entry
+    keeps at most ``max_hops`` hops (overflow is counted, never stored),
+    so a trail-enabled run cannot grow without bound.
+
+    Like every metric it snapshots to JSON and merges: merging
+    concatenates entries in order (the ring bound still applies) and
+    sums the overflow counters, so per-worker trails fold into campaign
+    registries like any counter.
+    """
+
+    kind = "trail"
+
+    DEFAULT_CAPACITY = 256
+    DEFAULT_MAX_HOPS = 64
+
+    __slots__ = ("capacity", "max_hops", "entries", "recorded",
+                 "dropped_hops")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 max_hops: int = DEFAULT_MAX_HOPS) -> None:
+        if capacity < 1:
+            raise SimulationError(
+                f"trail capacity must be >= 1, got {capacity}")
+        if max_hops < 1:
+            raise SimulationError(
+                f"trail max_hops must be >= 1, got {max_hops}")
+        self.capacity = capacity
+        self.max_hops = max_hops
+        self.entries: List[Dict[str, Any]] = []
+        self.recorded = 0       # entries ever recorded (ring may drop old)
+        self.dropped_hops = 0   # hops past max_hops, counted not stored
+
+    def record(self, walker: str, key: Sequence[int], start: Number,
+               end: Number, hops: Sequence[Tuple[Number, int, str]],
+               dropped_hops: int = 0) -> None:
+        """Append one finished traversal to the ring."""
+        overflow = max(0, len(hops) - self.max_hops)
+        self.dropped_hops += dropped_hops + overflow
+        self.entries.append({
+            "walker": walker,
+            "key": [int(k) for k in key],
+            "start": float(start),
+            "end": float(end),
+            "hops": [[float(ts), int(addr), str(level)]
+                     for ts, addr, level in hops[:self.max_hops]],
+            "dropped": int(dropped_hops + overflow),
+        })
+        self.recorded += 1
+        if len(self.entries) > self.capacity:
+            del self.entries[:len(self.entries) - self.capacity]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def dropped_entries(self) -> int:
+        """Entries pushed out of the ring by newer ones."""
+        return self.recorded - len(self.entries)
+
+    def feed_tracer(self, tracer, prefix: str = "trail") -> None:
+        """Export every entry as Chrome-trace spans on ``tracer``.
+
+        Each walker gets a ``{prefix}.{walker}`` track; an entry becomes
+        an invocation span plus one span per hop, named by the cache
+        level that serviced it and lasting until the next hop (or the
+        traversal's end), so the trace shows *where in the hierarchy*
+        each traversal spent its time.
+        """
+        for entry in self.entries:
+            track = f"{prefix}.{entry['walker']}"
+            name = "probe:" + ",".join(str(k) for k in entry["key"])
+            tracer.complete(track, name, entry["start"],
+                            entry["end"] - entry["start"])
+            hops = entry["hops"]
+            for i, (ts, addr, level) in enumerate(hops):
+                until = hops[i + 1][0] if i + 1 < len(hops) else entry["end"]
+                tracer.complete(track, f"{level}@{addr:#x}", ts,
+                                max(0.0, until - ts))
+
+    # -- metric protocol -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot (decodable via :func:`decode_metric`)."""
+        return {
+            "kind": self.kind,
+            "capacity": self.capacity,
+            "max_hops": self.max_hops,
+            "recorded": self.recorded,
+            "dropped_hops": self.dropped_hops,
+            "entries": [dict(entry, hops=[list(hop) for hop in entry["hops"]])
+                        for entry in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Trail":
+        """Rebuild from a :meth:`to_dict` snapshot."""
+        trail = cls(data["capacity"], data["max_hops"])
+        trail.recorded = data["recorded"]
+        trail.dropped_hops = data["dropped_hops"]
+        trail.entries = [
+            dict(entry, hops=[list(hop) for hop in entry["hops"]])
+            for entry in data["entries"]]
+        return trail
+
+    def merge_from(self, other: "Trail") -> None:
+        """Concatenate another trail's entries (ring bound still applies)."""
+        self.capacity = max(self.capacity, other.capacity)
+        self.max_hops = max(self.max_hops, other.max_hops)
+        self.recorded += other.recorded
+        self.dropped_hops += other.dropped_hops
+        self.entries.extend(
+            dict(entry, hops=[list(hop) for hop in entry["hops"]])
+            for entry in other.entries)
+        if len(self.entries) > self.capacity:
+            del self.entries[:len(self.entries) - self.capacity]
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Trail):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (f"Trail(capacity={self.capacity}, entries={len(self.entries)}, "
+                f"recorded={self.recorded}, dropped_hops={self.dropped_hops})")
+
+
 _METRIC_TYPES = {cls.kind: cls for cls in
-                 (Counter, Histogram, Distribution, Occupancy, Breakdown)}
+                 (Counter, Histogram, Distribution, Occupancy, Breakdown,
+                  Trail)}
 
 
 def decode_metric(data: Dict[str, Any]):

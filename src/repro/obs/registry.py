@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Union
 
 from ..errors import SimulationError
-from .metrics import (Counter, Distribution, Histogram, Occupancy,
+from .metrics import (Counter, Distribution, Histogram, Occupancy, Trail,
                       decode_metric)
 
 
@@ -83,6 +83,17 @@ class StatsRegistry:
         if not isinstance(metric, Occupancy):
             raise SimulationError(
                 f"{path!r} holds a {type(metric).__name__}, not an Occupancy")
+        return metric
+
+    def trail(self, path: str, capacity: int = Trail.DEFAULT_CAPACITY,
+              max_hops: int = Trail.DEFAULT_MAX_HOPS) -> Trail:
+        """Get-or-create a :class:`Trail` at ``path``."""
+        metric = self._metrics.get(path)
+        if metric is None:
+            return self.register(path, Trail(capacity, max_hops))
+        if not isinstance(metric, Trail):
+            raise SimulationError(
+                f"{path!r} holds a {type(metric).__name__}, not a Trail")
         return metric
 
     def scope(self, prefix: str) -> "Scope":
@@ -184,6 +195,11 @@ class Scope:
     def occupancy(self, path: str, capacity: int = 0) -> Occupancy:
         """Get-or-create an :class:`Occupancy` under this scope's prefix."""
         return self._registry.occupancy(self._path(path), capacity)
+
+    def trail(self, path: str, capacity: int = Trail.DEFAULT_CAPACITY,
+              max_hops: int = Trail.DEFAULT_MAX_HOPS) -> Trail:
+        """Get-or-create a :class:`Trail` under this scope's prefix."""
+        return self._registry.trail(self._path(path), capacity, max_hops)
 
     def scope(self, prefix: str) -> "Scope":
         """A nested scope: ``{this prefix}.{prefix}``."""

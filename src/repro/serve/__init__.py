@@ -16,10 +16,16 @@ handed over in bulk?  Six pieces:
   death schedules and the time-varying capacity they induce.
 * :mod:`~repro.serve.control` — the deterministic degraded-mode
   controller regulating windowed p99 against an SLO.
-* :mod:`~repro.serve.simulate` — the discrete-event composition, with
-  end-to-end latency recorded into an observability
+* :mod:`~repro.serve.core` — the transport-agnostic serving core: one
+  clock-free state machine (:class:`~repro.serve.core.ServingCore`)
+  holding every admission/shedding/deadline/SLO/controller decision,
+  driven by explicit timestamps.
+* :mod:`~repro.serve.simulate` — the discrete-event *driver* over the
+  core, with end-to-end latency recorded into an observability
   :class:`~repro.obs.metrics.Distribution` for p50/p95/p99 extraction,
-  and the opt-in resilient path tying the above together.
+  and the opt-in resilient path tying the above together.  The
+  wall-clock driver is :mod:`repro.live`; the vectorized one is
+  :mod:`repro.serve.bulk`.
 
 The ``fig-serve`` and ``fig-resilience`` CLI verbs
 (:mod:`repro.harness.figserve`, :mod:`repro.harness.figresilience`)
@@ -30,6 +36,7 @@ from .arrivals import (ArrivalProcess, DeterministicArrivals, PoissonArrivals,
                        Request, merge_requests)
 from .control import (CONTROLLER_ACTIONS, Controller, ControllerSpec,
                       parse_controller)
+from .core import ServingCore, validate_run
 from .faults import CoreCapacity, WalkerFaultModel, fault_draw
 from .policies import (AdmissionWrapper, BatchByDeadline, BatchBySize,
                        FifoPolicy, SchedulingPolicy, ShedPolicy,
@@ -59,6 +66,7 @@ __all__ = [
     "ServeResult",
     "ServiceMeasurement",
     "ServiceModel",
+    "ServingCore",
     "ShedPolicy",
     "TimeoutPolicy",
     "WalkerFaultModel",
@@ -73,4 +81,5 @@ __all__ = [
     "request_timeout",
     "run_open_loop",
     "simulate_service",
+    "validate_run",
 ]

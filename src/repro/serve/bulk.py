@@ -52,7 +52,7 @@ from .arrivals import Request
 from .policies import (BatchByDeadline, BatchBySize, FifoPolicy,
                        SchedulingPolicy, admission_depth, request_timeout)
 from .service import ServiceModel
-from .simulate import ResilienceConfig, ServeResult, _validate_run
+from .core import ResilienceConfig, ServeResult, validate_run
 
 #: Per-core replay state: (samples, total, peak) of the admission queue.
 DepthStats = Tuple[int, int, int]
@@ -74,7 +74,7 @@ def simulate_service_bulk(requests: Sequence[Request], model: ServiceModel, *,
     fallback; an SLO alone only adds accounting on top of the unchanged
     clean schedule, and stays on the bulk path.
     """
-    _validate_run(requests, model, cores)
+    validate_run(requests, model, cores)
     if (queue_depth is not None
             or admission_depth(policy) is not None
             or request_timeout(policy) is not None

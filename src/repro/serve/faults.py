@@ -111,6 +111,8 @@ class CoreCapacity:
 
     def dead(self, now: float) -> int:
         """Dead walkers at time ``now`` (deaths crossed minus repairs)."""
+        if not self.deaths:
+            return 0
         crossed = 0
         for death in self.deaths:
             if death <= now:
@@ -139,6 +141,8 @@ class CoreCapacity:
 
     def cycles_for(self, requests: int, now: float) -> float:
         """Service cycles for a batch starting at ``now``."""
+        if not self.deaths:  # fault-free core: no scaling, ever
+            return self.model.cycles_for(requests)
         dead = self.dead(now)
         if dead == 0:
             return self.model.cycles_for(requests)

@@ -218,6 +218,17 @@ def base_policy(policy: SchedulingPolicy) -> SchedulingPolicy:
     return policy
 
 
+#: Every spec the parser accepts, for error messages.
+_VALID_FORMS = ("'fifo', 'size:N', 'deadline:CYCLES[:N]', "
+                "'shed:QDEPTH[:SPEC]' and 'timeout:CYCLES[:SPEC]'")
+
+
+def _policy_error(spec: str, detail: str) -> ServeError:
+    return ServeError(
+        f"bad scheduling policy spec {spec!r}: {detail}; "
+        f"valid policies are {_VALID_FORMS}")
+
+
 def parse_policy(spec: str) -> SchedulingPolicy:
     """Parse a policy spec string.
 
@@ -225,29 +236,61 @@ def parse_policy(spec: str) -> SchedulingPolicy:
     Admission wrappers compose recursively around any base spec:
     ``shed:QDEPTH[:<spec>]`` and ``timeout:CYCLES[:<spec>]`` (the inner
     spec defaults to ``fifo``), e.g. ``shed:64:timeout:5000:size:4``.
+
+    Malformed specs raise :class:`~repro.errors.ServeError` naming the
+    offending token and listing the valid policies.  A wrapper kind may
+    appear at most once per chain (``shed:4:shed:8`` is rejected — the
+    enforcement rule is "the tightest bound wins", so a doubled wrapper
+    is at best redundant and at worst a silently ignored number); empty
+    tokens from a trailing or doubled ``:`` are rejected rather than
+    swallowed.
     """
-    parts = spec.strip().split(":")
+    return _parse_parts(spec.strip().split(":"), spec, frozenset())
+
+
+def _parse_parts(parts: List[str], spec: str,
+                 seen: frozenset) -> SchedulingPolicy:
+    token = ":".join(parts)
     kind = parts[0].lower()
+    if not kind:
+        raise _policy_error(
+            spec, "empty policy token (a doubled or trailing ':'?)")
     try:
-        if kind == "fifo" and len(parts) == 1:
+        if kind == "fifo":
+            if len(parts) != 1:
+                raise _policy_error(
+                    spec, f"'fifo' takes no arguments (token {token!r})")
             return FifoPolicy()
-        if kind == "size" and len(parts) == 2:
+        if kind == "size":
+            if len(parts) != 2 or not parts[1]:
+                raise _policy_error(
+                    spec, f"'size' takes exactly one argument, 'size:N' "
+                          f"(token {token!r})")
             return BatchBySize(int(parts[1]))
-        if kind == "deadline" and len(parts) in (2, 3):
+        if kind == "deadline":
+            if len(parts) not in (2, 3) or not all(parts[1:]):
+                raise _policy_error(
+                    spec, f"'deadline' takes one or two arguments, "
+                          f"'deadline:CYCLES[:N]' (token {token!r})")
             wait = float(parts[1])
             cap = int(parts[2]) if len(parts) == 3 else None
             return BatchByDeadline(wait, cap)
-        if kind == "shed" and len(parts) >= 2:
-            inner = (parse_policy(":".join(parts[2:])) if len(parts) > 2
-                     else None)
-            return ShedPolicy(int(parts[1]), inner)
-        if kind == "timeout" and len(parts) >= 2:
-            inner = (parse_policy(":".join(parts[2:])) if len(parts) > 2
-                     else None)
+        if kind in ("shed", "timeout"):
+            if len(parts) < 2 or not parts[1]:
+                argument = "QDEPTH" if kind == "shed" else "CYCLES"
+                raise _policy_error(
+                    spec, f"'{kind}' needs an argument, "
+                          f"'{kind}:{argument}[:SPEC]' (token {token!r})")
+            if kind in seen:
+                raise _policy_error(
+                    spec, f"duplicate '{kind}' wrapper (token {token!r} "
+                          f"repeats a '{kind}' further out; each admission "
+                          f"wrapper may appear once per chain)")
+            inner = (_parse_parts(parts[2:], spec, seen | {kind})
+                     if len(parts) > 2 else None)
+            if kind == "shed":
+                return ShedPolicy(int(parts[1]), inner)
             return TimeoutPolicy(float(parts[1]), inner)
     except ValueError as exc:
-        raise ServeError(f"bad scheduling policy spec {spec!r}: {exc}") from exc
-    raise ServeError(
-        f"bad scheduling policy spec {spec!r}; want 'fifo', 'size:N', "
-        f"'deadline:CYCLES[:N]', 'shed:QDEPTH[:SPEC]' or "
-        f"'timeout:CYCLES[:SPEC]'")
+        raise _policy_error(spec, f"{exc} (token {token!r})") from exc
+    raise _policy_error(spec, f"unknown policy {parts[0]!r} (token {token!r})")

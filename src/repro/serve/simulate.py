@@ -1,9 +1,9 @@
-"""The open-loop serving simulation.
+"""The open-loop serving simulation: the discrete-event *driver*.
 
-Composes the other serving pieces on the discrete-event engine: an
-arrival source feeds per-core admission queues round-robin, one server
-process per core collects batches through a scheduling policy and holds
-the core busy for the calibrated service time, and every completed
+Composes the serving pieces on the discrete-event engine: an arrival
+source feeds per-core admission queues round-robin, one server process
+per core collects batches through a scheduling policy and holds the
+core busy for the calibrated service time, and every completed
 request's end-to-end latency (queueing + batching + service) lands in a
 :class:`~repro.obs.metrics.Distribution` for tail extraction.
 
@@ -13,140 +13,45 @@ builds backlog and latency instead of slowing the source — the regime
 the throughput–latency figure exists to show.
 
 **Resilience.**  The happy path above is byte-for-byte the PR 6 serving
-simulation.  A run becomes *resilient* — a separate source/server pair
-with admission control, per-request deadlines, walker faults, and an
-optional degraded-mode controller — only when asked: a ``shed:`` /
+simulation.  A run becomes *resilient* only when asked: a ``shed:`` /
 ``timeout:`` policy wrapper, an explicit ``queue_depth``, or a
-:class:`ResilienceConfig` (SLO, fault model, controller).  Plain runs
-never touch the resilient code, which is what keeps fig-serve's output
-bit-identical to the pre-resilience tree.
+:class:`~repro.serve.core.ResilienceConfig` (SLO, fault model,
+controller).  Plain runs never touch the resilient code, which is what
+keeps fig-serve's output bit-identical to the pre-resilience tree.
+
+**Layering.**  Since the core extraction, every serving *decision* —
+admission bounds, shedding, deadline drops, SLO accounting, the
+degraded-mode controller — lives in the transport-agnostic
+:class:`~repro.serve.core.ServingCore`; this module's resilient
+source/server/controller processes are thin drivers that feed it
+engine timestamps.  The same core drives the wall-clock
+:mod:`repro.live` service, and the committed golden reports pin this
+driver's event schedule byte-for-byte across the refactor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import ServeError
-from ..obs import Counter, Distribution, StatsRegistry
+from ..obs import Counter, StatsRegistry
 from ..sim.engine import Engine
 from ..sim.resources import BoundedQueue
 from .arrivals import (ArrivalProcess, DeterministicArrivals, PoissonArrivals,
                        Request, merge_requests)
-from .control import Controller, ControllerSpec
-from .faults import CoreCapacity, WalkerFaultModel, build_capacities
-from .policies import (BatchBySize, SchedulingPolicy, admission_depth,
-                       request_timeout)
+from .core import ResilienceConfig, ServeResult, ServingCore, validate_run
+from .policies import SchedulingPolicy, admission_depth, request_timeout
 from .service import ServiceModel
 
+# Compatibility re-exports: ResilienceConfig/ServeResult moved to
+# repro.serve.core with the core extraction; every existing import path
+# (`from repro.serve.simulate import ResilienceConfig`) keeps working.
+__all__ = [
+    "ResilienceConfig", "ServeResult", "build_requests", "run_open_loop",
+    "simulate_service",
+]
 
-@dataclass(frozen=True)
-class ResilienceConfig:
-    """Opt-in resilience settings for one serving run.
-
-    ``slo`` is the end-to-end latency target in cycles (defines the
-    goodput numerator, and the controller's setpoint).  ``faults`` is a
-    seeded walker-death schedule; when it can fire, ``fallback`` must
-    supply the host-core service model the core degrades to once all its
-    walkers are dead.  ``controller`` closes the loop from windowed p99
-    to the admission/batching knobs and requires an SLO.
-    """
-
-    slo: Optional[float] = None
-    faults: Optional[WalkerFaultModel] = None
-    controller: Optional[ControllerSpec] = None
-    fallback: Optional[ServiceModel] = None
-
-    def __post_init__(self) -> None:
-        if self.slo is not None and not self.slo > 0:
-            raise ServeError(f"SLO must be > 0 cycles, got {self.slo!r}")
-        if self.faults is not None and self.faults.active \
-                and self.fallback is None:
-            raise ServeError(
-                "an active walker-fault model needs a host fallback "
-                "service model (cores must keep serving when all their "
-                "walkers are dead)")
-        if self.controller is not None and self.slo is None:
-            raise ServeError(
-                "a serve controller needs an SLO to regulate against "
-                "(pass --serve-slo with --serve-controller)")
-
-    @property
-    def active(self) -> bool:
-        """Whether any resilience feature is actually switched on."""
-        return (self.slo is not None
-                or (self.faults is not None and self.faults.active)
-                or self.controller is not None)
-
-
-@dataclass
-class ServeResult:
-    """Outcome of one open-loop serving run at one offered load."""
-
-    label: str                  # backend label (from the service model)
-    policy: str                 # scheduling policy name
-    offered: float              # offered load, requests per kilocycle
-    cores: int
-    requests: int               # requests offered
-    completed: int              # requests served (== requests when drained)
-    makespan: float             # cycles until the last completion
-    latency: Distribution       # end-to-end request latency, cycles
-    first_arrival: float = 0.0  # when the first request arrived
-    stats: Dict[str, Any] = field(default_factory=dict)
-    shed: int = 0               # arrivals rejected at admission
-    expired: int = 0            # requests dropped past their deadline
-    faults: int = 0             # walker deaths that landed within the run
-    slo: Optional[float] = None  # latency SLO in cycles (None = no SLO)
-    in_slo: int = 0             # completions within the SLO
-
-    @property
-    def achieved(self) -> float:
-        """Achieved throughput in requests per kilocycle (saturates at
-        service capacity when the offered load exceeds it).
-
-        Measured over the window the system actually had work: from the
-        first arrival to the last completion.  Counting the idle lead-in
-        before the first request (as an earlier version did) understated
-        throughput at low offered loads and small request counts, where
-        the lead-in is a visible fraction of the makespan.
-        """
-        span = self.makespan - self.first_arrival
-        if span <= 0:
-            return 0.0
-        return self.completed * 1000.0 / span
-
-    @property
-    def goodput(self) -> float:
-        """In-SLO completions per kilocycle (== achieved when no SLO).
-
-        The resilience figure's headline metric: served work only counts
-        when it lands inside the latency target, so shedding that keeps
-        the remaining traffic in-SLO can *raise* goodput even as it
-        lowers raw throughput.
-        """
-        if self.slo is None:
-            return self.achieved
-        span = self.makespan - self.first_arrival
-        if span <= 0:
-            return 0.0
-        return self.in_slo * 1000.0 / span
-
-    @property
-    def shed_fraction(self) -> float:
-        """Fraction of offered requests rejected at admission."""
-        return self.shed / self.requests if self.requests else 0.0
-
-    @property
-    def p50(self) -> float:
-        return self.latency.p50
-
-    @property
-    def p95(self) -> float:
-        return self.latency.p95
-
-    @property
-    def p99(self) -> float:
-        return self.latency.p99
+_validate_run = validate_run  # the bulk driver's historical import name
 
 
 def _source(engine: Engine, requests: Sequence[Request],
@@ -163,7 +68,7 @@ def _source(engine: Engine, requests: Sequence[Request],
 
 
 def _server(engine: Engine, queue: BoundedQueue, policy: SchedulingPolicy,
-            model: ServiceModel, latency: Distribution, completed, batches,
+            model: ServiceModel, latency, completed, batches,
             busy_cycles):
     """Collect batches through the policy and serve them to completion."""
     while True:
@@ -180,75 +85,8 @@ def _server(engine: Engine, queue: BoundedQueue, policy: SchedulingPolicy,
             completed.value += 1
 
 
-class _ResilientState:
-    """Mutable control state shared by one resilient run's processes.
-
-    The source consults it for the admission bound, the servers for the
-    active policy and deadline, and the controller process mutates it —
-    all on one engine, so every read/write is deterministically ordered.
-    """
-
-    def __init__(self, policy: SchedulingPolicy, queue_depth: Optional[int],
-                 config: Optional[ResilienceConfig], scope,
-                 cores: int) -> None:
-        self.base = policy
-        self.active = policy
-        self.timeout = request_timeout(policy)
-        self.shed_declared = admission_depth(policy) is not None
-        depths = [d for d in (queue_depth, admission_depth(policy))
-                  if d is not None]
-        self.static_depth = min(depths) if depths else None
-        self.slo = config.slo if config is not None else None
-        self.shed = scope.counter("shed")
-        self.expired = scope.counter("expired")
-        self.aborts = scope.counter("aborts")
-        self.in_slo = (scope.counter("in_slo")
-                       if self.slo is not None else None)
-        self.servers_live = cores
-        self.last_done = 0.0
-        self.completions = 0
-        self.controller: Optional[Controller] = None
-        self.controller_depth: Optional[int] = None
-        self.spares_used = 0
-        self._window: Optional[Distribution] = None
-        if config is not None and config.controller is not None:
-            self.controller = Controller(config.controller, config.slo)
-            self._window = Distribution()
-
-    def bound(self) -> Optional[int]:
-        """The admission depth currently in force (None = unbounded)."""
-        depths = [d for d in (self.static_depth, self.controller_depth)
-                  if d is not None]
-        return min(depths) if depths else None
-
-    def can_shed(self) -> bool:
-        """Whether a full queue sheds (vs. raising): shedding must be
-        *declared*, by a ``shed:`` wrapper or a controller degradation."""
-        return self.shed_declared or self.controller_depth is not None
-
-    def on_complete(self, latency_cycles: float, done: float) -> None:
-        self.completions += 1
-        self.last_done = done
-        if self.in_slo is not None and latency_cycles <= self.slo:
-            self.in_slo.value += 1
-        if self._window is not None:
-            self._window.record(latency_cycles)
-
-    def server_done(self) -> None:
-        self.servers_live -= 1
-
-    def window_p99(self) -> Optional[float]:
-        """This window's p99 (None when empty); resets the window."""
-        window = self._window
-        if window is None or window.count == 0:
-            return None
-        p99 = window.p99
-        self._window = Distribution()
-        return p99
-
-
 def _resilient_source(engine: Engine, requests: Sequence[Request],
-                      queues: List[BoundedQueue], state: _ResilientState):
+                      queues: List[BoundedQueue], core: ServingCore):
     """The open-loop source with bounded admission.
 
     Identical yield pattern to :func:`_source` except that an arrival
@@ -257,131 +95,66 @@ def _resilient_source(engine: Engine, requests: Sequence[Request],
     admission must never silently block.
     """
     cores = len(queues)
+    try_admit = core.try_admit
     for request in requests:
         delay = request.arrival - engine.now
         if delay > 0:
             yield delay
         queue = queues[request.seq % cores]
-        bound = state.bound()
-        if bound is not None and len(queue) >= bound:
-            if state.can_shed():
-                state.shed.value += 1
-                continue
-            raise ServeError(
-                f"admission queue {queue.name!r} is full ({len(queue)} "
-                f"queued, bound {bound}) and no shed depth is declared; "
-                f"the open-loop source must never block — wrap the policy "
-                f"in 'shed:N' or raise queue_depth")
+        if not try_admit(len(queue), queue.name):
+            continue
         yield queue.put(request)
     for queue in queues:
         queue.close()
 
 
-def _drop_doomed(batch: List[Request], now: float, timeout: Optional[float],
-                 capacity: CoreCapacity, expired) -> List[Request]:
-    """Drop requests that cannot finish by their deadline.
-
-    Covers both queued expiry (deadline already past) and in-service
-    expiry (deadline inside the batch's service window): serving a
-    request that will miss its deadline anyway is wasted capacity, so
-    the core drops it *before* committing — the all-or-nothing offload
-    model.  Shrinking the batch can shorten the service time, so filter
-    to a fixed point.
-    """
-    if timeout is None:
-        return batch
-    while batch:
-        cycles = capacity.cycles_for(len(batch), now)
-        alive = [r for r in batch if r.arrival + timeout >= now + cycles]
-        if len(alive) == len(batch):
-            break
-        expired.value += len(batch) - len(alive)
-        batch = alive
-    return batch
-
-
 def _resilient_server(engine: Engine, queue: BoundedQueue,
-                      state: _ResilientState, capacity: CoreCapacity,
-                      latency: Distribution, completed, batches, busy_cycles):
+                      core: ServingCore, capacity):
     """The per-core server under deadlines, faults, and policy swaps.
 
     Matches :func:`_server` yield-for-yield when no deadline filters and
     no death interrupts a batch — the clean-path bit-parity the bulk
     replay and the fault-rate-zero acceptance check rely on.
     """
+    drop_doomed = core.drop_doomed
+    cycles_for = capacity.cycles_for
+    next_death_after = capacity.next_death_after
+    finish_batch = core.finish_batch
     while True:
-        batch = yield from state.active.collect(queue)
+        # core.active is re-read per batch: the controller swaps it.
+        batch = yield from core.active.collect(queue)
         if batch is None:
-            state.server_done()
+            core.server_done()
             return
         while batch:
             start = engine.now
-            batch = _drop_doomed(batch, start, state.timeout, capacity,
-                                 state.expired)
+            batch = drop_doomed(batch, start, capacity)
             if not batch:
                 break
-            cycles = capacity.cycles_for(len(batch), start)
-            death = capacity.next_death_after(start)
+            cycles = cycles_for(len(batch), start)
+            death = next_death_after(start)
             if death is not None and death < start + cycles:
                 # A walker dies mid-batch: the offload aborts at the
                 # death instant and the whole batch re-serves under the
                 # degraded capacity (traversals are all-or-nothing).
                 yield death - start
-                busy_cycles.value += death - start
-                state.aborts.value += 1
+                core.record_abort(death - start)
                 continue
             yield cycles
-            done = engine.now
-            batches.value += 1
-            busy_cycles.value += cycles
-            for request in batch:
-                request_latency = done - request.arrival
-                latency.record(request_latency)
-                completed.value += 1
-                state.on_complete(request_latency, done)
+            finish_batch(batch, cycles, engine.now)
             break
 
 
-def _controller_proc(engine: Engine, state: _ResilientState,
-                     capacities: List[CoreCapacity]):
-    """Window tick: read the windowed p99, move the degradation level.
+def _controller_proc(engine: Engine, core: ServingCore):
+    """Window tick: hand the core one controller observation per window.
 
     Runs until every server has drained, so the controller never
     outlives the work by more than one window.
     """
-    controller = state.controller
-    spec = controller.spec
-    while state.servers_live > 0:
-        yield spec.window
-        delta = controller.observe(state.window_p99())
-        if delta == 0:
-            continue
-        now = engine.now
-        if spec.action in ("shed", "all"):
-            state.controller_depth = spec.shed_depth_at(controller.level)
-        if spec.action in ("batch", "all"):
-            state.active = (BatchBySize(spec.batch) if controller.level > 0
-                            else state.base)
-        if (delta > 0 and spec.action in ("walkers", "all")
-                and state.spares_used < spec.spares):
-            # Repair the most-degraded core with one spare walker.
-            worst = max(capacities, key=lambda cap: cap.dead(now))
-            if worst.repair(now):
-                state.spares_used += 1
-
-
-def _validate_run(requests: Sequence[Request], model: ServiceModel,
-                  cores: int) -> None:
-    """Shared admission checks for the DES and bulk serving paths."""
-    if cores < 1:
-        raise ServeError(f"need at least one core, got {cores}")
-    if not requests:
-        raise ServeError("need at least one request")
-    for request in requests:
-        if request.keys != model.keys_per_request:
-            raise ServeError(
-                f"request {request.seq} carries {request.keys} keys but the "
-                f"service model was calibrated for {model.keys_per_request}")
+    window = core.controller.spec.window
+    while core.servers_live > 0:
+        yield window
+        core.controller_tick(engine.now)
 
 
 def simulate_service(requests: Sequence[Request], model: ServiceModel, *,
@@ -407,7 +180,7 @@ def simulate_service(requests: Sequence[Request], model: ServiceModel, *,
     policy wrappers) switch the run onto the resilient source/server
     pair; without them the original plain path runs, untouched.
     """
-    _validate_run(requests, model, cores)
+    validate_run(requests, model, cores)
     if queue_depth is not None and queue_depth < 1:
         raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
     resilient = (queue_depth is not None
@@ -471,23 +244,18 @@ def _simulate_resilient(requests: Sequence[Request], model: ServiceModel, *,
                         queue_depth: Optional[int]) -> ServeResult:
     """The resilient twin of the plain serving run.
 
-    Same engine, same queue sizing, same per-core layout; adds bounded
-    admission, per-request deadlines, the walker-fault capacity model,
-    and (optionally) the degraded-mode controller.  With everything
-    disabled but an SLO, the event schedule is identical to the plain
-    path — only the in-SLO accounting differs.
+    Same engine, same queue sizing, same per-core layout; the
+    :class:`~repro.serve.core.ServingCore` adds bounded admission,
+    per-request deadlines, the walker-fault capacity model, and
+    (optionally) the degraded-mode controller.  With everything disabled
+    but an SLO, the event schedule is identical to the plain path — only
+    the in-SLO accounting differs.
     """
     if registry is None:
         registry = StatsRegistry()
     scope = registry.scope("serve")
-    latency = scope.distribution("latency")
-    completed = scope.counter("completed")
-    batches = scope.counter("batches")
-    busy_cycles = scope.register("busy_cycles", Counter(0.0))
-    state = _ResilientState(policy, queue_depth, resilience, scope, cores)
-    faults_model = resilience.faults if resilience is not None else None
-    fallback = resilience.fallback if resilience is not None else None
-    capacities = build_capacities(faults_model, cores, model, fallback)
+    core = ServingCore(policy, model, cores, queue_depth=queue_depth,
+                       resilience=resilience, scope=scope)
 
     engine = Engine()
     # Queue capacity stays open-loop-sized; the admission *bound* is
@@ -498,55 +266,30 @@ def _simulate_resilient(requests: Sequence[Request], model: ServiceModel, *,
     for i, queue in enumerate(queues):
         queue.register_into(registry, f"serve.core{i}.queue")
         engine.monitor_resource(queue.name, queue)
-    engine.process(_resilient_source(engine, requests, queues, state),
+    engine.process(_resilient_source(engine, requests, queues, core),
                    name="serve.source")
     for i, queue in enumerate(queues):
         engine.process(
-            _resilient_server(engine, queue, state, capacities[i], latency,
-                              completed, batches, busy_cycles),
+            _resilient_server(engine, queue, core, core.capacities[i]),
             name=f"serve.core{i}.server")
-    if state.controller is not None:
-        engine.process(_controller_proc(engine, state, capacities),
+    if core.controller is not None:
+        engine.process(_controller_proc(engine, core),
                        name="serve.controller")
     end = engine.run()
     engine.register_into(registry, "serve.engine")
 
-    # With a controller the engine runs up to one idle window past the
-    # last completion; the makespan is still the last completion.
-    makespan = (state.last_done
-                if state.controller is not None and state.completions
-                else end)
-    fault_total = 0
-    if faults_model is not None and faults_model.active:
-        fault_total = sum(cap.faults_by(makespan) for cap in capacities)
-        scope.counter("faults").value = fault_total
-    if state.controller is not None:
-        controller_scope = registry.scope("serve.controller")
-        controller_scope.counter("windows").value = state.controller.windows
-        controller_scope.counter("breaches").value = state.controller.breaches
-        controller_scope.counter("degradations").value = \
-            state.controller.degradations
-        controller_scope.counter("recoveries").value = \
-            state.controller.recoveries
-        controller_scope.counter("peak_level").value = \
-            state.controller.peak_level
-
-    served = int(completed.value)
-    shed = int(state.shed.value)
-    expired = int(state.expired.value)
-    if served + shed + expired != len(requests):
-        raise ServeError(
-            f"request conservation violated: {len(requests)} arrived but "
-            f"{served} served + {shed} shed + {expired} expired")
+    makespan = core.finalize(end)
+    core.check_conservation(len(requests))
     return ServeResult(
         label=model.label, policy=policy.name, offered=offered, cores=cores,
-        requests=len(requests), completed=served,
-        makespan=makespan, latency=latency,
+        requests=len(requests), completed=int(core.completed.value),
+        makespan=makespan, latency=core.latency,
         first_arrival=min(request.arrival for request in requests),
         stats=registry.to_dict(),
-        shed=shed, expired=expired, faults=fault_total,
-        slo=state.slo,
-        in_slo=int(state.in_slo.value) if state.in_slo is not None else 0)
+        shed=int(core.shed.value), expired=int(core.expired.value),
+        faults=core.fault_total,
+        slo=core.slo,
+        in_slo=int(core.in_slo.value) if core.in_slo is not None else 0)
 
 
 def build_requests(rate: float, num_requests: int, keys_per_request: int, *,

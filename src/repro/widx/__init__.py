@@ -23,6 +23,7 @@ from .programs import dispatcher_program, walker_program, producer_program, \
     coupled_walker_program
 from .machine import WidxMachine, WidxRunResult, UnitCycleBreakdown
 from .offload import offload_probe, offload_tree_search, OffloadOutcome
+from .trail import TrailRecorder
 
 __all__ = [
     "Opcode",
@@ -42,4 +43,5 @@ __all__ = [
     "offload_probe",
     "offload_tree_search",
     "OffloadOutcome",
+    "TrailRecorder",
 ]

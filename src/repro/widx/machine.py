@@ -215,6 +215,23 @@ class WidxMachine:
         if self.tracer is not None:
             self._attach_tracer(self.tracer)
 
+    def attach_trail(self, recorder) -> None:
+        """Wire per-invocation trail capture to every dispatched walker.
+
+        Only queue-driven walkers get a recorder: each of their
+        invocations is one probe key, so one trail is one request's
+        traversal path.  Autonomous units (the dispatcher, coupled-mode
+        walkers) run a single invocation spanning the whole key table —
+        a "trail" of theirs would be the entire run, so they stay
+        unhooked and pay nothing.
+        """
+        if not self._built:
+            raise ConfigError("call build() before attach_trail()")
+        for unit in self._walkers:
+            if unit in self._autonomous:
+                continue
+            unit.set_trail(recorder)
+
     def _attach_tracer(self, tracer) -> None:
         """Wire every unit, inter-unit queue and hierarchy pool to ``tracer``."""
         for unit in self.units.values():

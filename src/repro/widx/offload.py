@@ -79,6 +79,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
                   configure_hook=None,
                   watchdog: Optional[Watchdog] = None,
                   tracer=None,
+                  trail=None,
                   faults: Sequence[UnitFault] = ()) -> OffloadOutcome:
     """Probe ``index`` with the first ``probes`` keys of ``probe_column``
     on the configured Widx organization; returns timing plus results.
@@ -103,6 +104,13 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
     ``watchdog`` overrides the default progress watchdog — pass one built
     from tighter :class:`~repro.sim.watchdog.WatchdogLimits` to budget the
     measurement's simulated cycles or wall-clock time.
+
+    ``trail`` (a :class:`~repro.obs.metrics.Trail`) opts into walker-trail
+    capture: every dispatched walker records each invocation's traversal
+    path — per-``LD`` address and servicing cache level — into the
+    bounded ring, and the filled Trail is published into the outcome's
+    stats registry as ``widx.trails``.  Autonomous walkers (coupled
+    mode) have no per-key invocations and record nothing.
 
     ``faults`` injects seeded :class:`~repro.widx.machine.UnitFault`
     events mid-offload (see :func:`repro.harness.chaos.walker_faults`).
@@ -139,7 +147,7 @@ def offload_probe(index: HashIndex, probe_column: Column, *,
         return _offload_probe_with_region(
             index, probe_column, probes, config, warm, validate, memory,
             fallback_to_host, configure_hook, reference, out_region,
-            watchdog, tracer, engine, unit_cls, faults)
+            watchdog, tracer, engine, unit_cls, faults, trail)
     finally:
         space.release(out_region)
 
@@ -149,7 +157,7 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
                                configure_hook, reference, out_region,
                                watchdog=None, tracer=None,
                                engine=None, unit_cls=None,
-                               faults=()) -> OffloadOutcome:
+                               faults=(), trail=None) -> OffloadOutcome:
     space = index.space
     layout = index.layout
     widx = config.widx
@@ -181,6 +189,9 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
     machine = WidxMachine(config, hierarchy, space.memory, engine=engine,
                           tracer=tracer, **machine_kwargs)
     machine.build(dispatcher, walker, producer)
+    if trail is not None:
+        from .trail import TrailRecorder
+        machine.attach_trail(TrailRecorder(trail))
 
     mask = index.num_buckets - 1
     base = probe_column.region.base
@@ -250,6 +261,8 @@ def _offload_probe_with_region(index, probe_column, probes, config, warm,
     hierarchy.register_into(registry, "mem")
     machine.register_into(registry)
     machine.engine.register_into(registry, "sim.engine")
+    if trail is not None:
+        registry.register("widx.trails", trail)
     return OffloadOutcome(run=run, payloads=payloads, validated=validated,
                           memory=hierarchy, programs=programs,
                           stats=registry.to_dict())

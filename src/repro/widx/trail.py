@@ -1,0 +1,82 @@
+"""Per-request walker-trail capture.
+
+A *trail* is the traversal path one walker invocation took through the
+index: every ``LD`` hop's address and the cache level that serviced it
+(:class:`~repro.mem.hierarchy.AccessResult` already attributes each
+access to L1/LLC/DRAM), bracketed by the invocation's start and end
+cycles.  PULSE-style adaptive placement (see PAPERS.md) needs exactly
+this provenance — *where* in the hierarchy each probe's pointer chase
+spent its time — and the live service surfaces it per request through
+its debug endpoint.
+
+Capture is opt-in and mirrors the tracer pattern: units hold
+``trail = None`` by default and guard every site with one ``is not
+None`` test, so a trail-free run pays a single branch per load.  The
+storage itself is the bounded :class:`~repro.obs.metrics.Trail` ring,
+so a trail-enabled run cannot grow without bound either.
+
+The recorder (not the :class:`~repro.obs.metrics.Trail` metric) owns
+the *open* invocations: walkers interleave on one engine, so each
+walker's in-flight hops accumulate under its own name and only a
+committed invocation reaches the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..obs import Trail
+
+
+class TrailRecorder:
+    """Accumulates per-walker open trails and commits them to a ring.
+
+    One recorder serves every walker of a machine: ``start`` opens an
+    entry when a walker dequeues a key, ``hop`` appends one memory hop
+    (bounded by the ring's ``max_hops``; overflow is counted, not
+    stored), and ``commit`` moves the finished entry into the
+    :class:`~repro.obs.metrics.Trail`.  Hops arriving for a walker with
+    no open entry (an autonomous unit, or a hop after an abort) are
+    ignored — the recorder never raises on the hot path.
+    """
+
+    __slots__ = ("trail", "_open")
+
+    def __init__(self, trail: Trail) -> None:
+        self.trail = trail
+        # walker name -> [key, start, hops, dropped_hops]
+        self._open: Dict[str, list] = {}
+
+    def start(self, walker: str, key: Sequence[int], ts: float) -> None:
+        """Open an entry: ``walker`` begins traversing for ``key``."""
+        self._open[walker] = [key, ts, [], 0]
+
+    def hop(self, walker: str, addr: int, level: str, ts: float) -> None:
+        """Append one memory hop to the walker's open entry."""
+        entry = self._open.get(walker)
+        if entry is None:
+            return
+        hops: List[Tuple[float, int, str]] = entry[2]
+        if len(hops) >= self.trail.max_hops:
+            entry[3] += 1
+            return
+        hops.append((ts, addr, level))
+
+    def commit(self, walker: str, ts: float) -> None:
+        """Close the walker's open entry into the ring."""
+        entry = self._open.pop(walker, None)
+        if entry is None:
+            return
+        key, start, hops, dropped = entry
+        self.trail.record(walker, key, start, ts, hops, dropped)
+
+    def abort_all(self, ts: float) -> None:
+        """Commit every open entry as-is (an aborted offload unwinds
+        units mid-invocation; partial trails still carry provenance)."""
+        for walker in sorted(self._open):
+            self.commit(walker, ts)
+
+    @property
+    def open_walkers(self) -> List[str]:
+        """Walkers with an uncommitted entry (sorted, for diagnostics)."""
+        return sorted(self._open)

@@ -136,6 +136,7 @@ class WidxUnit:
         self._input_indexes = tuple(r.index for r in program.inputs)
         self.stats = UnitStats()
         self.tracer = None            # set via set_tracer for --trace runs
+        self.trail = None             # set via set_trail for --trails runs
         self.track = f"widx.{name}"
         self._start_time: Optional[float] = None
         self._end_time: Optional[float] = None
@@ -150,6 +151,12 @@ class WidxUnit:
     def set_tracer(self, tracer) -> None:
         """Record an "invoke" span per invocation onto ``tracer``."""
         self.tracer = tracer
+
+    def set_trail(self, recorder) -> None:
+        """Record per-invocation traversal trails (every ``LD`` hop's
+        address and servicing cache level) onto ``recorder``, a
+        :class:`~repro.widx.trail.TrailRecorder`."""
+        self.trail = recorder
 
     def configure(self, values: dict) -> None:
         """Write configuration registers (the memory-mapped config path)."""
@@ -192,6 +199,8 @@ class WidxUnit:
                 invocations = stats.invocations
                 load_inputs = self._load_inputs
                 invoke = self._invoke
+                trail = self.trail
+                name = self.name
                 while True:
                     waited_from = engine.now
                     item = yield in_queue.get()
@@ -204,7 +213,11 @@ class WidxUnit:
                     invocations.value += 1
                     if tracer is not None:
                         tracer.begin(self.track, "invoke", engine.now)
+                    if trail is not None:
+                        trail.start(name, item, engine.now)
                     yield from invoke()
+                    if trail is not None:
+                        trail.commit(name, engine.now)
                     if tracer is not None:
                         tracer.end(self.track, "invoke", engine.now)
                     self.current_item = None
@@ -240,6 +253,8 @@ class WidxUnit:
         hierarchy = self.hierarchy
         physmem = self.physmem
         instructions = stats.instructions
+        trail = self.trail
+        unit_name = self.name
         pc = 0
         pending = 1.0  # one cycle to dequeue/start the invocation
         program_len = len(ops)
@@ -261,6 +276,8 @@ class WidxUnit:
                     addr = (regs[ra] + imm) & _M64
                     now = engine.now
                     result = hierarchy.load(addr, now)
+                    if trail is not None:
+                        trail.hop(unit_name, addr, result.level, now)
                     value = physmem.read(addr, width)
                     wait = result.complete - now
                     cycles.comp += 1.0

@@ -166,3 +166,58 @@ def test_cli_trace_without_widx_points_is_empty_but_valid(tmp_path):
     assert code == 0
     assert "no Widx point" in text
     assert json.loads(trace_path.read_text()) == []
+
+
+# ---------------------------------------------------------------------------
+# walker trails through the CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_trails_round_trip_through_stats_json(tmp_path):
+    from repro.obs import Trail
+
+    stats_path = tmp_path / "stats.json"
+    trace_path = tmp_path / "trace.json"
+    code, text = run_cli("--figure", "8b", "--probes", "400",
+                         "--warmup", "100",
+                         "--stats-json", str(stats_path),
+                         "--trace", str(trace_path),
+                         "--trails", "32")
+    assert code == 0
+    assert "trails captured" in text
+
+    payload = json.loads(stats_path.read_text())
+    trail = Trail.from_dict(payload["trails"])
+    assert len(trail) == 32  # ring bound held
+    assert trail.recorded > 32  # the drill ran more probes than that
+    levels = {level for entry in trail.entries
+              for _ts, _addr, level in entry["hops"]}
+    assert levels <= {"L1", "LLC", "DRAM"} and levels
+    # The trail ring also feeds the Chrome trace: per-walker trail tracks.
+    events = json.loads(trace_path.read_text())
+    tracks = {event["args"]["name"] for event in events
+              if event["ph"] == "M"}
+    assert any(track.startswith("trail.walker") for track in tracks)
+
+
+def test_cli_stats_json_without_trails_has_no_trails_key(tmp_path):
+    stats_path = tmp_path / "stats.json"
+    trace_path = tmp_path / "trace.json"
+    code, _text = run_cli("--figure", "8b", "--probes", "400",
+                          "--warmup", "100",
+                          "--stats-json", str(stats_path),
+                          "--trace", str(trace_path))
+    assert code == 0
+    assert "trails" not in json.loads(stats_path.read_text())
+
+
+def test_cli_trails_needs_trace():
+    code, text = run_cli("--figure", "8b", "--trails", "16")
+    assert code == 2
+    assert "--trails needs --trace" in text
+
+
+def test_cli_trails_must_be_positive(tmp_path):
+    code, text = run_cli("--figure", "8b", "--trails", "0",
+                         "--trace", str(tmp_path / "trace.json"))
+    assert code == 2
+    assert "--trails must be >= 1" in text

@@ -1,0 +1,70 @@
+"""Tests for the live driver's clocks."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.live.clock import ManualClock, WallClock
+
+
+class FakeTime:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        fake = FakeTime()
+        clock = WallClock(cycles_per_second=1000.0, time_fn=fake)
+        assert clock.now() == 0.0
+
+    def test_converts_seconds_to_cycles(self):
+        fake = FakeTime()
+        clock = WallClock(cycles_per_second=1000.0, time_fn=fake)
+        fake.t += 2.5
+        assert clock.now() == pytest.approx(2500.0)
+
+    def test_seconds_until_future_cycle(self):
+        fake = FakeTime()
+        clock = WallClock(cycles_per_second=1000.0, time_fn=fake)
+        assert clock.seconds_until(500.0) == pytest.approx(0.5)
+
+    def test_seconds_until_past_cycle_is_zero(self):
+        fake = FakeTime()
+        clock = WallClock(cycles_per_second=1000.0, time_fn=fake)
+        fake.t += 1.0
+        assert clock.seconds_until(500.0) == 0.0
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ServeError):
+            WallClock(cycles_per_second=0.0)
+
+    def test_real_monotonic_default_is_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        assert clock.now() >= first >= 0.0
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_advance_moves_forward(self):
+        clock = ManualClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.now() == 10.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ServeError):
+            ManualClock().advance(-1.0)
+
+    def test_advance_to_is_monotonic(self):
+        clock = ManualClock()
+        clock.advance_to(50.0)
+        clock.advance_to(25.0)  # no-op, never goes backwards
+        assert clock.now() == 50.0
+
+    def test_seconds_until_is_always_zero(self):
+        assert ManualClock().seconds_until(1.0e9) == 0.0

@@ -1,0 +1,182 @@
+"""Tests for the Trail metric: the bounded per-request traversal ring."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import StatsRegistry, Tracer, Trail
+from repro.obs.metrics import decode_metric
+
+
+def entry(seq, walker="walker0", hops=2):
+    """One synthetic traversal with ``hops`` pointer chases."""
+    start = float(seq * 100)
+    return dict(walker=walker, key=[seq], start=start, end=start + 50.0,
+                hops=[(start + 10.0 * (i + 1), 0x1000 + 64 * i,
+                       ("L1", "LLC", "DRAM")[i % 3]) for i in range(hops)])
+
+
+def record(trail, **kwargs):
+    e = entry(**kwargs) if kwargs else entry(0)
+    trail.record(e["walker"], e["key"], e["start"], e["end"], e["hops"])
+    return e
+
+
+class TestRecording:
+    def test_entries_keep_walker_key_times_and_hops(self):
+        trail = Trail(capacity=4)
+        record(trail, seq=3, hops=2)
+        assert len(trail) == 1
+        got = trail.entries[0]
+        assert got["walker"] == "walker0"
+        assert got["key"] == [3]
+        assert got["start"] == 300.0 and got["end"] == 350.0
+        assert got["hops"] == [[310.0, 0x1000, "L1"], [320.0, 0x1040, "LLC"]]
+        assert got["dropped"] == 0
+
+    def test_ring_keeps_only_the_last_capacity_entries(self):
+        trail = Trail(capacity=3)
+        for seq in range(8):
+            record(trail, seq=seq)
+        assert len(trail) == 3
+        assert [e["key"] for e in trail.entries] == [[5], [6], [7]]
+        assert trail.recorded == 8
+        assert trail.dropped_entries == 5
+
+    def test_hops_past_max_hops_are_counted_not_stored(self):
+        trail = Trail(capacity=4, max_hops=3)
+        record(trail, seq=0, hops=7)
+        got = trail.entries[0]
+        assert len(got["hops"]) == 3
+        assert got["dropped"] == 4
+        assert trail.dropped_hops == 4
+
+    def test_recorder_side_drops_accumulate(self):
+        # A TrailRecorder that already truncated passes its own count.
+        trail = Trail(capacity=4, max_hops=8)
+        e = entry(0, hops=2)
+        trail.record(e["walker"], e["key"], e["start"], e["end"],
+                     e["hops"], dropped_hops=5)
+        assert trail.entries[0]["dropped"] == 5
+        assert trail.dropped_hops == 5
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(SimulationError, match="capacity"):
+            Trail(capacity=0)
+        with pytest.raises(SimulationError, match="max_hops"):
+            Trail(max_hops=0)
+
+
+class TestSerialization:
+    def test_round_trip_through_json(self):
+        trail = Trail(capacity=4, max_hops=3)
+        for seq in range(6):
+            record(trail, seq=seq, hops=5)
+        revived = Trail.from_dict(json.loads(json.dumps(trail.to_dict())))
+        assert revived == trail
+        assert revived.recorded == 6
+        assert revived.dropped_entries == 2
+        assert revived.dropped_hops == trail.dropped_hops
+
+    def test_decode_metric_dispatches_on_kind(self):
+        trail = Trail(capacity=2)
+        record(trail)
+        revived = decode_metric(trail.to_dict())
+        assert isinstance(revived, Trail)
+        assert revived == trail
+
+    def test_merge_concatenates_and_rebounds(self):
+        left, right = Trail(capacity=3), Trail(capacity=3)
+        for seq in range(2):
+            record(left, seq=seq)
+        for seq in range(2, 5):
+            record(right, seq=seq)
+        left.merge_from(right)
+        assert [e["key"] for e in left.entries] == [[2], [3], [4]]
+        assert left.recorded == 5
+        assert left.dropped_entries == 2
+
+
+class TestRegistryIntegration:
+    def test_scope_trail_is_get_or_create(self):
+        registry = StatsRegistry()
+        scope = registry.scope("widx")
+        trail = scope.trail("trails", capacity=8)
+        assert scope.trail("trails") is trail
+        assert registry.get("widx.trails") is trail
+
+    def test_trail_path_rejects_other_kinds(self):
+        registry = StatsRegistry()
+        registry.counter("widx.trails")
+        with pytest.raises(SimulationError, match="not a Trail"):
+            registry.trail("widx.trails")
+
+    def test_merge_with_trails_and_distributions_across_scopes(self):
+        # Two worker registries, each with a Trail and a Distribution
+        # under different scopes, fold into one campaign registry.
+        def worker(offset):
+            registry = StatsRegistry()
+            widx = registry.scope("widx")
+            serve = registry.scope("serve")
+            trail = widx.trail("trails", capacity=4)
+            for seq in range(offset, offset + 2):
+                record(trail, seq=seq)
+            for value in range(offset, offset + 3):
+                serve.distribution("latency").record(100.0 * (value + 1))
+            serve.counter("completed").value += 3
+            return registry
+
+        campaign = StatsRegistry()
+        campaign.merge(worker(0))
+        campaign.merge(worker(10))  # second merge goes through to_dict
+        trail = campaign.get("widx.trails")
+        assert isinstance(trail, Trail)
+        assert [e["key"] for e in trail.entries] == [[0], [1], [10], [11]]
+        assert campaign.get("serve.latency").count == 6
+        assert campaign.get("serve.completed").value == 6
+
+    def test_merge_rejects_trail_into_distribution(self):
+        left, right = StatsRegistry(), StatsRegistry()
+        left.distribution("x")
+        trail = right.trail("x")
+        record(trail)
+        with pytest.raises(SimulationError, match="cannot merge"):
+            left.merge(right)
+
+    def test_merged_snapshot_round_trips(self):
+        registry = StatsRegistry()
+        record(registry.trail("widx.trails"), seq=1)
+        registry.distribution("serve.latency").record(42.0)
+        revived = StatsRegistry.from_dict(
+            json.loads(json.dumps(registry.to_dict())))
+        assert revived.get("widx.trails") == registry.get("widx.trails")
+        assert (revived.get("serve.latency").to_dict()
+                == registry.get("serve.latency").to_dict())
+
+
+class TestTracerExport:
+    def test_feed_tracer_emits_invocation_and_hop_spans(self):
+        trail = Trail(capacity=4)
+        record(trail, seq=0, hops=3)
+        tracer = Tracer()
+        trail.feed_tracer(tracer)
+        spans = [e for e in tracer.to_chrome() if e["ph"] == "X"]
+        names = [s["name"] for s in spans]
+        assert any(name.startswith("probe:") for name in names)
+        assert any(name.startswith("L1@0x") for name in names)
+        # Hop spans last until the next hop; the final one until the
+        # traversal's end (start 0 -> end 50, last hop at 30).
+        last_hop = max((s for s in spans if "@0x" in s["name"]),
+                       key=lambda s: s["ts"])
+        assert last_hop["dur"] == pytest.approx(50.0 - 30.0)
+
+    def test_tracks_are_per_walker_with_prefix(self):
+        trail = Trail(capacity=4)
+        record(trail, seq=0, walker="walker0")
+        record(trail, seq=1, walker="walker1")
+        tracer = Tracer()
+        trail.feed_tracer(tracer, prefix="t")
+        threads = {e["args"]["name"] for e in tracer.to_chrome()
+                   if e["ph"] == "M"}
+        assert {"t.walker0", "t.walker1"} <= threads

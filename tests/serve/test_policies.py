@@ -199,3 +199,52 @@ def test_wrapper_constructor_validation():
         TimeoutPolicy(float("inf"), FifoPolicy())
     with pytest.raises(ServeError):
         TimeoutPolicy(0.0, FifoPolicy())
+
+
+# ---------------------------------------------------------------------------
+# parse_policy hardening: malformed and duplicated wrapper specs
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", ["shed:4:shed:8", "timeout:10:timeout:20",
+                                  "shed:4:timeout:10:shed:2",
+                                  "timeout:5:shed:4:timeout:9:fifo"])
+def test_parse_policy_rejects_duplicate_wrappers(spec):
+    with pytest.raises(ServeError) as excinfo:
+        parse_policy(spec)
+    assert "duplicate" in str(excinfo.value)
+    assert repr(spec) in str(excinfo.value)
+
+
+@pytest.mark.parametrize("spec", ["shed:4:", "timeout:10:", "fifo:",
+                                  "shed:4::fifo", ":fifo", ":", ""])
+def test_parse_policy_rejects_empty_tokens(spec):
+    with pytest.raises(ServeError):
+        parse_policy(spec)
+
+
+def test_parse_policy_error_names_offending_token():
+    with pytest.raises(ServeError) as excinfo:
+        parse_policy("shed:8:lifo")
+    message = str(excinfo.value)
+    assert "'lifo'" in message          # the offending token, by name
+    assert "fifo" in message            # ... and the valid policies
+    assert "deadline" in message
+    assert "timeout" in message
+
+
+def test_parse_policy_error_lists_valid_policies_on_arity():
+    with pytest.raises(ServeError) as excinfo:
+        parse_policy("size:2:3")
+    message = str(excinfo.value)
+    assert "'size:2:3'" in message
+    assert "valid policies" in message
+
+
+def test_parse_policy_mixed_wrappers_still_compose():
+    """Hardening must not reject the supported mixed nesting."""
+    from repro.serve.policies import (admission_depth, base_policy,
+                                      request_timeout)
+    policy = parse_policy("shed:8:timeout:1000:size:2")
+    assert admission_depth(policy) == 8
+    assert request_timeout(policy) == 1000.0
+    assert isinstance(base_policy(policy), BatchBySize)
