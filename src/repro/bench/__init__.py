@@ -24,6 +24,13 @@ Three benchmarks cover the three overhauled layers:
     timed end-to-end on the optimized stack versus the full naive stack
     (reference engine + reference cache levels + reference interpreter).
 
+``pim_fig8_point``
+    The same offloaded bulk probe on the bank-side walker backend
+    (:mod:`repro.pim`), timed on the optimized stack versus the full
+    naive PIM stack (reference engine + reference bank-buffer array +
+    reference interpreter via :func:`~repro.pim.use_reference_pim_memory`
+    and :class:`~repro.pim.ReferencePimUnit`).
+
 Two more cover bulk mode, where the reference twin is the *production*
 discrete-event path itself (bulk's contract is bit identity with it):
 
@@ -87,7 +94,10 @@ from ..db.types import DataType
 from ..mem.cache import CacheArray
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.layout import AddressSpace
+from ..mem.pimside import PimBankMemory
 from ..mem.reference import ReferenceCacheArray, use_reference_arrays
+from ..pim import (ReferencePimUnit, pim_config,
+                   use_reference_pim_memory)
 from ..serve.faults import WalkerFaultModel
 from ..serve.policies import FifoPolicy, parse_policy
 from ..serve.service import ServiceModel
@@ -105,6 +115,10 @@ FLOORS: Dict[str, float] = {
     "engine_dispatch": 1.5,
     "cache_probe": 1.5,
     "fig8_point": 1.25,
+    # The PIM stack's hot loop is the same interpreter + engine; the
+    # bank-port model is cheap on both sides, so the optimized stack
+    # must still beat the naive twin, if by a smaller margin.
+    "pim_fig8_point": 1.0,
     "bulk_fig8_point": 5.0,
     "bulk_serve_sweep": 10.0,
     # Parity benchmark: the resilient clean path versus the plain DES.
@@ -381,6 +395,59 @@ def bench_fig8_point(repeats: int) -> BenchResult:
         optimized_s=optimized_s,
         reference_s=reference_s,
         fingerprint={
+            "total_cycles": total_cycles,
+            "matches": matches,
+            "payloads_crc": _crc(payloads),
+            "instructions": sum(count[1] for count in unit_counts),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# pim_fig8_point: the same offload on bank-side walkers, vs naive stack
+# ----------------------------------------------------------------------
+
+_PIM_BANKS = 8
+
+
+def bench_pim_fig8_point(repeats: int) -> BenchResult:
+    """Time one bank-side (PIM) Figure-8 point against its naive stack.
+
+    Same workload and walker count as ``fig8_point``, but the offload
+    runs on walkers colocated with the DRAM banks.  The reference twin
+    swaps in the naive engine, the naive interpreter and the reference
+    bank-buffer array, and the two stacks must agree bit-for-bit on
+    cycles, matches and payloads before a speedup is reported.
+    """
+    config = pim_config(walkers=_FIG8_WALKERS, banks=_PIM_BANKS)
+
+    def run_optimized(state):
+        index, column = state
+        outcome = offload_probe(index, column, config=config,
+                                probes=_FIG8_PROBES)
+        return _fig8_outcome_key(outcome)
+
+    def run_reference(state):
+        index, column = state
+        outcome = offload_probe(
+            index, column, config=config, probes=_FIG8_PROBES,
+            memory=use_reference_pim_memory(PimBankMemory(config)),
+            engine=ReferenceEngine(),
+            unit_cls=ReferencePimUnit)
+        return _fig8_outcome_key(outcome)
+
+    optimized_s, opt = _time_best(_build_fig8_inputs, run_optimized, repeats)
+    reference_s, ref = _time_best(_build_fig8_inputs, run_reference, repeats)
+    if opt != ref:
+        raise AssertionError(
+            "pim benchmark: optimized and reference stacks diverged")
+    total_cycles, matches, payloads, unit_counts = opt
+    return BenchResult(
+        name="pim_fig8_point",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "banks": _PIM_BANKS,
             "total_cycles": total_cycles,
             "matches": matches,
             "payloads_crc": _crc(payloads),
@@ -721,6 +788,7 @@ BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
     "engine_dispatch": bench_engine_dispatch,
     "cache_probe": bench_cache_probe,
     "fig8_point": bench_fig8_point,
+    "pim_fig8_point": bench_pim_fig8_point,
     "bulk_fig8_point": bench_bulk_fig8_point,
     "bulk_serve_sweep": bench_bulk_serve_sweep,
     "resilience_sweep": bench_resilience_sweep,

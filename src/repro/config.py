@@ -173,8 +173,44 @@ WIDX_MODES = ("coupled", "private", "shared")
 
 #: Widx placements (Section 7): ``core`` shares the host core's MMU and
 #: L1-D (the paper's design); ``llc`` sits next to the LLC with its own
-#: translation logic and a dedicated low-latency buffer.
-WIDX_PLACEMENTS = ("core", "llc")
+#: translation logic and a dedicated low-latency buffer; ``pim`` moves the
+#: walkers into the memory itself, next to the DRAM banks (the HashMem
+#: design point the 2013 paper could not evaluate).
+WIDX_PLACEMENTS = ("core", "llc", "pim")
+
+
+@dataclass(frozen=True)
+class PimConfig:
+    """Near-memory (PIM) walker attachment point.
+
+    Walkers colocated with the DRAM banks see the array directly: a node
+    hop costs one bank-local row access (``bank_access_ns``, cheaper than
+    the full off-chip round trip) and never traverses the LLC or the
+    crossbar.  The costs of leaving the host side are explicit instead:
+    ``launch_cycles`` charges the host↔PIM command exchange that arms the
+    walkers (paid once per offload, on top of the normal control-block
+    load), and results return to the host over the existing interconnect.
+    ``walkers_per_bank`` caps how many in-flight accesses one bank
+    sustains — bank conflicts serialize, which is what bounds PIM scaling.
+    """
+
+    num_banks: int = 8
+    walkers_per_bank: int = 2
+    launch_cycles: float = 500.0
+    bank_access_ns: float = 25.0
+
+    def __post_init__(self) -> None:
+        _require(1 <= self.num_banks <= 64, "bank count must be in [1, 64]")
+        _require(1 <= self.walkers_per_bank <= 16,
+                 "per-bank walker limit must be in [1, 16]")
+        _require(self.launch_cycles >= 0,
+                 "host-to-PIM launch latency must be >= 0")
+        _require(self.bank_access_ns > 0,
+                 "bank access latency must be positive")
+
+    def bank_latency_cycles(self, freq_ghz: float) -> int:
+        """Bank-local row access latency expressed in core cycles."""
+        return round(self.bank_access_ns * freq_ghz)
 
 
 @dataclass(frozen=True)
@@ -226,6 +262,7 @@ class SystemConfig:
     inorder: CoreConfig = field(default_factory=lambda: CoreConfig(
         name="inorder", issue_width=2, rob_entries=2, out_of_order=False))
     widx: WidxConfig = field(default_factory=WidxConfig)
+    pim: PimConfig = field(default_factory=PimConfig)
 
     def __post_init__(self) -> None:
         _require(self.freq_ghz > 0, "frequency must be positive")
@@ -241,6 +278,10 @@ class SystemConfig:
     def with_widx(self, **kwargs: object) -> "SystemConfig":
         """A copy of this config with Widx fields overridden."""
         return replace(self, widx=replace(self.widx, **kwargs))
+
+    def with_pim(self, **kwargs: object) -> "SystemConfig":
+        """A copy of this config with PIM fields overridden."""
+        return replace(self, pim=replace(self.pim, **kwargs))
 
     def canonical_dict(self) -> dict:
         """A plain nested dict of every parameter, for stable serialization."""

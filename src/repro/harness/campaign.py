@@ -70,11 +70,12 @@ class MeasurementPoint:
 
     kind: str          # "kernel" | "query"
     name: str          # kernel size ("Small") or query id ("tpch:20")
-    op: str            # "baseline" | "widx" | "serve"
+    op: str            # "baseline" | "widx" | "pim" | "serve"
     core: str = ""     # baseline: "ooo" | "inorder"; serve: backend
-    walkers: int = 0   # widx / serve-on-widx only
-    mode: str = ""     # widx / serve-on-widx only: Widx organization
+    walkers: int = 0   # widx / pim / serve-on-widx only
+    mode: str = ""     # widx / pim / serve-on-widx only: Widx organization
     batch: int = 0     # serve only: probe keys in the calibrated batch
+    banks: int = 0     # pim only: DRAM banks the walkers interleave over
 
     def cache_tuple(self) -> Tuple:
         """The :class:`MeasurementCache` key this point populates."""
@@ -83,6 +84,9 @@ class MeasurementPoint:
         if self.op == "serve":
             return ("serve", self.kind, self.name, self.core,
                     self.walkers, self.mode, self.batch)
+        if self.op == "pim":
+            return ("pim", self.kind, self.name, self.walkers, self.mode,
+                    self.banks)
         return ("widx", self.kind, self.name, self.walkers, self.mode)
 
     @property
@@ -94,8 +98,10 @@ class MeasurementPoint:
         if self.op == "baseline":
             return (0, _CORE_ORDER.get(self.core, 99), self.core)
         if self.op == "serve":
-            return (2, _CORE_ORDER.get(self.core, 99), self.core,
+            return (3, _CORE_ORDER.get(self.core, 99), self.core,
                     self.walkers, self.mode, self.batch)
+        if self.op == "pim":
+            return (2, self.banks, self.walkers, self.mode)
         return (1, self.walkers, self.mode)
 
 
@@ -109,6 +115,13 @@ def widx_point(kind: str, name: str, walkers: int,
     """A Widx-offload measurement point."""
     return MeasurementPoint(kind=kind, name=name, op="widx",
                             walkers=walkers, mode=mode)
+
+
+def pim_point(kind: str, name: str, walkers: int, banks: int,
+              mode: str = "shared") -> MeasurementPoint:
+    """A near-memory (bank-side walker) offload measurement point."""
+    return MeasurementPoint(kind=kind, name=name, op="pim",
+                            walkers=walkers, mode=mode, banks=banks)
 
 
 def serve_point(kind: str, name: str, backend: str, batch_keys: int,
@@ -263,6 +276,9 @@ def _measure_point(cache: MeasurementCache, point: MeasurementPoint):
     if point.op == "serve":
         return cache.service(point.kind, point.name, point.core, point.batch,
                              point.walkers, point.mode)
+    if point.op == "pim":
+        return cache.pim(point.kind, point.name, point.walkers, point.banks,
+                         point.mode)
     return cache.widx(point.kind, point.name, point.walkers, point.mode)
 
 

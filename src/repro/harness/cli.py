@@ -40,8 +40,8 @@ from .cachestore import CacheStore
 from .chaos import ChaosSpec, ChaosStore
 from .report import Report, failure_report
 from .runner import MeasurementCache, RunSettings
-from . import (fig2, fig4, fig5, fig8, fig9, fig10, fig11, figresilience,
-               figserve)
+from . import (fig2, fig4, fig5, fig8, fig9, fig10, fig11, figpim,
+               figresilience, figserve)
 
 #: Experiment registry: name -> (needs_measurements, runner, points).
 #: ``points`` declares the measurement points the runner will consume so
@@ -64,7 +64,13 @@ EXPERIMENTS: Dict[str, tuple] = {
     "serve": (True, figserve.run_fig_serve, figserve.points_fig_serve),
     "resilience": (True, figresilience.run_fig_resilience,
                    figresilience.points_fig_resilience),
+    "pim": (True, figpim.run_fig_pim, figpim.points_fig_pim),
 }
+
+#: Experiments whose point declarations and runners grow a bank-side
+#: walker column under ``--pim`` (the ``pim`` figure itself always runs
+#: the PIM sweep and needs no flag).
+PIM_AWARE = ("8b", "serve", "resilience")
 
 _FAST = {name for name, (needs, _, _) in EXPERIMENTS.items() if not needs}
 
@@ -114,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chaos-rate", type=float, default=0.25, metavar="R",
                         help="per-fault-site injection probability for "
                              "--chaos (default: 0.25)")
+    parser.add_argument("--pim", action="store_true",
+                        help="add the bank-side walker backend (near-memory "
+                             "PIM) as an extra column in fig8b, fig-serve "
+                             "and fig-resilience; the dedicated fig-pim "
+                             "sweep runs it regardless")
     parser.add_argument("--bulk", action="store_true",
                         help="evaluate independent probes and requests as "
                              "array programs instead of event streams "
@@ -152,11 +163,14 @@ def build_parser() -> argparse.ArgumentParser:
 def resolve_figures(raw: List[str]) -> List[str]:
     """Expand user-supplied ``--figure`` tokens to experiment ids.
 
-    Accepts exact ids (``8b``), ids with a ``fig`` prefix (``fig8b``) and
-    bare figure numbers (``8`` or ``fig8``), which select every matching
-    panel (``8a`` and ``8b``).  Raises :class:`ValueError` naming the bad
-    token when nothing matches.  Duplicates are dropped, first occurrence
-    wins.
+    Accepts exact ids (``8b``), ids with a ``fig`` prefix (``fig8b``,
+    ``fig-serve``, ``fig-pim``) and bare figure numbers (``8`` or
+    ``fig8``), which select every lettered panel (``8a`` and ``8b``).
+    Panel expansion applies only to all-digit tokens — anything else must
+    match an id exactly, so a typo like ``--figure s`` is rejected
+    instead of silently selecting ``serve``.  Raises :class:`ValueError`
+    naming the bad token and the valid ids when nothing matches.
+    Duplicates are dropped, first occurrence wins.
     """
     names: List[str] = []
     for token in raw:
@@ -166,11 +180,14 @@ def resolve_figures(raw: List[str]) -> List[str]:
             cleaned = cleaned[3:].lstrip("-")
         if cleaned in EXPERIMENTS:
             matches = [cleaned]
-        else:
+        elif cleaned.isdigit():
+            # A bare figure number selects all of its lettered panels.
             matches = sorted(
                 name for name in EXPERIMENTS
                 if name.startswith(cleaned) and name[len(cleaned):].isalpha())
-        if not cleaned or not matches:
+        else:
+            matches = []
+        if not matches:
             known = ", ".join(sorted(EXPERIMENTS, key=_sort_key))
             raise ValueError(
                 f"unknown figure {token!r} (choose from: {known})")
@@ -195,13 +212,22 @@ def _sort_key(name: str):
     return (int(digits) if digits else 99, name)
 
 
-def campaign_points(names: List[str]) -> List[MeasurementPoint]:
-    """Every measurement point the named experiments declare (with dups)."""
+def campaign_points(names: List[str],
+                    pim: bool = False) -> List[MeasurementPoint]:
+    """Every measurement point the named experiments declare (with dups).
+
+    ``pim`` forwards ``include_pim=True`` to the experiments in
+    :data:`PIM_AWARE` so their bank-side walker columns are prefetched
+    alongside the host-side points.
+    """
     points: List[MeasurementPoint] = []
     for name in names:
         _needs, _runner, declare = EXPERIMENTS[name]
         if declare is not None:
-            points.extend(declare())
+            if pim and name in PIM_AWARE:
+                points.extend(declare(include_pim=True))
+            else:
+                points.extend(declare())
     return points
 
 
@@ -215,7 +241,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                     bulk: bool = False,
                     serve_slo: Optional[float] = None,
                     serve_controller: Optional[str] = None,
-                    trails: Optional[int] = None) -> List[Report]:
+                    trails: Optional[int] = None,
+                    pim: bool = False) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -224,6 +251,10 @@ def run_experiments(names: List[str], settings: RunSettings,
     renders every figure it can: a driver whose points are poisoned is
     reported as failed (with the failure manifest) instead of aborting
     the whole run.
+
+    ``pim`` threads ``include_pim=True`` through the point declarations
+    and runners of the :data:`PIM_AWARE` figures, adding the bank-side
+    walker column (``--pim``); other figures ignore it.
 
     ``stats_json`` writes the merged stats-registry snapshot plus every
     report (via :meth:`Report.to_dict`) as JSON; ``trace`` re-runs one
@@ -236,7 +267,7 @@ def run_experiments(names: List[str], settings: RunSettings,
     if chaos is not None and store is not None:
         store = ChaosStore(store, chaos)
     cache = MeasurementCache(runs=settings, store=store, bulk=bulk)
-    points = campaign_points(names)
+    points = campaign_points(names, pim=pim)
     failures = []
     if points:
         started = time.time()
@@ -255,9 +286,12 @@ def run_experiments(names: List[str], settings: RunSettings,
             if name == "serve":
                 report = runner(cache, serve_policy, bulk=bulk,
                                 slo=serve_slo,
-                                controller_spec=serve_controller)
+                                controller_spec=serve_controller,
+                                include_pim=pim)
             elif name == "resilience":
-                report = runner(cache, bulk=bulk)
+                report = runner(cache, bulk=bulk, include_pim=pim)
+            elif pim and name in PIM_AWARE:
+                report = runner(cache, include_pim=True)
             else:
                 report = runner(cache)
         except MeasurementFailed as exc:
@@ -436,7 +470,7 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                         serve_policy=args.serve_policy, bulk=args.bulk,
                         serve_slo=args.serve_slo,
                         serve_controller=args.serve_controller,
-                        trails=args.trails)
+                        trails=args.trails, pim=args.pim)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

@@ -16,18 +16,31 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from .campaign import MeasurementPoint, kernel_points
+from .campaign import MeasurementPoint, kernel_points, pim_point
 from .report import Report
 from .runner import MeasurementCache, geomean, measure_kernel
 
 KERNEL_ORDER = ("Small", "Medium", "Large")
 
+#: The PIM column added by ``--pim``: bank-side walkers at the paper's
+#: best walker count, on the default bank geometry.
+PIM_WALKERS = 4
+PIM_BANKS = 8
+
 
 def points_fig8(sizes: Iterable[str] = KERNEL_ORDER,
                 walker_counts: Iterable[int] = (1, 2, 4),
-                ) -> "list[MeasurementPoint]":
-    """Measurement points Figures 8a/8b need (identical for both)."""
-    return kernel_points(sizes, walker_counts)
+                include_pim: bool = False) -> "list[MeasurementPoint]":
+    """Measurement points Figures 8a/8b need (identical for both).
+
+    ``include_pim`` adds one bank-side offload per size for the
+    cross-backend speedup column (``--pim``).
+    """
+    points = kernel_points(sizes, walker_counts)
+    if include_pim:
+        for size in sizes:
+            points.append(pim_point("kernel", size, PIM_WALKERS, PIM_BANKS))
+    return points
 
 
 def run_fig8a(cache: MeasurementCache,
@@ -61,19 +74,37 @@ def run_fig8a(cache: MeasurementCache,
 
 def run_fig8b(cache: MeasurementCache,
               sizes: Iterable[str] = KERNEL_ORDER,
-              walker_counts: Iterable[int] = (1, 2, 4)) -> Report:
-    """Figure 8b: kernel indexing speedup over the OoO baseline."""
+              walker_counts: Iterable[int] = (1, 2, 4),
+              include_pim: bool = False) -> Report:
+    """Figure 8b: kernel indexing speedup over the OoO baseline.
+
+    ``include_pim`` appends a bank-side walker column (the cross-backend
+    comparison the 2013 paper couldn't run); PIM speedups charge the
+    amortized host↔PIM launch alongside the traversal cycles.  Default
+    off, leaving the report byte-identical to the committed golden.
+    """
     walker_counts = list(walker_counts)
+    columns = ["size", "ooo"] + [f"{n}_walkers" for n in walker_counts]
+    if include_pim:
+        columns.append(f"pim_{PIM_WALKERS}w")
     report = Report(
         title="Figure 8b: kernel indexing speedup over the OoO baseline",
-        columns=["size", "ooo"] + [f"{n}_walkers" for n in walker_counts])
+        columns=columns)
     speedups_by_walkers = {n: [] for n in walker_counts}
+    pim_speedups = []
     for size in sizes:
         measurement = measure_kernel(cache, size, walker_counts)
         row = [size, 1.0]
         for walkers in walker_counts:
             speedup = measurement.speedup(walkers)
             speedups_by_walkers[walkers].append(speedup)
+            row.append(speedup)
+        if include_pim:
+            outcome = cache.pim("kernel", size, PIM_WALKERS, PIM_BANKS)
+            run = outcome.run
+            pim_cpt = (run.total_cycles + run.config_cycles) / run.tuples
+            speedup = measurement.ooo.cycles_per_tuple / pim_cpt
+            pim_speedups.append(speedup)
             row.append(speedup)
         report.add_row(*row)
     for walkers in walker_counts:
@@ -82,4 +113,9 @@ def run_fig8b(cache: MeasurementCache,
             f"{geomean(speedups_by_walkers[walkers]):.2f}x "
             + ("(paper: ~1.04x)" if walkers == 1 else
                "(paper: up to 4x on Large)" if walkers == 4 else ""))
+    if include_pim:
+        report.add_note(
+            f"pim: {PIM_WALKERS} bank-side walkers over {PIM_BANKS} banks, "
+            f"geomean speedup {geomean(pim_speedups):.2f}x (launch latency "
+            f"amortized over the bulk probe)")
     return report

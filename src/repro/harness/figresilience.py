@@ -27,8 +27,8 @@ from ..serve.policies import parse_policy
 from ..serve.simulate import ResilienceConfig, ServeResult, run_open_loop
 from ..serve.faults import WalkerFaultModel
 from .campaign import MeasurementPoint
-from .figserve import (BACKENDS, SERVE_NAME, SWEEP_REQUESTS, points_fig_serve,
-                       service_model)
+from .figserve import (BACKENDS, PIM_BACKEND, SERVE_NAME, SWEEP_REQUESTS,
+                       points_fig_serve, service_model)
 from .report import Report
 from .runner import MeasurementCache
 
@@ -55,26 +55,33 @@ SLO_SERVICE_MULTIPLE = 20.0
 FAULT_BACKENDS = tuple(entry for entry in BACKENDS if entry[2] > 0)
 
 
-def points_fig_resilience() -> List[MeasurementPoint]:
+def _fault_backends(include_pim: bool):
+    """The fault-swept backends; bank-side walkers die like any others."""
+    return FAULT_BACKENDS + ((PIM_BACKEND,) if include_pim else ())
+
+
+def points_fig_resilience(include_pim: bool = False) -> List[MeasurementPoint]:
     """Same calibration points as fig-serve (shared cache keys)."""
-    return points_fig_serve()
+    return points_fig_serve(include_pim)
 
 
 def run_fig_resilience(cache: MeasurementCache,
                        policy_spec: str = f"shed:{SHED_DEPTH}",
-                       bulk: bool = False) -> Report:
+                       bulk: bool = False,
+                       include_pim: bool = False) -> Report:
     """The resilience figure: goodput and shed fraction per backend
     across a walker-fault-rate x offered-load grid."""
     parse_policy(policy_spec)  # fail fast on a bad spec
     fallback = service_model(cache, *_backend_args("inorder"))
     cores = cache.config.num_cores
+    fault_backends = _fault_backends(include_pim)
     report = Report(
         title=f"Resilience: goodput under walker faults on the "
               f"{SERVE_NAME} kernel (SLO = {SLO_SERVICE_MULTIPLE:g}x "
               f"unloaded service time, policy={policy_spec})",
         columns=["backend", "rate", "load", "offered", "goodput",
                  "shed_frac", "served", "expired", "faults", "p99"])
-    for label, backend, walkers, mode in FAULT_BACKENDS:
+    for label, backend, walkers, mode in fault_backends:
         model = service_model(cache, label, backend, walkers, mode)
         saturation = cores * model.saturation_rate()
         slo = SLO_SERVICE_MULTIPLE * model.cycles_for(1)
@@ -95,7 +102,7 @@ def run_fig_resilience(cache: MeasurementCache,
                                round(result.shed_fraction, 4),
                                result.completed, result.expired,
                                result.faults, result.p99)
-    for label, backend, walkers, mode in FAULT_BACKENDS:
+    for label, backend, walkers, mode in fault_backends:
         model = service_model(cache, label, backend, walkers, mode)
         report.add_note(
             f"{label}: SLO {SLO_SERVICE_MULTIPLE * model.cycles_for(1):.1f} "

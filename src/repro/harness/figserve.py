@@ -46,6 +46,10 @@ BACKENDS: Tuple[Tuple[str, str, int, str], ...] = (
     ("widx-4", "widx", 4, "shared"),
 )
 
+#: The bank-side walker backend added by ``--pim``: same walker count as
+#: the strongest Widx column, attached at the DRAM banks.
+PIM_BACKEND: Tuple[str, str, int, str] = ("pim-4", "pim", 4, "shared")
+
 #: Offered load sweep, as fractions of each backend's saturation rate.
 LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
 
@@ -53,10 +57,15 @@ LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
 SWEEP_REQUESTS = 512
 
 
-def points_fig_serve() -> List[MeasurementPoint]:
+def _backends(include_pim: bool) -> Tuple[Tuple[str, str, int, str], ...]:
+    """The swept backends, with the PIM column appended on request."""
+    return BACKENDS + ((PIM_BACKEND,) if include_pim else ())
+
+
+def points_fig_serve(include_pim: bool = False) -> List[MeasurementPoint]:
     """The calibration measurements the serving sweep needs."""
     points = []
-    for _label, backend, walkers, mode in BACKENDS:
+    for _label, backend, walkers, mode in _backends(include_pim):
         for batch in CALIBRATED_BATCHES:
             points.append(serve_point(SERVE_KIND, SERVE_NAME, backend,
                                       batch * KEYS_PER_REQUEST,
@@ -106,15 +115,19 @@ def run_fig_serve(cache: MeasurementCache,
                   policy_spec: str = "fifo",
                   bulk: bool = False,
                   slo: Optional[float] = None,
-                  controller_spec: Optional[str] = None) -> Report:
+                  controller_spec: Optional[str] = None,
+                  include_pim: bool = False) -> Report:
     """The serving figure: offered load vs achieved throughput and
     latency percentiles, per backend.
 
     ``slo`` (cycles) adds goodput/shed columns via the resilient serving
     path; ``controller_spec`` (see :func:`~repro.serve.control
     .parse_controller`) additionally closes the degraded-mode control
-    loop.  Both default off, leaving the report byte-identical to the
-    pre-resilience figure.
+    loop.  ``include_pim`` sweeps the bank-side walker backend alongside
+    the others (``--pim``) — its service times carry the per-batch
+    host↔PIM launch latency, so it answers whether near-memory wins
+    survive a serving workload's small batches.  All three default off,
+    leaving the report byte-identical to the pre-resilience figure.
     """
     parse_policy(policy_spec)  # fail fast on a bad spec
     resilience = None
@@ -134,8 +147,9 @@ def run_fig_serve(cache: MeasurementCache,
               f"{SERVE_NAME} kernel ({KEYS_PER_REQUEST} keys/request, "
               f"policy={policy_spec}{title_extra})",
         columns=columns)
+    backends = _backends(include_pim)
     saturations = {}
-    for label, backend, walkers, mode in BACKENDS:
+    for label, backend, walkers, mode in backends:
         model = service_model(cache, label, backend, walkers, mode)
         cores = cache.config.num_cores
         saturations[label] = cores * model.saturation_rate()
@@ -147,7 +161,7 @@ def run_fig_serve(cache: MeasurementCache,
             if resilience is not None:
                 row += [round(result.goodput, 4), result.shed]
             report.add_row(*row)
-    for label, _backend, _walkers, _mode in BACKENDS:
+    for label, _backend, _walkers, _mode in backends:
         report.add_note(
             f"{label}: saturation {saturations[label]:.3f} requests/kcycle "
             f"across {cache.config.num_cores} cores")
@@ -157,6 +171,13 @@ def run_fig_serve(cache: MeasurementCache,
         f"widx-1 sustains {widx_sat / inorder_sat:.2f}x the in-order "
         f"saturation load at equal walker/core count"
         + ("" if widx_sat > inorder_sat else " (UNEXPECTED: not faster)"))
+    if include_pim:
+        pim_label = PIM_BACKEND[0]
+        widx_peer = f"widx-{PIM_BACKEND[2]}"
+        ratio = saturations[pim_label] / saturations[widx_peer]
+        report.add_note(
+            f"{pim_label} sustains {ratio:.2f}x the {widx_peer} saturation "
+            f"load (per-batch host-to-PIM launch included)")
     report.add_note("latencies in cycles; load is the fraction of each "
                     "backend's own saturation rate")
     return report

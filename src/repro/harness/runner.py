@@ -268,6 +268,30 @@ class MeasurementCache:
             self.install(point, result)
         return result  # type: ignore[return-value]
 
+    def pim(self, kind: str, name: str, walkers: int, banks: int,
+            mode: str = "shared") -> OffloadOutcome:
+        """Measure (or reuse) a near-memory (bank-side walker) offload."""
+        point = ("pim", kind, name, walkers, mode, banks)
+        result = self.fetch(point)
+        if result is None:
+            self._check_poisoned(point)
+            index, probes = (self.kernel_workload(name) if kind == "kernel"
+                             else self.query_workload(self._spec_by_name(name)))
+            config = self.config.with_widx(
+                num_walkers=walkers, mode=mode,
+                placement="pim").with_pim(num_banks=banks)
+            try:
+                result = offload_probe(
+                    index, probes, config=config, probes=self.runs.probes,
+                    watchdog=self._watchdog())
+            except (SimulationHang, InvariantViolation) as exc:
+                if hasattr(exc, "add_note"):
+                    exc.add_note(f"while measuring point {point!r}")
+                raise
+            self.measured_points += 1
+            self.install(point, result)
+        return result  # type: ignore[return-value]
+
     def service(self, kind: str, name: str, backend: str, batch_keys: int,
                 walkers: int = 0, mode: str = "") -> ServiceMeasurement:
         """Measure (or reuse) one serving-layer service-time calibration:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..config import DramConfig
+from ..config import DramConfig, PimConfig
 from ..obs import Counter, Histogram
 from ..sim.resources import PipelinedResource
 
@@ -67,3 +67,66 @@ class MemoryControllers:
         registry.register(f"{prefix}.fetch_latency", self.fetch_latency)
         for index, controller in enumerate(self._controllers):
             controller.register_into(registry, f"{prefix}.mc{index}")
+
+
+class DramBankPorts:
+    """Bank-side access ports for near-memory (PIM) walkers.
+
+    Where :class:`MemoryControllers` models the host's view of memory —
+    the off-chip channel with its 45 ns round trip and per-controller
+    bandwidth — this models what a walker sitting *inside* the device
+    sees: the bank array itself.  An access occupies one of the bank's
+    ``walkers_per_bank`` access slots for the full bank-local row latency,
+    so two probes hitting one bank serialize once its slots are busy (the
+    bank-conflict limit that bounds PIM scaling), while accesses to
+    different banks proceed independently.  Blocks interleave across banks
+    by block address.
+    """
+
+    def __init__(self, pim: PimConfig, freq_ghz: float) -> None:
+        self.cfg = pim
+        self.latency_cycles = pim.bank_latency_cycles(freq_ghz)
+        self._banks: List[PipelinedResource] = [
+            PipelinedResource(servers=pim.walkers_per_bank,
+                              service=float(self.latency_cycles))
+            for _ in range(pim.num_banks)
+        ]
+        self.accesses = Counter()
+        # Issue-to-data-ready latency per access (bank queueing + row).
+        self.access_latency = Histogram()
+
+    def bank_of(self, block: int) -> int:
+        """Which bank owns a block (address interleave)."""
+        return block % len(self._banks)
+
+    def access(self, block: int, now: float) -> float:
+        """Access a block's bank at time ``now``; returns data-ready time.
+
+        The access holds one of the bank's walker slots for
+        ``latency_cycles`` (the row occupancy) and the data is ready when
+        that occupancy ends — there is no separate channel transfer, the
+        walker reads the row buffer in place.
+        """
+        bank = self._banks[self.bank_of(block)]
+        start = bank.request(now)
+        self.accesses += 1
+        self.access_latency.record(start - now + self.latency_cycles)
+        return start + self.latency_cycles
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(bank.busy_cycles for bank in self._banks)
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Mean bank-slot utilization over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        slots = len(self._banks) * self.cfg.walkers_per_bank
+        return self.busy_cycles / (elapsed_cycles * slots)
+
+    def register_into(self, registry, prefix: str) -> None:
+        """Publish access counters, latencies and per-bank occupancy."""
+        registry.register(f"{prefix}.accesses", self.accesses)
+        registry.register(f"{prefix}.access_latency", self.access_latency)
+        for index, bank in enumerate(self._banks):
+            bank.register_into(registry, f"{prefix}.bank{index}")

@@ -1,0 +1,84 @@
+"""Near-memory (PIM) walker backend.
+
+The third backend class next to the host cores and the core-coupled Widx
+unit: the same walker machine (:mod:`repro.widx.unit` /
+:mod:`repro.widx.machine`), attached to memory at the DRAM banks instead
+of behind a host L1 or the LLC.  Concretely (HashMem in PAPERS.md is the
+blueprint):
+
+- node hops read the bank array in place — no LLC lookup, no crossbar
+  traversal, no off-chip channel (:class:`~repro.mem.pimside.PimBankMemory`);
+- each bank sustains at most ``walkers_per_bank`` concurrent accesses;
+  conflicts serialize (:class:`~repro.mem.dram.DramBankPorts`);
+- arming the walkers costs an explicit host↔PIM command/launch latency
+  (``PimConfig.launch_cycles``, charged with the control-block load);
+- every emitted result returns to the host over the existing
+  interconnect (stores pay ``interconnect_cycles`` on completion).
+
+:func:`offload_probe_pim` is the entry point: a thin wrapper over
+:func:`repro.widx.offload.offload_probe` that pins the ``pim`` placement.
+:func:`pim_config` builds the corresponding :class:`SystemConfig`.  The
+differential twins live in :mod:`repro.pim.reference`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DEFAULT_CONFIG, SystemConfig
+from ..db.column import Column
+from ..db.hashtable import HashIndex
+from ..widx.offload import OffloadOutcome, offload_probe
+from .reference import ReferencePimUnit, use_reference_pim_memory
+
+__all__ = [
+    "ReferencePimUnit",
+    "offload_probe_pim",
+    "pim_config",
+    "use_reference_pim_memory",
+]
+
+
+def pim_config(config: SystemConfig = DEFAULT_CONFIG, *,
+               walkers: Optional[int] = None,
+               mode: Optional[str] = None,
+               banks: Optional[int] = None,
+               walkers_per_bank: Optional[int] = None,
+               launch_cycles: Optional[float] = None) -> SystemConfig:
+    """A copy of ``config`` with the walkers placed at the DRAM banks.
+
+    Keyword overrides adjust the walker organization (``walkers``,
+    ``mode``) and the PIM attachment parameters (``banks``,
+    ``walkers_per_bank``, ``launch_cycles``) in one call; anything left
+    ``None`` keeps the incoming config's value.
+    """
+    widx_overrides: dict = {"placement": "pim"}
+    if walkers is not None:
+        widx_overrides["num_walkers"] = walkers
+    if mode is not None:
+        widx_overrides["mode"] = mode
+    pim_overrides: dict = {}
+    if banks is not None:
+        pim_overrides["num_banks"] = banks
+    if walkers_per_bank is not None:
+        pim_overrides["walkers_per_bank"] = walkers_per_bank
+    if launch_cycles is not None:
+        pim_overrides["launch_cycles"] = launch_cycles
+    config = config.with_widx(**widx_overrides)
+    if pim_overrides:
+        config = config.with_pim(**pim_overrides)
+    return config
+
+
+def offload_probe_pim(index: HashIndex, probe_column: Column, *,
+                      config: SystemConfig = DEFAULT_CONFIG,
+                      **kwargs) -> OffloadOutcome:
+    """Probe ``index`` on bank-side walkers; returns timing plus results.
+
+    Accepts everything :func:`repro.widx.offload.offload_probe` does;
+    the configuration is forced onto the ``pim`` placement first (a
+    config already placed there passes through unchanged).
+    """
+    if config.widx.placement != "pim":
+        config = pim_config(config)
+    return offload_probe(index, probe_column, config=config, **kwargs)

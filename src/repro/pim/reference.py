@@ -1,0 +1,46 @@
+"""Reference twins for differential-testing the PIM backend.
+
+:class:`ReferencePimUnit` is the naive interpreter for bank-side walkers.
+The PIM placement reuses the Widx unit model unchanged — only the memory
+attachment differs — so the twin *is*
+:class:`~repro.widx.reference.ReferenceWidxUnit`: the straightforward
+pre-overhaul interpreter (opcode-enum dispatch, per-operand register
+dereference, no memoized decode) with timing, stats and architectural
+semantics identical to the optimized :class:`~repro.widx.unit.WidxUnit`.
+The subclass exists so the PIM differential suites and the
+``pim_fig8_point`` benchmark name their oracle explicitly, and so a
+future PIM-specific unit change *must* come with its own naive twin
+here or the differential wall fails.
+
+:func:`use_reference_pim_memory` is the bank-side analogue of
+:func:`~repro.mem.reference.use_reference_arrays`: it swaps the PIM
+scratch buffer for the recency-list :class:`ReferenceCacheLevel` (a
+:class:`~repro.mem.pimside.PimBankMemory` has no LLC to swap).
+
+Do not "improve" these: their value is being obviously correct, not fast.
+"""
+
+from __future__ import annotations
+
+from ..mem.pimside import PimBankMemory
+from ..mem.reference import ReferenceCacheLevel
+from ..widx.reference import ReferenceWidxUnit
+
+
+class ReferencePimUnit(ReferenceWidxUnit):
+    """Bank-side walker with the naive instruction-by-instruction
+    interpreter — the oracle the optimized PIM offloads must match
+    bit for bit."""
+
+
+def use_reference_pim_memory(memory: PimBankMemory) -> PimBankMemory:
+    """Swap the PIM scratch buffer for the naive reference implementation.
+
+    Must run before any accesses or warm-up touch the memory (the arrays
+    start empty).  Returns the memory for chaining.
+    """
+    memory.l1d = ReferenceCacheLevel(memory.l1d.cfg, memory.l1d.name)
+    # The memory's stats view aliases the buffer's stats; re-alias it to
+    # the fresh reference level.
+    memory.stats.l1d = memory.l1d.stats
+    return memory

@@ -32,7 +32,7 @@ from ..sim.watchdog import Watchdog
 from ..widx.offload import offload_probe
 
 #: Backends a service model can be calibrated for.
-SERVICE_BACKENDS = ("inorder", "ooo", "widx")
+SERVICE_BACKENDS = ("inorder", "ooo", "widx", "pim")
 
 
 @dataclass
@@ -40,7 +40,7 @@ class ServiceMeasurement:
     """Cycles one backend spends serving one probe batch, measured on the
     detailed simulators.  This is what the campaign caches per point."""
 
-    backend: str                # "inorder" | "ooo" | "widx"
+    backend: str                # "inorder" | "ooo" | "widx" | "pim"
     kind: str                   # workload kind ("kernel")
     name: str                   # workload name ("Small")
     walkers: int                # Widx walker count (0 for core backends)
@@ -67,7 +67,10 @@ def measure_service(index: HashIndex, probe_column: Column, *,
     is the quantity the queueing level needs).  The Widx backend runs a
     real offload and charges ``total_cycles + config_cycles``: each
     serving-layer batch is one offload, so the per-offload configuration
-    sequence is part of its service time.
+    sequence is part of its service time.  The PIM backend does the same
+    on bank-side walkers; its ``config_cycles`` additionally carries the
+    host↔PIM command/launch latency, which therefore lands — strictly
+    additively — on every served batch's critical path.
     """
     if batch_keys < 1:
         raise ServeError(f"batch_keys must be >= 1, got {batch_keys}")
@@ -76,15 +79,17 @@ def measure_service(index: HashIndex, probe_column: Column, *,
             f"batch_keys={batch_keys} exceeds the workload's "
             f"{len(probe_column.values)} probe keys")
 
-    if backend == "widx":
+    if backend in ("widx", "pim"):
         if walkers < 1:
-            raise ServeError("widx service measurement needs walkers >= 1")
-        widx_config = config.with_widx(num_walkers=walkers,
-                                       mode=mode or "shared")
+            raise ServeError(
+                f"{backend} service measurement needs walkers >= 1")
+        widx_config = config.with_widx(
+            num_walkers=walkers, mode=mode or "shared",
+            placement="pim" if backend == "pim" else config.widx.placement)
         outcome = offload_probe(index, probe_column, config=widx_config,
                                 probes=batch_keys, watchdog=watchdog)
         return ServiceMeasurement(
-            backend="widx", kind="", name="", walkers=walkers,
+            backend=backend, kind="", name="", walkers=walkers,
             mode=mode or "shared", batch_keys=batch_keys,
             cycles=outcome.run.total_cycles + outcome.run.config_cycles,
             stats=outcome.stats)

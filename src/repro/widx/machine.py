@@ -260,6 +260,14 @@ class WidxMachine:
         probes — the tests assert that property.
         """
         total = 50.0  # config-register writes + kick-off
+        if self.config.widx.placement == "pim":
+            # Near-memory walkers are armed over the host<->PIM command
+            # interface: the control block and kick-off cross the memory
+            # channel instead of staying on-chip.  Charged here (per
+            # offload, alongside the control-block load) so it amortizes
+            # over bulk probes but stays strictly additive on every
+            # serving batch's critical path.
+            total += self.config.pim.launch_cycles
         for unit in self.units.values():
             total += len(unit.program.instructions)
             total += len(unit.program.constants)

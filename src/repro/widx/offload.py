@@ -42,6 +42,9 @@ def _hierarchy_for(config: SystemConfig):
     if config.widx.placement == "llc":
         from ..mem.llcside import LlcSideMemory
         return LlcSideMemory(config)
+    if config.widx.placement == "pim":
+        from ..mem.pimside import PimBankMemory
+        return PimBankMemory(config)
     return MemoryHierarchy(config)
 
 

@@ -68,7 +68,8 @@ def test_simulated_figure_with_tiny_settings():
 
 def test_experiment_registry_covers_every_paper_artifact():
     expected = {"2a", "2b", "4a", "4b", "4c", "5", "8a", "8b", "9a", "9b",
-                "10", "11", "query-level", "area", "serve", "resilience"}
+                "10", "11", "query-level", "area", "serve", "resilience",
+                "pim"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -121,6 +122,42 @@ def test_fig_serve_token_resolves():
     from repro.harness.cli import resolve_figures
     assert resolve_figures(["fig-serve"]) == ["serve"]
     assert resolve_figures(["serve"]) == ["serve"]
+
+
+def test_fig_pim_token_resolves():
+    from repro.harness.cli import resolve_figures
+    assert resolve_figures(["fig-pim"]) == ["pim"]
+    assert resolve_figures(["pim"]) == ["pim"]
+    assert resolve_figures(["FIG-PIM"]) == ["pim"]
+
+
+def test_bare_figure_numbers_still_expand_to_panels():
+    from repro.harness.cli import resolve_figures
+    assert resolve_figures(["8"]) == ["8a", "8b"]
+    assert resolve_figures(["fig9"]) == ["9a", "9b"]
+    assert resolve_figures(["10"]) == ["10"]
+    assert resolve_figures(["8", "8b"]) == ["8a", "8b"]  # dedup, first wins
+
+
+def test_nonnumeric_prefixes_no_longer_fuzzy_match():
+    """Regression: 's' used to silently expand to 'serve'; every
+    non-digit token must now match an experiment id exactly, and the
+    rejection names the valid ids."""
+    from repro.harness.cli import resolve_figures
+    for token in ("s", "serv", "p", "pi", "quer", ""):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_figures([token])
+        message = str(excinfo.value)
+        assert f"unknown figure {token!r}" in message
+        assert "pim" in message and "serve" in message  # lists valid ids
+
+
+def test_unknown_figure_error_lists_choices_on_the_cli():
+    code, text = run_cli("--figure", "s")
+    assert code == 2
+    assert "unknown figure 's'" in text
+    assert "choose from" in text
+    assert "pim" in text
 
 
 def test_bad_serve_policy_rejected_before_any_measurement():

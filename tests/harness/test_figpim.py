@@ -1,0 +1,150 @@
+"""Acceptance tests for the PIM figure (fig-pim) and the ``--pim`` flag.
+
+The headline contracts: the bank-parallelism sweep renders byte-identical
+to its committed golden across serial, parallel and cache-hit campaigns;
+``--pim`` grows the serving figure by exactly one backend column (with
+its own golden); and with the flag off every pre-existing report stays
+byte-identical to the pre-PIM tree.
+"""
+
+import io
+import os
+
+import pytest
+
+from repro.harness import fig8, figpim, figresilience, figserve
+from repro.harness.cli import main
+from repro.harness.runner import MeasurementCache, RunSettings
+
+SETTINGS = RunSettings(probes=400, warmup=100, seed=42)
+
+GOLDENS = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def read_golden(name):
+    with open(os.path.join(GOLDENS, name), "r", encoding="utf-8",
+              newline="") as handle:
+        return handle.read()
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def report_body(text):
+    return [line for line in text.splitlines() if not line.startswith("[")]
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One warm fig-pim report shared by the read-only assertions."""
+    cache = MeasurementCache(runs=SETTINGS)
+    return figpim.run_fig_pim(cache)
+
+
+def test_declares_one_point_per_backend_row():
+    points = figpim.points_fig_pim()
+    assert len(points) == 2 + len(figpim.BANK_SWEEP)
+    assert [point.op for point in points].count("pim") == len(
+        figpim.BANK_SWEEP)
+    assert len({point.cache_tuple() for point in points}) == len(points)
+
+
+def test_sweep_rows_cover_every_bank_count(report):
+    assert report.column("banks") == (
+        ["-", "-"] + list(figpim.BANK_SWEEP))
+    backends = report.column("backend")
+    assert backends[0] == "ooo"
+    assert backends[1] == f"widx-{figpim.PIM_WALKERS}"
+    assert set(backends[2:]) == {f"pim-{figpim.PIM_WALKERS}"}
+
+
+def test_speedup_is_monotone_in_bank_parallelism(report):
+    pim_speedups = report.column("speedup_vs_ooo")[2:]
+    assert pim_speedups == sorted(pim_speedups)
+    assert "UNEXPECTED" not in "\n".join(report.notes)
+
+
+def test_pim_overtakes_widx_on_the_dram_resident_kernel(report):
+    """The whole point of the attachment: on the Large (DRAM-resident)
+    kernel, enough bank parallelism beats the core-side walkers."""
+    widx_speedup = report.column("speedup_vs_ooo")[1]
+    best_pim = max(report.column("speedup_vs_ooo")[2:])
+    assert best_pim > widx_speedup
+
+
+def test_fig_pim_report_matches_golden(report):
+    assert report.format() + "\n" == read_golden("pim_p400_w100_s42.txt")
+
+
+def test_cli_serial_parallel_and_cache_hit_are_bit_identical(tmp_path):
+    """The headline acceptance property for fig-pim."""
+    base = ("--figure", "fig-pim", "--probes", "400", "--warmup", "100",
+            "--cache-dir", str(tmp_path))
+    code1, serial = run_cli(*base, "--jobs", "1", "--no-cache")
+    code2, parallel = run_cli(*base, "--jobs", "2")
+    code3, cached = run_cli(*base, "--jobs", "1")
+    assert code1 == code2 == code3 == 0
+    assert "6 measured" in parallel
+    assert "6 cached, 0 measured" in cached
+    assert report_body(serial) == report_body(parallel) == report_body(cached)
+    golden_lines = read_golden("pim_p400_w100_s42.txt").splitlines()
+    assert [line for line in report_body(serial) if line] == [
+        line for line in golden_lines if line]
+
+
+# ---------------------------------------------------------------------------
+# --pim columns on the existing figures
+# ---------------------------------------------------------------------------
+
+def test_fig_serve_with_pim_matches_golden():
+    cache = MeasurementCache(runs=SETTINGS)
+    report = figserve.run_fig_serve(cache, include_pim=True)
+    assert report.format() + "\n" == read_golden(
+        "figserve_pim_p400_w100_s42.txt")
+
+
+def test_pim_points_extend_but_never_replace_the_host_points():
+    for declare in (fig8.points_fig8, figserve.points_fig_serve,
+                    figresilience.points_fig_resilience):
+        plain = declare()
+        extended = declare(include_pim=True)
+        assert len(extended) > len(plain)
+        plain_keys = [point.cache_tuple() for point in plain]
+        extended_keys = [point.cache_tuple() for point in extended]
+        assert extended_keys[:len(plain_keys)] == plain_keys
+
+
+def test_fig8b_gains_exactly_one_pim_column():
+    cache = MeasurementCache(runs=SETTINGS)
+    plain = fig8.run_fig8b(cache)
+    extended = fig8.run_fig8b(cache, include_pim=True)
+    assert extended.columns == plain.columns + [f"pim_{fig8.PIM_WALKERS}w"]
+    for column in plain.columns:
+        assert extended.column(column) == plain.column(column)
+
+
+def test_resilience_with_pim_sweeps_the_extra_backend():
+    cache = MeasurementCache(runs=SETTINGS)
+    plain = figresilience.run_fig_resilience(cache)
+    extended = figresilience.run_fig_resilience(cache, include_pim=True)
+    plain_backends = set(plain.column("backend"))
+    extended_backends = set(extended.column("backend"))
+    assert extended_backends - plain_backends == {figserve.PIM_BACKEND[0]}
+    # The host-side rows are untouched by the extra column.
+    rows = len(plain.column("backend"))
+    assert extended.column("goodput")[:rows] == plain.column("goodput")
+
+
+def test_pre_existing_goldens_stay_byte_identical():
+    """With ``--pim`` off, the PIM backend must be invisible: the fig8
+    and fig-serve reports still match their pre-PIM goldens."""
+    from repro.harness.fig8 import run_fig8b
+
+    cache = MeasurementCache(runs=SETTINGS)
+    serve = figserve.run_fig_serve(MeasurementCache(runs=SETTINGS))
+    assert serve.format() + "\n" == read_golden("figserve_p400_w100_s42.txt")
+    golden = read_golden("fig8_p400_w100_s42.txt")
+    assert run_fig8b(cache).format() + "\n" in golden

@@ -1,0 +1,177 @@
+"""Property-based tests for the bank-side (PIM) walker backend.
+
+Three families of invariants the near-memory attachment must hold:
+
+1. **Per-bank serialization** — however accesses arrive, no bank ever
+   has more than ``walkers_per_bank`` accesses in service at once, and
+   every access completes no earlier than one full bank service after
+   its arrival.
+2. **Monotonicity in parallelism** — on a fixed access trace, doubling
+   the bank count (which refines the block->bank partition) or the
+   per-bank slot count never makes the makespan worse; seeded full
+   offloads agree.
+3. **Launch additivity** — the host->PIM launch latency lands in
+   ``config_cycles`` and *only* there: traversal cycles and payloads are
+   bit-identical across launch values, and the configuration cost moves
+   by exactly the delta.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PimConfig
+from repro.db.column import Column
+from repro.db.datagen import make_rng, probe_keys, unique_keys
+from repro.db.hashfn import ROBUST_HASH_32
+from repro.db.hashtable import HashIndex, choose_num_buckets
+from repro.db.node import KERNEL_LAYOUT
+from repro.db.types import DataType
+from repro.mem.dram import DramBankPorts
+from repro.mem.layout import AddressSpace
+from repro.pim import pim_config
+from repro.widx.offload import offload_probe
+
+#: An access trace: (block, arrival) pairs, arrivals not necessarily in
+#: time order (walkers issue independently).
+traces = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255),
+              st.floats(min_value=0, max_value=2_000,
+                        allow_nan=False, allow_infinity=False)),
+    min_size=1, max_size=100)
+
+
+def max_concurrency(intervals):
+    """Peak overlap of (start, end) service intervals.
+
+    Endpoints are quantized to a microsecond-scale grid: the starts are
+    reconstructed as ``complete - latency``, and back-to-back grants can
+    land within one float ulp of each other, which must count as
+    touching, not overlapping.
+    """
+    events = []
+    for start, end in intervals:
+        events.append((round(start, 6), 1))
+        events.append((round(end, 6), -1))
+    events.sort()
+    live = peak = 0
+    for _time, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def replay(trace, *, banks, walkers_per_bank):
+    """Run a trace through fresh bank ports; returns per-bank service
+    intervals and the makespan."""
+    ports = DramBankPorts(
+        PimConfig(num_banks=banks, walkers_per_bank=walkers_per_bank),
+        freq_ghz=2.0)
+    per_bank = {index: [] for index in range(banks)}
+    makespan = 0.0
+    for block, now in trace:
+        complete = ports.access(block, now)
+        start = complete - ports.latency_cycles
+        assert start >= now - 1e-9
+        assert complete >= now + ports.latency_cycles - 1e-9
+        per_bank[ports.bank_of(block)].append((start, complete))
+        makespan = max(makespan, complete)
+    return per_bank, makespan
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=traces,
+       banks=st.sampled_from([1, 2, 4, 8]),
+       walkers_per_bank=st.integers(min_value=1, max_value=3))
+def test_no_bank_exceeds_its_walker_parallelism(trace, banks,
+                                                walkers_per_bank):
+    per_bank, _makespan = replay(trace, banks=banks,
+                                 walkers_per_bank=walkers_per_bank)
+    for intervals in per_bank.values():
+        assert max_concurrency(intervals) <= walkers_per_bank
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, banks=st.sampled_from([1, 2, 4]))
+def test_doubling_banks_never_hurts_the_makespan(trace, banks):
+    """block % 2B refines the block % B partition: every bank at 2B
+    serves a subset of one bank's requests at B, so the trace can only
+    finish sooner (or equally soon)."""
+    _bank_map, coarse = replay(trace, banks=banks, walkers_per_bank=2)
+    _bank_map, fine = replay(trace, banks=2 * banks, walkers_per_bank=2)
+    assert fine <= coarse + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, walkers_per_bank=st.sampled_from([1, 2, 4]))
+def test_doubling_bank_slots_never_hurts_the_makespan(trace,
+                                                      walkers_per_bank):
+    _bank_map, tight = replay(trace, banks=2,
+                              walkers_per_bank=walkers_per_bank)
+    _bank_map, wide = replay(trace, banks=2,
+                             walkers_per_bank=2 * walkers_per_bank)
+    assert wide <= tight + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# seeded full offloads: the same laws hold end to end
+# ---------------------------------------------------------------------------
+
+def build_workload(seed, num_keys=800, probes=120):
+    space = AddressSpace()
+    rng = make_rng(seed)
+    keys = unique_keys(num_keys, 4, rng)
+    index = HashIndex(space, KERNEL_LAYOUT,
+                      choose_num_buckets(num_keys, 1.0),
+                      ROBUST_HASH_32, capacity=num_keys)
+    for row, key in enumerate(keys):
+        index.insert(int(key), row + 1)
+    import numpy as np
+    values = probe_keys(np.asarray(keys), probes, 1.0, 4, make_rng(seed + 2))
+    column = Column("probes", DataType.for_key_bytes(4), values)
+    column.materialize(space)
+    return index, column, probes
+
+
+def offload_cycles(index, column, probes, **overrides):
+    config = pim_config(walkers=4, **overrides)
+    outcome = offload_probe(index, column, config=config, probes=probes)
+    return outcome
+
+
+def test_seeded_offload_speedup_is_monotone_in_bank_parallelism():
+    for seed in (11, 29):
+        index, column, probes = build_workload(seed)
+        totals = [offload_cycles(index, column, probes,
+                                 banks=banks).run.total_cycles
+                  for banks in (1, 2, 4, 8)]
+        assert totals == sorted(totals, reverse=True)
+        slots = [offload_cycles(index, column, probes, banks=2,
+                                walkers_per_bank=wpb).run.total_cycles
+                 for wpb in (1, 2, 4)]
+        assert slots == sorted(slots, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# launch additivity
+# ---------------------------------------------------------------------------
+
+_LAUNCH_INDEX, _LAUNCH_COLUMN, _LAUNCH_PROBES = build_workload(7,
+                                                               num_keys=500,
+                                                               probes=60)
+_LAUNCH_BASE = offload_cycles(_LAUNCH_INDEX, _LAUNCH_COLUMN, _LAUNCH_PROBES,
+                              launch_cycles=0.0)
+
+
+@settings(max_examples=12, deadline=None)
+@given(launch=st.integers(min_value=0, max_value=100_000)
+              .map(lambda halves: halves / 2))
+def test_launch_latency_is_strictly_additive_and_timing_neutral(launch):
+    """Half-integer launch draws keep the float sums exact, so the
+    additivity assertion can demand equality, not approximation."""
+    outcome = offload_cycles(_LAUNCH_INDEX, _LAUNCH_COLUMN, _LAUNCH_PROBES,
+                             launch_cycles=launch)
+    assert (outcome.run.config_cycles - _LAUNCH_BASE.run.config_cycles
+            == launch)
+    assert outcome.run.total_cycles == _LAUNCH_BASE.run.total_cycles
+    assert tuple(outcome.payloads) == tuple(_LAUNCH_BASE.payloads)
