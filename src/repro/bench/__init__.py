@@ -31,6 +31,22 @@ Three benchmarks cover the three overhauled layers:
     reference interpreter via :func:`~repro.pim.use_reference_pim_memory`
     and :class:`~repro.pim.ReferencePimUnit`).
 
+Two cover the ordered-index zoo's offloads, each against the full naive
+stack (reference engine + reference cache levels + reference
+interpreter):
+
+``trie_fig8_point``
+    One offloaded MLP-trie probe batch (Cuckoo-Trie fetch pattern,
+    4 walkers) on the ordered Small workload, timed end-to-end on the
+    optimized stack versus the naive twin.
+
+``batched_tree_serve``
+    One level-wise batched B+-tree offload (the coupled organization
+    the serving layer's ``batched`` backend runs per admitted batch),
+    timed the same way; the fingerprint additionally pins the serving
+    layer's calibrated per-batch service times so drift in the
+    ``--batched-tree`` fig-serve column fails ``--check`` loudly.
+
 Two more cover bulk mode, where the reference twin is the *production*
 discrete-event path itself (bulk's contract is bit identity with it):
 
@@ -100,14 +116,16 @@ from ..pim import (ReferencePimUnit, pim_config,
                    use_reference_pim_memory)
 from ..serve.faults import WalkerFaultModel
 from ..serve.policies import FifoPolicy, parse_policy
-from ..serve.service import ServiceModel
+from ..serve.service import ServiceModel, measure_service
 from ..serve.simulate import (ResilienceConfig, build_requests,
                               simulate_service)
 from ..sim.bulk import bulk_measure_indexing
 from ..sim.engine import Engine
 from ..sim.reference import ReferenceEngine
-from ..widx.offload import offload_probe
+from ..widx.offload import (offload_batched_tree, offload_probe,
+                            offload_trie_search)
 from ..widx.reference import ReferenceWidxUnit
+from ..workloads.ordered_kernel import build_ordered_workload
 
 #: Acceptance floors (ISSUE): minimum speedup each benchmark must show
 #: when a new baseline is generated with ``--output``.
@@ -119,6 +137,12 @@ FLOORS: Dict[str, float] = {
     # bank-port model is cheap on both sides, so the optimized stack
     # must still beat the naive twin, if by a smaller margin.
     "pim_fig8_point": 1.0,
+    # The ordered offloads run the same interpreter + engine hot loop as
+    # fig8_point; the trie walk adds prefetch TOUCHes (cheap on both
+    # stacks) and the batched walk is dominated by in-register compares,
+    # so both must still clearly beat the naive twin.
+    "trie_fig8_point": 1.25,
+    "batched_tree_serve": 1.25,
     "bulk_fig8_point": 5.0,
     "bulk_serve_sweep": 10.0,
     # Parity benchmark: the resilient clean path versus the plain DES.
@@ -457,6 +481,145 @@ def bench_pim_fig8_point(repeats: int) -> BenchResult:
 
 
 # ----------------------------------------------------------------------
+# trie_fig8_point / batched_tree_serve: the ordered-index zoo's offloads
+# ----------------------------------------------------------------------
+
+_ORDERED_BENCH_SIZE = "Small"
+_ORDERED_BENCH_PROBES = 2_048
+_BATCHED_BENCH_BATCH = 4
+#: The serving layer's batched column calibrates these batch sizes
+#: (``CALIBRATED_BATCHES x KEYS_PER_REQUEST`` in the fig-serve sweep).
+_BATCHED_SERVE_KEYS = (8, 16, 32)
+
+
+def _build_trie_bench_inputs():
+    """The ordered Small trie plus its fully-matching probe column —
+    the same recipe the fig-indexes trie row measures, rebuilt per run
+    so simulated addresses are identical across repeats and stacks."""
+    return build_ordered_workload("trie", _ORDERED_BENCH_SIZE,
+                                  _ORDERED_BENCH_PROBES)
+
+
+def _build_batched_bench_inputs():
+    """The shared B+-tree probed level-wise by the batched walker."""
+    return build_ordered_workload("batched", _ORDERED_BENCH_SIZE,
+                                  _ORDERED_BENCH_PROBES)
+
+
+def bench_trie_fig8_point(repeats: int) -> BenchResult:
+    """Time one offloaded MLP-trie probe batch against the naive stack.
+
+    Same shape as ``fig8_point``, but the walkers run the Cuckoo-Trie
+    fetch pattern — all candidate bucket addresses computed from the
+    key up front, then probed depth by depth.  The reference twin swaps
+    in the naive engine, naive cache arrays and naive interpreter, and
+    the two stacks must agree bit-for-bit (cycles, matches, payloads)
+    before a speedup is reported; the driver-side validation pass is
+    disabled so the timed region is purely the simulation stacks.
+    """
+    config = DEFAULT_CONFIG.with_widx(num_walkers=_FIG8_WALKERS)
+
+    def run_optimized(state):
+        index, column = state
+        outcome = offload_trie_search(index, column, config=config,
+                                      probes=_ORDERED_BENCH_PROBES,
+                                      validate=False)
+        return _fig8_outcome_key(outcome)
+
+    def run_reference(state):
+        index, column = state
+        outcome = offload_trie_search(
+            index, column, config=config, probes=_ORDERED_BENCH_PROBES,
+            validate=False,
+            memory=use_reference_arrays(MemoryHierarchy(config)),
+            engine=ReferenceEngine(),
+            unit_cls=ReferenceWidxUnit)
+        return _fig8_outcome_key(outcome)
+
+    optimized_s, opt = _time_best(_build_trie_bench_inputs, run_optimized,
+                                  repeats)
+    reference_s, ref = _time_best(_build_trie_bench_inputs, run_reference,
+                                  repeats)
+    if opt != ref:
+        raise AssertionError(
+            "trie benchmark: optimized and reference stacks diverged")
+    total_cycles, matches, payloads, unit_counts = opt
+    return BenchResult(
+        name="trie_fig8_point",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "total_cycles": total_cycles,
+            "matches": matches,
+            "payloads_crc": _crc(payloads),
+            "instructions": sum(count[1] for count in unit_counts),
+        },
+    )
+
+
+def _batched_serve_key(index, column) -> Tuple[int, ...]:
+    """Fingerprint the serving layer's batched column (untimed, once):
+    the calibrated per-batch service times the ``--batched-tree``
+    fig-serve sweep fits its model to, so drift anywhere between the
+    admission queue and the coupled walker program fails ``--check``."""
+    return tuple(
+        measure_service(index, column, backend="batched",
+                        batch_keys=batch_keys, walkers=_FIG8_WALKERS,
+                        mode="coupled").cycles
+        for batch_keys in _BATCHED_SERVE_KEYS)
+
+
+def bench_batched_tree_serve(repeats: int) -> BenchResult:
+    """Time one level-wise batched B+-tree offload against the naive
+    stack — the coupled-organization walk the serving layer's
+    ``batched`` backend runs for every admitted batch."""
+    config = DEFAULT_CONFIG.with_widx(num_walkers=_FIG8_WALKERS,
+                                      mode="coupled")
+
+    def run_optimized(state):
+        index, column = state
+        outcome = offload_batched_tree(index, column, config=config,
+                                       probes=_ORDERED_BENCH_PROBES,
+                                       batch=_BATCHED_BENCH_BATCH,
+                                       validate=False)
+        return _fig8_outcome_key(outcome)
+
+    def run_reference(state):
+        index, column = state
+        outcome = offload_batched_tree(
+            index, column, config=config, probes=_ORDERED_BENCH_PROBES,
+            batch=_BATCHED_BENCH_BATCH, validate=False,
+            memory=use_reference_arrays(MemoryHierarchy(config)),
+            engine=ReferenceEngine(),
+            unit_cls=ReferenceWidxUnit)
+        return _fig8_outcome_key(outcome)
+
+    optimized_s, opt = _time_best(_build_batched_bench_inputs, run_optimized,
+                                  repeats)
+    reference_s, ref = _time_best(_build_batched_bench_inputs, run_reference,
+                                  repeats)
+    if opt != ref:
+        raise AssertionError(
+            "batched tree benchmark: optimized and reference stacks "
+            "diverged")
+    serve_cycles = _batched_serve_key(*_build_batched_bench_inputs())
+    total_cycles, matches, payloads, unit_counts = opt
+    return BenchResult(
+        name="batched_tree_serve",
+        optimized_s=optimized_s,
+        reference_s=reference_s,
+        fingerprint={
+            "batch": _BATCHED_BENCH_BATCH,
+            "total_cycles": total_cycles,
+            "matches": matches,
+            "payloads_crc": _crc(payloads),
+            "instructions": sum(count[1] for count in unit_counts),
+            "serve_cycles": list(serve_cycles),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # bulk_fig8_point: array-program replay vs the event-driven baseline core
 # ----------------------------------------------------------------------
 
@@ -789,6 +952,8 @@ BENCHMARKS: Dict[str, Callable[[int], BenchResult]] = {
     "cache_probe": bench_cache_probe,
     "fig8_point": bench_fig8_point,
     "pim_fig8_point": bench_pim_fig8_point,
+    "trie_fig8_point": bench_trie_fig8_point,
+    "batched_tree_serve": bench_batched_tree_serve,
     "bulk_fig8_point": bench_bulk_fig8_point,
     "bulk_serve_sweep": bench_bulk_serve_sweep,
     "resilience_sweep": bench_resilience_sweep,

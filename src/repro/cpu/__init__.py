@@ -18,6 +18,9 @@ from .trace import ProbeTraceGenerator
 from .ooo import OutOfOrderCore
 from .inorder import InOrderCore
 from .timing import CoreTimingResult, measure_indexing
+from .ordered import (BatchedTreeTraceGenerator, TreeTraceGenerator,
+                      TrieTraceGenerator, WormholeTraceGenerator,
+                      measure_ordered_indexing, warm_ordered_index)
 
 __all__ = [
     "Uop",
@@ -27,4 +30,10 @@ __all__ = [
     "InOrderCore",
     "CoreTimingResult",
     "measure_indexing",
+    "TreeTraceGenerator",
+    "TrieTraceGenerator",
+    "WormholeTraceGenerator",
+    "BatchedTreeTraceGenerator",
+    "measure_ordered_indexing",
+    "warm_ordered_index",
 ]

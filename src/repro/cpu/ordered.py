@@ -1,0 +1,570 @@
+"""Baseline-core traces and timing for the ordered-index zoo.
+
+Each generator expands live-structure traversals into uop traces whose
+dependency shapes are the experiment:
+
+* :class:`TreeTraceGenerator` — the B+-tree descent is a *dependent* load
+  chain (each node address comes out of the previous node), exactly the
+  pattern the paper's walkers target.
+* :class:`TrieTraceGenerator` — the hashed trie's per-level bucket
+  addresses are computed straight from the key, so every level's fetch
+  depends only on the key load.  An OoO window overlaps them; the
+  in-order core serializes them anyway.  This is the honest baseline for
+  the Cuckoo-Trie counter-argument.
+* :class:`WormholeTraceGenerator` — the MetaTrieHash binary search is a
+  short dependent chain (the next depth to probe is decided by the
+  current probe's outcome), followed by a bounded leaf walk.
+* :class:`BatchedTreeTraceGenerator` — level-wise batched descent over
+  the same tree: per level each distinct node is fetched once, however
+  many of the batch's probes route through it, so repeat visits become
+  register/L1 reuse instead of fresh misses.
+
+Addresses are real simulated-memory addresses read from the live
+structures, so running a trace through the hierarchy reproduces true
+block reuse — the same property :mod:`repro.cpu.trace` relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from ..config import SystemConfig, DEFAULT_CONFIG
+from ..db import btree as _btree
+from ..db import trie as _trie
+from ..db import wormhole as _wormhole
+from ..db.btree import BPlusTree
+from ..db.column import Column
+from ..db.trie import MlpTrie, probe_value, tag_value
+from ..db.wormhole import WormholeIndex
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physmem import NULL_PTR
+from ..obs import StatsRegistry
+from ..sim.sampling import BatchStats
+from .inorder import InOrderCore
+from .ooo import OutOfOrderCore
+from .timing import CoreTimingResult
+from .trace import HOST_OPS_PER_HASH_STEP
+from .uops import Uop, UopKind
+
+
+def warm_ordered_index(memory: MemoryHierarchy, index) -> None:
+    """Functionally install an ordered structure's working set in the LLC."""
+    if isinstance(index, BPlusTree):
+        memory.warm_range(index.region.base, index.footprint_bytes)
+    elif isinstance(index, MlpTrie):
+        memory.warm_range(index.buckets.base, index.buckets.size)
+        if index.overflow is not None:
+            memory.warm_range(index.overflow.base, index.overflow.size)
+    elif isinstance(index, WormholeIndex):
+        memory.warm_range(index.leaves.base, index.leaves.size)
+        memory.warm_range(index.meta.base, index.meta.size)
+        if index.overflow is not None:
+            memory.warm_range(index.overflow.base, index.overflow.size)
+    else:
+        raise TypeError(f"not an ordered index: {type(index).__name__}")
+
+
+class _OrderedTraceGenerator:
+    """Shared stream plumbing for the per-structure generators."""
+
+    #: Probes consumed per yielded trace (batched descent overrides).
+    tuples_per_trace = 1
+
+    def __init__(self, probe_keys: Column) -> None:
+        if not probe_keys.is_materialized:
+            raise ValueError("probe key column must be materialized in "
+                             "simulated memory before tracing")
+        self.probe_keys = probe_keys
+
+    def probe_uops(self, row: int, stream_base: int) -> List[Uop]:
+        """The uop trace for one probe, with deps offset by ``stream_base``."""
+        raise NotImplementedError
+
+    def stream(self, rows: Optional[Sequence[int]] = None) -> Iterator[List[Uop]]:
+        """Yield per-trace uop lists with stream-consistent dep indices."""
+        if rows is None:
+            rows = range(len(self.probe_keys.values))
+        base = 0
+        for row in rows:
+            uops = self.probe_uops(row, base)
+            yield uops
+            base += len(uops)
+
+
+class TreeTraceGenerator(_OrderedTraceGenerator):
+    """Per-probe B+-tree descents: the dependent-load chain baseline."""
+
+    def __init__(self, tree: BPlusTree, probe_keys: Column,
+                 model_mispredicts: bool = True) -> None:
+        super().__init__(probe_keys)
+        self.tree = tree
+        self.model_mispredicts = model_mispredicts
+
+    def probe_uops(self, row: int, stream_base: int) -> List[Uop]:
+        """One root-to-leaf descent: a load per level, each dependent
+        on its parent's load — the pointer chase an OoO window can only
+        overlap *across* probes, never within one."""
+        tree = self.tree
+        uops: List[Uop] = []
+
+        def pos() -> int:
+            return stream_base + len(uops)
+
+        key = int(self.probe_keys.values[row])
+        uops.append(Uop(UopKind.LOAD, addr=self.probe_keys.address_of(row)))
+        key_ready = pos() - 1
+
+        node_dep = key_ready
+        for node in tree.descend_path(key):
+            # Meta word: leaf test.  The node address came from the parent.
+            uops.append(Uop(UopKind.LOAD, addr=node, deps=(node_dep,)))
+            meta_ready = pos() - 1
+            uops.append(Uop(UopKind.ALU, deps=(meta_ready,)))
+            uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+            if tree.node_is_leaf(node):
+                matched = None
+                for slot in range(_btree.FANOUT):
+                    uops.append(Uop(
+                        UopKind.LOAD,
+                        addr=node + _btree._KEYS_OFFSET + 4 * slot,
+                        deps=(meta_ready,)))
+                    uops.append(Uop(UopKind.ALU,
+                                    deps=(pos() - 1, key_ready)))
+                    uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                    if tree.node_key(node, slot) == key:
+                        matched = slot
+                        break
+                if matched is not None:
+                    uops.append(Uop(
+                        UopKind.LOAD,
+                        addr=node + _btree._PAYLOADS_OFFSET + 4 * matched,
+                        deps=(meta_ready,)))
+                elif self.model_mispredicts:
+                    # The miss exit deviates from the common found path.
+                    uops.append(Uop(UopKind.BRANCH, deps=(meta_ready,),
+                                    mispredict=True))
+            else:
+                slot = 0
+                while slot < _btree.FANOUT and key > tree.node_key(node, slot):
+                    uops.append(Uop(
+                        UopKind.LOAD,
+                        addr=node + _btree._KEYS_OFFSET + 4 * slot,
+                        deps=(meta_ready,)))
+                    uops.append(Uop(UopKind.ALU,
+                                    deps=(pos() - 1, key_ready)))
+                    uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                    slot += 1
+                if slot < _btree.FANOUT:
+                    uops.append(Uop(
+                        UopKind.LOAD,
+                        addr=node + _btree._KEYS_OFFSET + 4 * slot,
+                        deps=(meta_ready,)))
+                    uops.append(Uop(UopKind.ALU,
+                                    deps=(pos() - 1, key_ready)))
+                    uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                # Child pointer: the dependency that serializes the descent.
+                uops.append(Uop(
+                    UopKind.LOAD,
+                    addr=node + _btree._CHILDREN_OFFSET + 8 * slot,
+                    deps=(meta_ready,)))
+                node_dep = pos() - 1
+        # Probe-loop bookkeeping.
+        uops.append(Uop(UopKind.ALU))
+        uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+        return uops
+
+
+class TrieTraceGenerator(_OrderedTraceGenerator):
+    """Per-probe hashed-trie lookups: independent per-level fetches."""
+
+    def __init__(self, trie: MlpTrie, probe_keys: Column,
+                 model_mispredicts: bool = True) -> None:
+        super().__init__(probe_keys)
+        self.trie = trie
+        self.model_mispredicts = model_mispredicts
+        self._typical_depth = max(1, round(trie.mean_depth))
+
+    def probe_uops(self, row: int, stream_base: int) -> List[Uop]:
+        """One MLP-trie lookup: every candidate bucket address depends
+        only on the key load, so the level fetches issue in parallel."""
+        trie = self.trie
+        uops: List[Uop] = []
+
+        def pos() -> int:
+            return stream_base + len(uops)
+
+        key = int(self.probe_keys.values[row])
+        uops.append(Uop(UopKind.LOAD, addr=self.probe_keys.address_of(row)))
+        key_ready = pos() - 1
+
+        hit_depth = None
+        for depth in range(1, _trie.MAX_DEPTH + 1):
+            # Probe value, hash and bucket address are functions of the
+            # key alone: the whole address chain for this depth depends
+            # only on the key load, NOT on any other depth — the MLP the
+            # layout exists to expose.
+            uops.append(Uop(UopKind.ALU, deps=(key_ready,)))  # shift
+            uops.append(Uop(UopKind.ALU, deps=(pos() - 1,)))  # + depth tag
+            prev = pos() - 1
+            for _step in trie.hash_spec.steps:
+                for _ in range(HOST_OPS_PER_HASH_STEP):
+                    uops.append(Uop(UopKind.ALU, deps=(prev,)))
+                    prev = pos() - 1
+            for _ in range(3):                   # mask, scale, base add
+                uops.append(Uop(UopKind.ALU, deps=(prev,)))
+                prev = pos() - 1
+            addr_ready = prev
+
+            expect = tag_value(key, depth)
+            block_dep = addr_ready
+            found = False
+            for block in trie.chain_blocks(trie.bucket_addr(key, depth)):
+                for index in range(_trie.SLOTS_PER_BUCKET):
+                    slot = block + _trie._SLOT_BASE + index * _trie.SLOT_BYTES
+                    uops.append(Uop(UopKind.LOAD,
+                                    addr=slot + _trie._TAG_OFFSET,
+                                    deps=(block_dep,)))
+                    uops.append(Uop(UopKind.ALU, deps=(pos() - 1, key_ready)))
+                    uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                    if trie.slot_tag(slot) == expect:
+                        uops.append(Uop(UopKind.LOAD,
+                                        addr=slot + _trie._PAYLOAD_OFFSET,
+                                        deps=(block_dep,)))
+                        found = True
+                        break
+                if found:
+                    break
+                # Overflow pointer: the intra-bucket chain IS dependent.
+                uops.append(Uop(UopKind.LOAD,
+                                addr=block + _trie._OVERFLOW_OFFSET,
+                                deps=(block_dep,)))
+                block_dep = pos() - 1
+                uops.append(Uop(UopKind.BRANCH, deps=(block_dep,)))
+            if found:
+                hit_depth = depth
+                break
+        mispredict = (self.model_mispredicts
+                      and (hit_depth or _trie.MAX_DEPTH) != self._typical_depth)
+        uops.append(Uop(UopKind.ALU))
+        uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,),
+                        mispredict=mispredict))
+        return uops
+
+
+class WormholeTraceGenerator(_OrderedTraceGenerator):
+    """Per-probe wormhole lookups: binary search then a bounded walk."""
+
+    def __init__(self, index: WormholeIndex, probe_keys: Column,
+                 model_mispredicts: bool = True) -> None:
+        super().__init__(probe_keys)
+        self.index = index
+        self.model_mispredicts = model_mispredicts
+
+    def probe_uops(self, row: int, stream_base: int) -> List[Uop]:
+        """One wormhole lookup: binary search over prefix depths in the
+        meta hash, then a single leaf scan."""
+        wh = self.index
+        uops: List[Uop] = []
+
+        def pos() -> int:
+            return stream_base + len(uops)
+
+        key = int(self.probe_keys.values[row])
+        uops.append(Uop(UopKind.LOAD, addr=self.probe_keys.address_of(row)))
+        key_ready = pos() - 1
+
+        # Binary search over prefix depths.  Unlike the trie, the NEXT
+        # depth to probe is decided by the CURRENT probe's outcome, so
+        # each probe's address chain carries a dependency on the previous
+        # probe — a short dependent chain (log depths), traded for the
+        # tree's tall one.
+        lo, hi = 0, _wormhole.MAX_DEPTH
+        best = wh.first_leaf
+        outcome_dep = key_ready
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            uops.append(Uop(UopKind.ALU, deps=(key_ready, outcome_dep)))
+            uops.append(Uop(UopKind.ALU, deps=(pos() - 1,)))
+            prev = pos() - 1
+            for _step in wh.hash_spec.steps:
+                for _ in range(HOST_OPS_PER_HASH_STEP):
+                    uops.append(Uop(UopKind.ALU, deps=(prev,)))
+                    prev = pos() - 1
+            for _ in range(3):
+                uops.append(Uop(UopKind.ALU, deps=(prev,)))
+                prev = pos() - 1
+
+            value = probe_value(key, mid)
+            found = None
+            block_dep = prev
+            block = wh.meta_bucket_addr(value)
+            while block != NULL_PTR and found is None:
+                hit = False
+                for index in range(_wormhole.META_SLOTS_PER_BUCKET):
+                    slot = (block + _wormhole._META_SLOT_BASE
+                            + index * _wormhole.META_SLOT_BYTES)
+                    uops.append(Uop(UopKind.LOAD,
+                                    addr=slot + _wormhole._META_TAG_OFFSET,
+                                    deps=(block_dep,)))
+                    uops.append(Uop(UopKind.ALU, deps=(pos() - 1, key_ready)))
+                    uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                    if wh.memory.read_u64(
+                            slot + _wormhole._META_TAG_OFFSET) == value:
+                        uops.append(Uop(
+                            UopKind.LOAD,
+                            addr=slot + _wormhole._META_LEAF_OFFSET,
+                            deps=(block_dep,)))
+                        found = wh.memory.read_u64(
+                            slot + _wormhole._META_LEAF_OFFSET)
+                        hit = True
+                        break
+                if hit:
+                    break
+                uops.append(Uop(UopKind.LOAD,
+                                addr=block + _wormhole._META_OVERFLOW_OFFSET,
+                                deps=(block_dep,)))
+                block_dep = pos() - 1
+                uops.append(Uop(UopKind.BRANCH, deps=(block_dep,)))
+                block = wh.memory.read_u64(
+                    block + _wormhole._META_OVERFLOW_OFFSET)
+            outcome_dep = pos() - 1
+            if found is None:
+                hi = mid - 1
+            else:
+                best = found
+                lo = mid
+
+        # Forward leaf walk: anchors are read through a dependent chain.
+        leaf = best
+        leaf_dep = outcome_dep
+        while True:
+            uops.append(Uop(UopKind.LOAD,
+                            addr=leaf + _wormhole._NEXT_LEAF_OFFSET,
+                            deps=(leaf_dep,)))
+            next_ready = pos() - 1
+            nxt = wh.next_leaf(leaf)
+            if nxt == NULL_PTR:
+                uops.append(Uop(UopKind.BRANCH, deps=(next_ready,)))
+                break
+            uops.append(Uop(UopKind.LOAD,
+                            addr=nxt + _wormhole._KEYS_OFFSET,
+                            deps=(next_ready,)))
+            uops.append(Uop(UopKind.ALU, deps=(pos() - 1, key_ready)))
+            uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+            if wh.leaf_key(nxt, 0) > key:
+                break
+            leaf = nxt
+            leaf_dep = next_ready
+
+        # Final leaf: scan slots for the key.
+        matched = None
+        for slot in range(_wormhole.FANOUT):
+            uops.append(Uop(UopKind.LOAD,
+                            addr=leaf + _wormhole._KEYS_OFFSET + 4 * slot,
+                            deps=(leaf_dep,)))
+            uops.append(Uop(UopKind.ALU, deps=(pos() - 1, key_ready)))
+            uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+            if wh.leaf_key(leaf, slot) == key:
+                matched = slot
+                break
+        if matched is not None:
+            uops.append(Uop(
+                UopKind.LOAD,
+                addr=leaf + _wormhole._PAYLOADS_OFFSET + 4 * matched,
+                deps=(leaf_dep,)))
+        elif self.model_mispredicts:
+            uops.append(Uop(UopKind.BRANCH, deps=(leaf_dep,),
+                            mispredict=True))
+        uops.append(Uop(UopKind.ALU))
+        uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+        return uops
+
+
+class BatchedTreeTraceGenerator(_OrderedTraceGenerator):
+    """Level-wise batched descents: each trace consumes ``batch`` probes."""
+
+    def __init__(self, tree: BPlusTree, probe_keys: Column,
+                 batch: int = 4, sort_batches: bool = True) -> None:
+        super().__init__(probe_keys)
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.tree = tree
+        self.batch = batch
+        self.sort_batches = sort_batches
+        self.tuples_per_trace = batch
+
+    def stream(self, rows: Optional[Sequence[int]] = None) -> Iterator[List[Uop]]:
+        """Yield one trace per whole batch (a trailing partial batch is
+        dropped, mirroring the serve layer's fixed-size batches)."""
+        if rows is None:
+            rows = range(len(self.probe_keys.values))
+        rows = list(rows)
+        base = 0
+        for start in range(0, len(rows) - self.batch + 1, self.batch):
+            uops = self.batch_uops(rows[start:start + self.batch], base)
+            yield uops
+            base += len(uops)
+
+    def batch_uops(self, rows: Sequence[int], stream_base: int) -> List[Uop]:
+        """One level-wise batched descent: each distinct node on the
+        batch's frontier is loaded once per level and later members of
+        the group reuse the loaded block."""
+        tree = self.tree
+        uops: List[Uop] = []
+
+        def pos() -> int:
+            return stream_base + len(uops)
+
+        keys = [int(self.probe_keys.values[row]) for row in rows]
+        key_ready: Dict[int, int] = {}
+        for slot, row in enumerate(rows):
+            uops.append(Uop(UopKind.LOAD,
+                            addr=self.probe_keys.address_of(row)))
+            key_ready[slot] = pos() - 1
+        order = sorted(range(len(keys)), key=keys.__getitem__) \
+            if self.sort_batches else list(range(len(keys)))
+
+        # frontier: probe slot -> (node, position of the parent's load).
+        frontier = [(i, tree.root, key_ready[i]) for i in order]
+        while frontier:
+            groups: Dict[int, List] = {}
+            for i, node, dep in frontier:
+                groups.setdefault(node, []).append((i, dep))
+            next_frontier = []
+            for node, members in groups.items():
+                # One fetch per distinct node per level — the batched
+                # amortization.  Later members reuse the loaded block.
+                uops.append(Uop(UopKind.LOAD, addr=node,
+                                deps=(members[0][1],)))
+                node_ready = pos() - 1
+                uops.append(Uop(UopKind.ALU, deps=(node_ready,)))
+                uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+                if tree.node_is_leaf(node):
+                    for i, _dep in members:
+                        for slot in range(_btree.FANOUT):
+                            uops.append(Uop(UopKind.ALU,
+                                            deps=(node_ready, key_ready[i])))
+                            uops.append(Uop(UopKind.BRANCH,
+                                            deps=(pos() - 1,)))
+                            if tree.node_key(node, slot) == keys[i]:
+                                uops.append(Uop(
+                                    UopKind.LOAD,
+                                    addr=(node + _btree._PAYLOADS_OFFSET
+                                          + 4 * slot),
+                                    deps=(node_ready,)))
+                                break
+                else:
+                    for i, _dep in members:
+                        slot = 0
+                        while (slot < _btree.FANOUT
+                               and keys[i] > tree.node_key(node, slot)):
+                            uops.append(Uop(UopKind.ALU,
+                                            deps=(node_ready, key_ready[i])))
+                            uops.append(Uop(UopKind.BRANCH,
+                                            deps=(pos() - 1,)))
+                            slot += 1
+                        if slot < _btree.FANOUT:
+                            uops.append(Uop(UopKind.ALU,
+                                            deps=(node_ready, key_ready[i])))
+                            uops.append(Uop(UopKind.BRANCH,
+                                            deps=(pos() - 1,)))
+                        child = tree.node_child(node, slot)
+                        if child == NULL_PTR:
+                            child = tree._last_real_child(node)
+                        next_frontier.append((i, child, node_ready))
+            frontier = next_frontier
+        uops.append(Uop(UopKind.ALU))
+        uops.append(Uop(UopKind.BRANCH, deps=(pos() - 1,)))
+        return uops
+
+
+def make_ordered_generator(index_class: str, index, probe_keys: Column, *,
+                           batch: int = 4) -> _OrderedTraceGenerator:
+    """The trace generator matching an ordered workload class."""
+    if index_class == "btree":
+        return TreeTraceGenerator(index, probe_keys)
+    if index_class == "trie":
+        return TrieTraceGenerator(index, probe_keys)
+    if index_class == "wormhole":
+        return WormholeTraceGenerator(index, probe_keys)
+    if index_class == "batched":
+        return BatchedTreeTraceGenerator(index, probe_keys, batch=batch)
+    raise ValueError(f"unknown ordered index class {index_class!r}")
+
+
+def measure_ordered_indexing(index, probe_keys: Column, *,
+                             index_class: str,
+                             core: str = "ooo",
+                             config: SystemConfig = DEFAULT_CONFIG,
+                             warmup_probes: int = 64,
+                             measure_probes: Optional[int] = None,
+                             batch: int = 4,
+                             batch_size: int = 128,
+                             warm_index: bool = True,
+                             bulk: bool = False) -> CoreTimingResult:
+    """Run an ordered-index probe loop on a baseline core model.
+
+    Mirrors :func:`repro.cpu.timing.measure_indexing`; ``bulk`` is
+    accepted for interface parity but always runs the event-driven path —
+    ordered traces interleave variable-length dependent chains that the
+    array replay cannot schedule unambiguously, and using one path keeps
+    ``--bulk`` output bit-identical by construction.
+
+    ``warmup_probes``/``measure_probes`` count probes (tuples), not
+    traces: for the batched class they are rounded down to whole batches.
+    """
+    del bulk  # interface parity only; see docstring
+    memory = MemoryHierarchy(config)
+    if warm_index:
+        warm_ordered_index(memory, index)
+    if core == "ooo":
+        model = OutOfOrderCore(config.ooo, memory)
+    elif core == "inorder":
+        model = InOrderCore(config.inorder, memory)
+    else:
+        raise ValueError(f"unknown core model {core!r} (want 'ooo' or 'inorder')")
+
+    generator = make_ordered_generator(index_class, index, probe_keys,
+                                       batch=batch)
+    per_trace = generator.tuples_per_trace
+    total_rows = len(probe_keys.values)
+    limit = total_rows if measure_probes is None else min(
+        total_rows, warmup_probes + measure_probes)
+    rows = range((limit // per_trace) * per_trace)
+    warmup_traces = warmup_probes // per_trace
+    if len(rows) // per_trace <= warmup_traces:
+        raise ValueError(
+            f"need more than {warmup_probes} probes to measure after warm-up")
+
+    stats = BatchStats(batch_size=max(1, batch_size // per_trace))
+    measured_tuples = 0
+    measure_start = 0.0
+    for trace_number, uops in enumerate(generator.stream(rows)):
+        before = model.completion_time
+        model.execute(uops)
+        if trace_number == warmup_traces - 1:
+            measure_start = model.completion_time
+        elif trace_number >= warmup_traces:
+            stats.add(model.completion_time - before)
+            measured_tuples += per_trace
+
+    total = model.completion_time - measure_start
+    mean, half = stats.interval()
+    registry = StatsRegistry()
+    model.register_into(registry, f"cpu.{core}")
+    memory.register_into(registry, "mem")
+    warm_tuples = warmup_traces * per_trace
+    return CoreTimingResult(
+        core=core,
+        cycles_per_tuple=total / measured_tuples,
+        ci_half_width=half / per_trace,
+        tuples=measured_tuples,
+        total_cycles=total,
+        mem_stall_per_tuple=model.mem_stall_cycles / max(1, model.uops_executed)
+        * (model.uops_executed / max(1, measured_tuples + warm_tuples)),
+        tlb_stall_per_tuple=model.tlb_stall_cycles
+        / max(1, measured_tuples + warm_tuples),
+        l1_miss_ratio=memory.stats.l1d.miss_ratio,
+        llc_miss_ratio=memory.stats.llc.miss_ratio,
+        stats=registry.to_dict(),
+    )

@@ -18,7 +18,9 @@ from .hashfn import HashSpec, HashStep, KERNEL_HASH, ROBUST_HASH_32, ROBUST_HASH
 from .node import NodeLayout, KERNEL_LAYOUT, MONETDB_LAYOUT
 from .hashtable import HashIndex
 from .build import build_index
-from .btree import BPlusTree
+from .btree import BPlusTree, batched_search
+from .trie import MlpTrie
+from .wormhole import WormholeIndex
 from .plan import PlanNode, ScanNode, HashJoinNode, SortNode, AggregateNode, GroupByNode
 from .executor import QueryExecutor, QueryProfile
 
@@ -37,6 +39,9 @@ __all__ = [
     "HashIndex",
     "build_index",
     "BPlusTree",
+    "batched_search",
+    "MlpTrie",
+    "WormholeIndex",
     "PlanNode",
     "ScanNode",
     "HashJoinNode",

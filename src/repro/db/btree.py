@@ -27,7 +27,7 @@ height.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import PlanError
 from ..mem.layout import AddressSpace, Region
@@ -244,3 +244,49 @@ class BPlusTree:
     @property
     def footprint_bytes(self) -> int:
         return self._next_node - self.region.base
+
+
+def batched_search(tree: BPlusTree, keys: Sequence[int],
+                   visit_log: Optional[List[int]] = None) -> List[Optional[int]]:
+    """Level-wise batched point lookups (the FPGA batch-search pattern).
+
+    All probes of one batch descend in lock-step: at each level the
+    frontier is grouped by node and every distinct node is fetched exactly
+    once, no matter how many probes route through it — the amortization a
+    per-probe descent cannot get.  Returns payloads aligned with ``keys``
+    (None for misses).
+
+    ``visit_log``, when given, collects the fetched node addresses in
+    visit order; the hypothesis suite asserts each node appears at most
+    once per batch, and the Widx batched walker relies on the same
+    sharing (its repeat fetches of a shared upper-level node are L1 hits).
+    """
+    keys = [int(k) for k in keys]
+    results: List[Optional[int]] = [None] * len(keys)
+    frontier = [(i, tree.root) for i in range(len(keys))]
+    while frontier:
+        groups: Dict[int, List[int]] = {}
+        for i, node in frontier:
+            groups.setdefault(node, []).append(i)
+        next_frontier: List[Tuple[int, int]] = []
+        for node, members in groups.items():
+            if visit_log is not None:
+                visit_log.append(node)
+            if tree.node_is_leaf(node):
+                for i in members:
+                    for slot in range(FANOUT):
+                        if tree.node_key(node, slot) == keys[i]:
+                            results[i] = tree.node_payload(node, slot)
+                            break
+            else:
+                for i in members:
+                    slot = 0
+                    while (slot < FANOUT
+                           and keys[i] > tree.node_key(node, slot)):
+                        slot += 1
+                    child = tree.node_child(node, slot)
+                    if child == NULL_PTR:
+                        child = tree._last_real_child(node)
+                    next_frontier.append((i, child))
+        frontier = next_frontier
+    return results

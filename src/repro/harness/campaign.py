@@ -68,11 +68,13 @@ _CORE_ORDER = {"ooo": 0, "inorder": 1}
 class MeasurementPoint:
     """One simulator run a figure needs: a workload on a core or on Widx."""
 
-    kind: str          # "kernel" | "query"
-    name: str          # kernel size ("Small") or query id ("tpch:20")
-    op: str            # "baseline" | "widx" | "pim" | "serve"
-    core: str = ""     # baseline: "ooo" | "inorder"; serve: backend
-    walkers: int = 0   # widx / pim / serve-on-widx only
+    kind: str          # "kernel" | "query" | "ordered"
+    name: str          # kernel size ("Small"), query id ("tpch:20") or
+                       # ordered workload ("trie:Small")
+    op: str            # "baseline" | "widx" | "pim" | "serve" | "index"
+    core: str = ""     # baseline: "ooo" | "inorder"; serve: backend;
+                       # index: "ooo" | "inorder" | "widx"
+    walkers: int = 0   # widx / pim / serve-on-widx / index-on-widx only
     mode: str = ""     # widx / pim / serve-on-widx only: Widx organization
     batch: int = 0     # serve only: probe keys in the calibrated batch
     banks: int = 0     # pim only: DRAM banks the walkers interleave over
@@ -87,6 +89,9 @@ class MeasurementPoint:
         if self.op == "pim":
             return ("pim", self.kind, self.name, self.walkers, self.mode,
                     self.banks)
+        if self.op == "index":
+            return ("index", self.kind, self.name, self.core,
+                    self.walkers, self.mode)
         return ("widx", self.kind, self.name, self.walkers, self.mode)
 
     @property
@@ -102,6 +107,10 @@ class MeasurementPoint:
                     self.walkers, self.mode, self.batch)
         if self.op == "pim":
             return (2, self.banks, self.walkers, self.mode)
+        if self.op == "index":
+            if self.core in _CORE_ORDER:
+                return (0, _CORE_ORDER[self.core], self.core)
+            return (1, self.walkers, self.mode)
         return (1, self.walkers, self.mode)
 
 
@@ -129,6 +138,18 @@ def serve_point(kind: str, name: str, backend: str, batch_keys: int,
     """A serving-layer service-time calibration point."""
     return MeasurementPoint(kind=kind, name=name, op="serve", core=backend,
                             walkers=walkers, mode=mode, batch=batch_keys)
+
+
+def index_point(name: str, core: str, walkers: int = 0,
+                mode: str = "") -> MeasurementPoint:
+    """An ordered-index zoo measurement point.
+
+    ``name`` is ``"<class>:<size>"`` (e.g. ``"trie:Small"``); ``core`` is
+    a baseline core (``"ooo"``/``"inorder"``) or ``"widx"`` with a walker
+    count and organization.
+    """
+    return MeasurementPoint(kind="ordered", name=name, op="index",
+                            core=core, walkers=walkers, mode=mode)
 
 
 def kernel_points(sizes: Iterable[str], walker_counts: Iterable[int],
@@ -279,6 +300,8 @@ def _measure_point(cache: MeasurementCache, point: MeasurementPoint):
     if point.op == "pim":
         return cache.pim(point.kind, point.name, point.walkers, point.banks,
                          point.mode)
+    if point.op == "index":
+        return cache.index(point.name, point.core, point.walkers, point.mode)
     return cache.widx(point.kind, point.name, point.walkers, point.mode)
 
 

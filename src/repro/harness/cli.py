@@ -40,8 +40,8 @@ from .cachestore import CacheStore
 from .chaos import ChaosSpec, ChaosStore
 from .report import Report, failure_report
 from .runner import MeasurementCache, RunSettings
-from . import (fig2, fig4, fig5, fig8, fig9, fig10, fig11, figpim,
-               figresilience, figserve)
+from . import (fig2, fig4, fig5, fig8, fig9, fig10, fig11, figindexes,
+               figpim, figresilience, figserve)
 
 #: Experiment registry: name -> (needs_measurements, runner, points).
 #: ``points`` declares the measurement points the runner will consume so
@@ -65,12 +65,19 @@ EXPERIMENTS: Dict[str, tuple] = {
     "resilience": (True, figresilience.run_fig_resilience,
                    figresilience.points_fig_resilience),
     "pim": (True, figpim.run_fig_pim, figpim.points_fig_pim),
+    "indexes": (True, figindexes.run_fig_indexes,
+                figindexes.points_fig_indexes),
 }
 
 #: Experiments whose point declarations and runners grow a bank-side
 #: walker column under ``--pim`` (the ``pim`` figure itself always runs
 #: the PIM sweep and needs no flag).
 PIM_AWARE = ("8b", "serve", "resilience")
+
+#: Experiments whose point declarations and runners grow a batched
+#: B+-tree backend column under ``--batched-tree`` (the ``indexes``
+#: figure always sweeps the batched traversal and needs no flag).
+BATCHED_AWARE = ("serve",)
 
 _FAST = {name for name, (needs, _, _) in EXPERIMENTS.items() if not needs}
 
@@ -124,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add the bank-side walker backend (near-memory "
                              "PIM) as an extra column in fig8b, fig-serve "
                              "and fig-resilience; the dedicated fig-pim "
+                             "sweep runs it regardless")
+    parser.add_argument("--batched-tree", action="store_true",
+                        dest="batched_tree",
+                        help="add the level-wise batched B+-tree backend as "
+                             "an extra column in fig-serve; the fig-indexes "
                              "sweep runs it regardless")
     parser.add_argument("--bulk", action="store_true",
                         help="evaluate independent probes and requests as "
@@ -213,21 +225,25 @@ def _sort_key(name: str):
 
 
 def campaign_points(names: List[str],
-                    pim: bool = False) -> List[MeasurementPoint]:
+                    pim: bool = False,
+                    batched: bool = False) -> List[MeasurementPoint]:
     """Every measurement point the named experiments declare (with dups).
 
     ``pim`` forwards ``include_pim=True`` to the experiments in
-    :data:`PIM_AWARE` so their bank-side walker columns are prefetched
-    alongside the host-side points.
+    :data:`PIM_AWARE` and ``batched`` forwards ``include_batched=True``
+    to those in :data:`BATCHED_AWARE`, so the opt-in backend columns are
+    prefetched alongside the host-side points.
     """
     points: List[MeasurementPoint] = []
     for name in names:
         _needs, _runner, declare = EXPERIMENTS[name]
         if declare is not None:
+            kwargs = {}
             if pim and name in PIM_AWARE:
-                points.extend(declare(include_pim=True))
-            else:
-                points.extend(declare())
+                kwargs["include_pim"] = True
+            if batched and name in BATCHED_AWARE:
+                kwargs["include_batched"] = True
+            points.extend(declare(**kwargs))
     return points
 
 
@@ -242,7 +258,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                     serve_slo: Optional[float] = None,
                     serve_controller: Optional[str] = None,
                     trails: Optional[int] = None,
-                    pim: bool = False) -> List[Report]:
+                    pim: bool = False,
+                    batched: bool = False) -> List[Report]:
     """Run the named experiments, printing each report.
 
     A campaign pre-pass prefetches every declared measurement point
@@ -254,7 +271,9 @@ def run_experiments(names: List[str], settings: RunSettings,
 
     ``pim`` threads ``include_pim=True`` through the point declarations
     and runners of the :data:`PIM_AWARE` figures, adding the bank-side
-    walker column (``--pim``); other figures ignore it.
+    walker column (``--pim``); ``batched`` does the same for
+    :data:`BATCHED_AWARE` via ``include_batched=True``
+    (``--batched-tree``); other figures ignore them.
 
     ``stats_json`` writes the merged stats-registry snapshot plus every
     report (via :meth:`Report.to_dict`) as JSON; ``trace`` re-runs one
@@ -267,7 +286,7 @@ def run_experiments(names: List[str], settings: RunSettings,
     if chaos is not None and store is not None:
         store = ChaosStore(store, chaos)
     cache = MeasurementCache(runs=settings, store=store, bulk=bulk)
-    points = campaign_points(names, pim=pim)
+    points = campaign_points(names, pim=pim, batched=batched)
     failures = []
     if points:
         started = time.time()
@@ -287,7 +306,8 @@ def run_experiments(names: List[str], settings: RunSettings,
                 report = runner(cache, serve_policy, bulk=bulk,
                                 slo=serve_slo,
                                 controller_spec=serve_controller,
-                                include_pim=pim)
+                                include_pim=pim,
+                                include_batched=batched)
             elif name == "resilience":
                 report = runner(cache, bulk=bulk, include_pim=pim)
             elif pim and name in PIM_AWARE:
@@ -470,7 +490,8 @@ def main(argv: Optional[List[str]] = None, out=sys.stdout) -> int:
                         serve_policy=args.serve_policy, bulk=args.bulk,
                         serve_slo=args.serve_slo,
                         serve_controller=args.serve_controller,
-                        trails=args.trails, pim=args.pim)
+                        trails=args.trails, pim=args.pim,
+                        batched=args.batched_tree)
     except CampaignInterrupted as exc:
         print(f"\n{exc}", file=out)
         return 130

@@ -50,6 +50,18 @@ BACKENDS: Tuple[Tuple[str, str, int, str], ...] = (
 #: the strongest Widx column, attached at the DRAM banks.
 PIM_BACKEND: Tuple[str, str, int, str] = ("pim-4", "pim", 4, "shared")
 
+#: The level-wise batched B+-tree backend added by ``--batched-tree``:
+#: coupled-mode walkers sharing each served batch's node visits.  It is
+#: calibrated on the ordered-index zoo's Small B+-tree rather than the
+#: hash kernel, so its rows answer how an ordered index serves under the
+#: same open-loop composition.
+BATCHED_BACKEND: Tuple[str, str, int, str] = ("batched-4", "batched", 4,
+                                              "coupled")
+
+#: The workload the batched backend calibrates against.
+BATCHED_KIND = "ordered"
+BATCHED_NAME = "batched:Small"
+
 #: Offered load sweep, as fractions of each backend's saturation rate.
 LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
 
@@ -57,17 +69,34 @@ LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.85, 0.95)
 SWEEP_REQUESTS = 512
 
 
-def _backends(include_pim: bool) -> Tuple[Tuple[str, str, int, str], ...]:
-    """The swept backends, with the PIM column appended on request."""
-    return BACKENDS + ((PIM_BACKEND,) if include_pim else ())
+def _backends(include_pim: bool, include_batched: bool = False
+              ) -> Tuple[Tuple[str, str, int, str], ...]:
+    """The swept backends, with opt-in columns appended on request."""
+    extra: Tuple[Tuple[str, str, int, str], ...] = ()
+    if include_pim:
+        extra += (PIM_BACKEND,)
+    if include_batched:
+        extra += (BATCHED_BACKEND,)
+    return BACKENDS + extra
 
 
-def points_fig_serve(include_pim: bool = False) -> List[MeasurementPoint]:
+def _workload_for(backend: str) -> Tuple[str, str]:
+    """The (kind, name) a backend's calibration runs against."""
+    if backend == "batched":
+        return BATCHED_KIND, BATCHED_NAME
+    return SERVE_KIND, SERVE_NAME
+
+
+def points_fig_serve(include_pim: bool = False,
+                     include_batched: bool = False
+                     ) -> List[MeasurementPoint]:
     """The calibration measurements the serving sweep needs."""
     points = []
-    for _label, backend, walkers, mode in _backends(include_pim):
+    for _label, backend, walkers, mode in _backends(include_pim,
+                                                    include_batched):
+        kind, name = _workload_for(backend)
         for batch in CALIBRATED_BATCHES:
-            points.append(serve_point(SERVE_KIND, SERVE_NAME, backend,
+            points.append(serve_point(kind, name, backend,
                                       batch * KEYS_PER_REQUEST,
                                       walkers, mode))
     return points
@@ -76,8 +105,9 @@ def points_fig_serve(include_pim: bool = False) -> List[MeasurementPoint]:
 def service_model(cache: MeasurementCache, label: str, backend: str,
                   walkers: int, mode: str) -> ServiceModel:
     """Build one backend's service model from cached calibrations."""
+    kind, name = _workload_for(backend)
     measurements = [
-        cache.service(SERVE_KIND, SERVE_NAME, backend,
+        cache.service(kind, name, backend,
                       batch * KEYS_PER_REQUEST, walkers, mode)
         for batch in CALIBRATED_BATCHES
     ]
@@ -116,7 +146,8 @@ def run_fig_serve(cache: MeasurementCache,
                   bulk: bool = False,
                   slo: Optional[float] = None,
                   controller_spec: Optional[str] = None,
-                  include_pim: bool = False) -> Report:
+                  include_pim: bool = False,
+                  include_batched: bool = False) -> Report:
     """The serving figure: offered load vs achieved throughput and
     latency percentiles, per backend.
 
@@ -126,7 +157,9 @@ def run_fig_serve(cache: MeasurementCache,
     loop.  ``include_pim`` sweeps the bank-side walker backend alongside
     the others (``--pim``) — its service times carry the per-batch
     host↔PIM launch latency, so it answers whether near-memory wins
-    survive a serving workload's small batches.  All three default off,
+    survive a serving workload's small batches.  ``include_batched``
+    sweeps the level-wise batched B+-tree backend (``--batched-tree``),
+    calibrated on the ordered-index zoo's Small tree.  All default off,
     leaving the report byte-identical to the pre-resilience figure.
     """
     parse_policy(policy_spec)  # fail fast on a bad spec
@@ -147,7 +180,7 @@ def run_fig_serve(cache: MeasurementCache,
               f"{SERVE_NAME} kernel ({KEYS_PER_REQUEST} keys/request, "
               f"policy={policy_spec}{title_extra})",
         columns=columns)
-    backends = _backends(include_pim)
+    backends = _backends(include_pim, include_batched)
     saturations = {}
     for label, backend, walkers, mode in backends:
         model = service_model(cache, label, backend, walkers, mode)
@@ -178,6 +211,13 @@ def run_fig_serve(cache: MeasurementCache,
         report.add_note(
             f"{pim_label} sustains {ratio:.2f}x the {widx_peer} saturation "
             f"load (per-batch host-to-PIM launch included)")
+    if include_batched:
+        batched_label = BATCHED_BACKEND[0]
+        report.add_note(
+            f"{batched_label}: level-wise batched traversals of the "
+            f"{BATCHED_NAME} B+-tree ({saturations[batched_label]:.3f} "
+            f"requests/kcycle at saturation; per-batch offload "
+            f"configuration included)")
     report.add_note("latencies in cycles; load is the fraction of each "
                     "backend's own saturation rate")
     return report

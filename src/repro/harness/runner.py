@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..config import SystemConfig, DEFAULT_CONFIG, stable_digest
+from ..cpu.ordered import measure_ordered_indexing
 from ..cpu.timing import CoreTimingResult, measure_indexing
 from ..errors import (ConfigError, InvariantViolation, MeasurementFailed,
                       SimulationHang)
@@ -28,9 +29,12 @@ from ..mem.layout import AddressSpace
 from ..obs import StatsRegistry
 from ..serve.service import ServiceMeasurement, measure_service
 from ..sim.watchdog import Watchdog, WatchdogLimits
-from ..widx.offload import OffloadOutcome, offload_probe
+from ..widx.offload import (OffloadOutcome, offload_batched_tree,
+                            offload_probe, offload_tree_search,
+                            offload_trie_search, offload_wormhole_search)
 from ..widx.unit import UnitCycleBreakdown
 from ..workloads.hashjoin_kernel import build_kernel_workload
+from ..workloads.ordered_kernel import build_ordered_workload
 from ..workloads.queryspec import QuerySpec, build_query_index
 from .cachestore import (CacheDecodeError, CacheStore, decode_measurement,
                          encode_measurement)
@@ -142,6 +146,7 @@ class MeasurementCache:
         self.bulk = bulk
         self._kernel_workloads: Dict[str, tuple] = {}
         self._query_workloads: Dict[str, tuple] = {}
+        self._ordered_workloads: Dict[str, tuple] = {}
         self._measurements: Dict[Tuple, object] = {}
         self._poisoned: Dict[Tuple, str] = {}
         self.measured_points = 0   # simulated in this process
@@ -164,6 +169,21 @@ class MeasurementCache:
             self._query_workloads[key] = build_query_index(
                 spec, probe_count=self.runs.probes, seed=self.runs.seed)
         return self._query_workloads[key]
+
+    def ordered_workload(self, name: str):
+        """Build (or reuse) one ordered-index workload.
+
+        ``name`` is ``"<class>:<size>"``, e.g. ``"trie:Small"``.  The
+        ``btree`` and ``batched`` classes build structurally identical
+        trees but are memoized separately: each measurement must see the
+        address layout a fresh build produces (hermeticity), not one
+        shifted by another class's earlier allocations.
+        """
+        if name not in self._ordered_workloads:
+            index_class, _, size = name.partition(":")
+            self._ordered_workloads[name] = build_ordered_workload(
+                index_class, size, self.runs.probes, seed=self.runs.seed)
+        return self._ordered_workloads[name]
 
     # --- cache plumbing -------------------------------------------------
 
@@ -292,6 +312,48 @@ class MeasurementCache:
             self.install(point, result)
         return result  # type: ignore[return-value]
 
+    def index(self, name: str, core: str, walkers: int = 0,
+              mode: str = "") -> object:
+        """Measure (or reuse) one ordered-index zoo point.
+
+        ``name`` is ``"<class>:<size>"``.  ``core`` selects a baseline
+        core model (``"ooo"``/``"inorder"``, returning a
+        :class:`CoreTimingResult`) or ``"widx"`` (returning an
+        :class:`OffloadOutcome` from the class's offload driver).
+        """
+        point = ("index", "ordered", name, core, walkers, mode)
+        result = self.fetch(point)
+        if result is None:
+            self._check_poisoned(point)
+            index_class, _, _size = name.partition(":")
+            index, probes = self.ordered_workload(name)
+            if core in ("ooo", "inorder"):
+                result = measure_ordered_indexing(
+                    index, probes, index_class=index_class, core=core,
+                    config=self.config, warmup_probes=self.runs.warmup,
+                    measure_probes=self.runs.measured, bulk=self.bulk)
+            elif core == "widx":
+                config = self.config.with_widx(
+                    num_walkers=walkers, mode=mode or "shared")
+                offload = {"btree": offload_tree_search,
+                           "trie": offload_trie_search,
+                           "wormhole": offload_wormhole_search,
+                           "batched": offload_batched_tree}[index_class]
+                try:
+                    result = offload(index, probes, config=config,
+                                     probes=self.runs.probes)
+                except (SimulationHang, InvariantViolation) as exc:
+                    if hasattr(exc, "add_note"):
+                        exc.add_note(f"while measuring point {point!r}")
+                    raise
+            else:
+                raise ConfigError(
+                    f"unknown ordered-index core {core!r} "
+                    f"(want 'ooo', 'inorder' or 'widx')")
+            self.measured_points += 1
+            self.install(point, result)
+        return result
+
     def service(self, kind: str, name: str, backend: str, batch_keys: int,
                 walkers: int = 0, mode: str = "") -> ServiceMeasurement:
         """Measure (or reuse) one serving-layer service-time calibration:
@@ -301,8 +363,12 @@ class MeasurementCache:
         result = self.fetch(point)
         if result is None:
             self._check_poisoned(point)
-            index, probes = (self.kernel_workload(name) if kind == "kernel"
-                             else self.query_workload(self._spec_by_name(name)))
+            if kind == "kernel":
+                index, probes = self.kernel_workload(name)
+            elif kind == "ordered":
+                index, probes = self.ordered_workload(name)
+            else:
+                index, probes = self.query_workload(self._spec_by_name(name))
             try:
                 result = measure_service(
                     index, probes, backend=backend, batch_keys=batch_keys,

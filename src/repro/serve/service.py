@@ -29,10 +29,10 @@ from ..errors import ServeError
 from ..mem.hierarchy import MemoryHierarchy
 from ..obs import StatsRegistry
 from ..sim.watchdog import Watchdog
-from ..widx.offload import offload_probe
+from ..widx.offload import offload_batched_tree, offload_probe
 
 #: Backends a service model can be calibrated for.
-SERVICE_BACKENDS = ("inorder", "ooo", "widx", "pim")
+SERVICE_BACKENDS = ("inorder", "ooo", "widx", "pim", "batched")
 
 
 @dataclass
@@ -78,6 +78,24 @@ def measure_service(index: HashIndex, probe_column: Column, *,
         raise ServeError(
             f"batch_keys={batch_keys} exceeds the workload's "
             f"{len(probe_column.values)} probe keys")
+
+    if backend == "batched":
+        # Level-wise batched B+-tree offload: one serving-layer batch is
+        # one coupled-mode offload over the batch's keys, so — like widx —
+        # the per-offload configuration cost is part of the service time.
+        if walkers < 1:
+            raise ServeError(
+                "batched service measurement needs walkers >= 1")
+        widx_config = config.with_widx(num_walkers=walkers,
+                                       mode=mode or "coupled")
+        outcome = offload_batched_tree(index, probe_column,
+                                       config=widx_config,
+                                       probes=batch_keys)
+        return ServiceMeasurement(
+            backend=backend, kind="", name="", walkers=walkers,
+            mode=mode or "coupled", batch_keys=batch_keys,
+            cycles=outcome.run.total_cycles + outcome.run.config_cycles,
+            stats=outcome.stats)
 
     if backend in ("widx", "pim"):
         if walkers < 1:

@@ -432,3 +432,431 @@ def tree_range_walker_program(name: str = "tree-range") -> GeneratedProgram:
     ]
     source = "\n".join(lines)
     return GeneratedProgram(assemble(source), {}, source)
+
+
+# ----------------------------------------------------------------------
+# Ordered-index zoo (the ROADMAP's counterpoint structures): an
+# MLP-friendly hashed trie, a Wormhole-style hash-accelerated ordered
+# lookup, and a level-wise batched B+-tree descent.
+# ----------------------------------------------------------------------
+
+#: Configuration registers for key-only dispatchers (trie walkers carry
+#: the whole probe state in the key itself).
+KEY_DISPATCHER_CONFIG = {"key_cursor": 1, "key_count": 2}
+
+#: Configuration registers for trie walkers (one bucket table for all
+#: depths, so two registers cover the whole layout).
+TRIE_WALKER_CONFIG = {"bucket_base": 14, "bucket_mask": 15}
+
+#: Configuration registers for wormhole walkers (the MetaTrieHash).
+WORMHOLE_WALKER_CONFIG = {"meta_base": 14, "meta_mask": 15}
+
+#: Configuration registers for the autonomous batched tree walker.
+BATCHED_TREE_CONFIG = {"key_cursor": 1, "batch_count": 14, "root": 15}
+
+#: Configuration registers for the trie range dispatcher (16-byte
+#: records: start-terminal address, high bound).
+TRIE_RANGE_DISPATCHER_CONFIG = {"range_cursor": 1, "range_count": 2}
+
+
+def key_dispatcher_program(key_bytes: int = 4, *, stride_keys: int = 1,
+                           touch_ahead: bool = True,
+                           name: str = "key-dispatch") -> GeneratedProgram:
+    """Stream probe keys and emit each bare key to the walkers.
+
+    The trie walker computes every candidate bucket address from the key
+    alone, so unlike the hash/tree dispatchers there is nothing else to
+    forward.
+    """
+    step_bytes = stride_keys * key_bytes
+    lines = [
+        f".name {name}",
+        ".role H",
+        "loop:",
+        "  ble r2, r0, done",
+        f"  ld.{key_bytes} r5, [r1+0]",
+    ]
+    if touch_ahead:
+        lines.append("  touch [r1+64]")
+    lines += [
+        "  emit r5",
+        f"  add r1, r1, #{step_bytes}",
+        "  add r2, r2, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(KEY_DISPATCHER_CONFIG),
+                            source)
+
+
+def _require_fused_hash(hash_spec: HashSpec, role: str) -> None:
+    """Walker-resident hashing allows only shift/fused steps: constant
+    steps would collide with the registers these programs use, and
+    AND-SHF is dispatcher-only in Table 1."""
+    for step in hash_spec.steps:
+        if step.kind.endswith("_const"):
+            raise AssemblerError(
+                f"{role} programs compile only shift/fused hash steps; "
+                f"{hash_spec.name!r} uses {step.kind!r}")
+
+
+def trie_walker_program(hash_spec: HashSpec, *, prefetch: bool = True,
+                        name: str = "trie-walk") -> GeneratedProgram:
+    """Probe the hashed trie depth by depth, first tag match wins.
+
+    With ``prefetch`` (the Cuckoo-Trie signature move) the walker first
+    computes all eight candidate bucket addresses — each derivable from
+    the key alone — and TOUCHes them, so by the time the depth-order scan
+    issues its blocking loads the lines are already in flight; without it
+    the program degenerates to a serial probe sequence.
+
+    Register plan: r1 = probe key (input), r3-r9 scratch, r13 = constant
+    1, r14 = bucket base (config), r15 = bucket mask (config), r16-r23 =
+    per-depth bucket addresses.
+    """
+    _require_fused_hash(hash_spec, "trie walker")
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1",
+        ".const r13 = 1",
+    ]
+    depths = range(1, 9)
+
+    def addr_lines(depth: int, dest: str) -> List[str]:
+        body, _constants = _hash_body(hash_spec.steps, "r5", "r5")
+        return ([f"  shr r5, r1, #{32 - 4 * depth}",
+                 f"  add-shf r5, r5, r13, #{32 + depth}"]
+                + body
+                + ["  and r5, r5, r15",
+                   f"  add-shf {dest}, r14, r5, #6"])
+
+    if prefetch:
+        for depth in depths:
+            lines += addr_lines(depth, f"r{15 + depth}")
+            lines.append(f"  touch [r{15 + depth}+0]")
+    for depth in depths:
+        after = f"level{depth + 1}" if depth < 8 else "done"
+        lines.append(f"level{depth}:")
+        if prefetch:
+            lines.append(f"  add r7, r{15 + depth}, r0")
+        else:
+            lines += addr_lines(depth, "r7")
+        lines += [
+            f"  add-shf r4, r1, r13, #{32 + depth}",   # expect tag
+            f"chain{depth}:",
+            "  ld.8 r3, [r7+16]",
+            "  cmp r6, r3, r4",
+            f"  ble r13, r6, hit{depth}a",
+            "  ld.8 r3, [r7+40]",
+            "  cmp r6, r3, r4",
+            f"  ble r13, r6, hit{depth}b",
+            "  ld.8 r7, [r7+0]",
+            f"  ble r7, r0, {after}",
+            f"  ba chain{depth}",
+            f"hit{depth}a:",
+            "  ld.4 r9, [r7+24]",
+            "  emit r9",
+            "  ba done",
+            f"hit{depth}b:",
+            "  ld.4 r9, [r7+48]",
+            "  emit r9",
+            "  ba done",
+        ]
+    lines += ["done:", "  halt"]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(TRIE_WALKER_CONFIG),
+                            source)
+
+
+def trie_range_dispatcher_program(*, name: str = "trie-range-dispatch"
+                                  ) -> GeneratedProgram:
+    """Stream (start-terminal address, high) records to the range walkers.
+
+    Records are 16 bytes — the start address is a full pointer into the
+    terminal chain (located host-side on the sorted key list, the same
+    planning step a database performs on any secondary structure).
+    """
+    lines = [
+        f".name {name}",
+        ".role H",
+        "loop:",
+        "  ble r2, r0, done",
+        "  ld.8 r5, [r1+0]",       # start terminal-slot address
+        "  ld.8 r6, [r1+8]",       # high bound
+        "  touch [r1+64]",
+        "  emit r5, r6",
+        "  add r1, r1, #16",
+        "  add r2, r2, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source),
+                            dict(TRIE_RANGE_DISPATCHER_CONFIG), source)
+
+
+def trie_range_walker_program(name: str = "trie-range") -> GeneratedProgram:
+    """Stream the trie's sorted terminal chain from a start slot while
+    the stored key stays <= high, emitting payloads.
+
+    Register plan: r1 = terminal-slot address (input, NULL for an empty
+    range), r2 = high (input), r3-r6 scratch, r12 = key mask (static),
+    r13 = constant 1.
+    """
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2",
+        f".const r12 = {(1 << 32) - 1:#x}",
+        ".const r13 = 1",
+        "scan:",
+        "  ble r1, r0, done",      # NULL start / end of chain
+        "  ld.8 r3, [r1+0]",       # tag = key + depth bit
+        "  and r4, r3, r12",       # strip the depth bit
+        "  cmp-le r5, r4, r2",
+        "  ble r5, r0, done",      # key > high: past the range
+        "  ld.4 r6, [r1+8]",
+        "  emit r6",
+        "  ld.8 r1, [r1+16]",      # next terminal
+        "  ba scan",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), {}, source)
+
+
+def _wormhole_locate_lines(hash_spec: HashSpec,
+                           key_reg: str = "r1") -> List[str]:
+    """Binary-search the MetaTrieHash for ``key_reg``'s longest anchor
+    prefix, then walk the leaf chain forward; falls through to the
+    ``leafscan:`` label with r2 = the leaf covering the key.
+
+    r2 enters holding the first leaf (presence at depth 0 is implicit)
+    and tracks the best ``leaf_lo`` seen; r3-r7 are scratch.
+    """
+    blocks: Dict[Tuple[int, int], List[str]] = {}
+
+    def target(lo: int, hi: int) -> str:
+        if lo == hi:
+            return "walkleaf"
+        emit_state(lo, hi)
+        return f"s{lo}_{hi}"
+
+    def emit_state(lo: int, hi: int) -> None:
+        if (lo, hi) in blocks:
+            return
+        blocks[(lo, hi)] = []          # reserve before recursing
+        mid = (lo + hi + 1) // 2
+        body, _constants = _hash_body(hash_spec.steps, "r5", "r5")
+        lines = [f"s{lo}_{hi}:",
+                 f"  shr r5, {key_reg}, #{32 - 4 * mid}",
+                 f"  add-shf r5, r5, r13, #{32 + mid}",
+                 "  add r4, r5, r0"]            # expect tag, pre-hash
+        lines += body
+        lines += ["  and r5, r5, r15",
+                  "  add-shf r7, r14, r5, #6",
+                  f"c{lo}_{hi}:"]
+        for slot in range(3):
+            lines += [
+                f"  ld.8 r3, [r7+{16 + 16 * slot}]",
+                "  cmp r6, r3, r4",
+                f"  ble r13, r6, h{lo}_{hi}_{slot}",
+            ]
+        absent = target(lo, mid - 1)
+        lines += [
+            "  ld.8 r7, [r7+0]",
+            f"  ble r7, r0, {absent}",
+            f"  ba c{lo}_{hi}",
+        ]
+        present = target(mid, hi)
+        for slot in range(3):
+            lines += [
+                f"h{lo}_{hi}_{slot}:",
+                f"  ld.8 r2, [r7+{24 + 16 * slot}]",   # entry's leaf_lo
+                f"  ba {present}",
+            ]
+        blocks[(lo, hi)] = lines
+
+    entry = target(0, 8)
+    lines: List[str] = [f"  ba {entry}"] if entry != "walkleaf" else []
+    for state in sorted(blocks):
+        lines += blocks[state]
+    lines += [
+        "walkleaf:",
+        "  ld.8 r3, [r2+40]",          # next-leaf pointer
+        "  ble r3, r0, leafscan",
+        "  ld.4 r4, [r3+8]",           # next leaf's anchor (keys[0])
+        f"  cmp-le r5, r4, {key_reg}",
+        "  ble r13, r5, advance",
+        "  ba leafscan",
+        "advance:",
+        "  add r2, r3, r0",
+        "  ba walkleaf",
+        "leafscan:",
+    ]
+    return lines
+
+
+def wormhole_walker_program(hash_spec: HashSpec,
+                            name: str = "wormhole-walk") -> GeneratedProgram:
+    """Wormhole point lookup: O(log 8) independent MetaTrieHash probes
+    replace the tree descent, then a short leaf walk and slot scan.
+
+    Register plan: r1 = probe key (input), r2 = first leaf (input,
+    becomes the best-so-far leaf_lo), r3-r9 scratch, r13 = constant 1,
+    r14 = meta base (config), r15 = meta mask (config).
+    """
+    _require_fused_hash(hash_spec, "wormhole walker")
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2",
+        ".const r13 = 1",
+    ]
+    lines += _wormhole_locate_lines(hash_spec, "r1")
+    for slot in range(4):
+        skip = f"miss{slot}"
+        lines += [
+            f"  ld.4 r5, [r2+{8 + 4 * slot}]",
+            "  cmp r6, r5, r1",
+            f"  ble r6, r0, {skip}",
+            f"  ld.4 r9, [r2+{24 + 4 * slot}]",
+            "  emit r9",
+            "  ba done",
+            f"{skip}:",
+        ]
+    lines += ["done:", "  halt"]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(WORMHOLE_WALKER_CONFIG),
+                            source)
+
+
+def wormhole_range_walker_program(hash_spec: HashSpec,
+                                  name: str = "wormhole-range"
+                                  ) -> GeneratedProgram:
+    """Wormhole range scan: locate the leaf covering ``low`` via the
+    MetaTrieHash, then stream the sorted leaf chain emitting payloads
+    with low <= key <= high (pad slots terminate the scan, as in the
+    tree range walker).
+
+    Register plan: r1 = low (input), r2 = first leaf (input), r10 = high
+    (input), r3-r9 scratch, r13 = constant 1, r14/r15 = meta config.
+    """
+    _require_fused_hash(hash_spec, "wormhole walker")
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".input r1, r2, r10",
+        ".const r13 = 1",
+    ]
+    lines += _wormhole_locate_lines(hash_spec, "r1")
+    for slot in range(4):
+        lines += [
+            f"  ld.4 r5, [r2+{8 + 4 * slot}]",
+            "  cmp-le r6, r5, r10",          # key <= high?
+            "  ble r6, r0, done",            # key > high (or pad): finished
+            f"  cmp-le r7, r1, r5",          # low <= key?
+            f"  ble r7, r0, skip{slot}",
+            f"  ld.4 r9, [r2+{24 + 4 * slot}]",
+            "  emit r9",
+            f"skip{slot}:",
+        ]
+    lines += [
+        "  ld.8 r2, [r2+40]",                # next-leaf pointer
+        "  ble r2, r0, done",
+        "  ba leafscan",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(WORMHOLE_WALKER_CONFIG),
+                            source)
+
+
+def batched_tree_walker_program(batch: int = 4, *, stride_batches: int = 1,
+                                name: str = "tree-batch"
+                                ) -> GeneratedProgram:
+    """Level-wise batched B+-tree descent (the FPGA batch-search pattern).
+
+    An autonomous walker loads a whole batch of probe keys into
+    registers, then descends *all* of them one level per iteration.
+    Bulk-loaded trees have uniform leaf depth, so a single leaf-bit test
+    on the first probe's node covers the batch.  When the driver sorts
+    each batch, neighbouring probes route through the same upper-level
+    nodes and the repeat fetches hit in the L1 — the amortization the
+    functional :func:`repro.db.btree.batched_search` expresses by
+    visiting each node once.
+
+    Register plan: r1 = key cursor (config), r14 = batch count (config),
+    r15 = root (config), r13 = constant 1, r16..r19 = batch keys,
+    r20..r23 = per-key node pointers, r3-r7 scratch.
+    """
+    if not 2 <= batch <= 4:
+        raise AssemblerError("batched walker holds 2..4 probes in registers")
+    step_bytes = stride_batches * batch * 4
+    lines = [
+        f".name {name}",
+        ".role W",
+        ".const r13 = 1",
+        "loop:",
+        "  ble r14, r0, done",
+    ]
+    for i in range(batch):
+        lines.append(f"  ld.4 r{16 + i}, [r1+{4 * i}]")
+    for i in range(batch):
+        lines.append(f"  add r{20 + i}, r15, r0")
+    lines += [
+        "level:",
+        "  ld.8 r3, [r20+0]",          # first probe's node meta
+        "  and r4, r3, r13",
+        "  ble r13, r4, atleaf",       # uniform depth: one test per level
+    ]
+    for i in range(batch):
+        key, node = f"r{16 + i}", f"r{20 + i}"
+        for slot in range(4):
+            lines += [
+                f"  ld.4 r5, [{node}+{8 + 4 * slot}]",
+                f"  cmp-le r6, {key}, r5",
+                f"  ble r13, r6, b{i}c{slot}",
+            ]
+        lines += [
+            f"  ld.8 {node}, [{node}+56]",     # key > every separator
+            f"  ba b{i}x",
+        ]
+        for slot in range(4):
+            lines += [
+                f"b{i}c{slot}:",
+                f"  ld.8 {node}, [{node}+{24 + 8 * slot}]",
+                f"  ba b{i}x",
+            ]
+        lines.append(f"b{i}x:")
+    lines.append("  ba level")
+    lines.append("atleaf:")
+    for i in range(batch):
+        key, node = f"r{16 + i}", f"r{20 + i}"
+        for slot in range(4):
+            lines += [
+                f"  ld.4 r5, [{node}+{8 + 4 * slot}]",
+                f"  cmp r6, r5, {key}",
+                f"  ble r6, r0, l{i}m{slot}",
+                f"  ld.4 r7, [{node}+{24 + 4 * slot}]",
+                "  emit r7",
+                f"  ba l{i}end",
+                f"l{i}m{slot}:",
+            ]
+        lines.append(f"l{i}end:")
+    lines += [
+        f"  add r1, r1, #{step_bytes}",
+        "  add r14, r14, #-1",
+        "  ba loop",
+        "done:",
+        "  halt",
+    ]
+    source = "\n".join(lines)
+    return GeneratedProgram(assemble(source), dict(BATCHED_TREE_CONFIG),
+                            source)

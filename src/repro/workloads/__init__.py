@@ -7,6 +7,8 @@ result — is preserved while key counts shrink to laptop scale.
 """
 
 from .hashjoin_kernel import KernelSpec, KERNEL_SIZES, build_kernel_workload
+from .ordered_kernel import (ORDERED_CLASSES, ORDERED_SIZES, OrderedSpec,
+                             build_ordered_workload)
 from .queryspec import QuerySpec, IndexClass, build_query_index
 from .tpch import TPCH_QUERIES, TPCH_SIMULATED
 from .tpcds import TPCDS_QUERIES, TPCDS_SIMULATED
@@ -15,6 +17,10 @@ __all__ = [
     "KernelSpec",
     "KERNEL_SIZES",
     "build_kernel_workload",
+    "ORDERED_CLASSES",
+    "ORDERED_SIZES",
+    "OrderedSpec",
+    "build_ordered_workload",
     "QuerySpec",
     "IndexClass",
     "build_query_index",

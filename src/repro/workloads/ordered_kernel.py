@@ -1,0 +1,114 @@
+"""The ordered-index kernel workloads (the ordered-index zoo).
+
+Same data recipe as the hash-join kernel — dense-ish shuffled surrogate
+keys, uniformly distributed probes with a controlled match fraction — but
+bulk-loaded into the ordered structures the zoo compares:
+
+==========  ==========================================================
+class       structure probed
+==========  ==========================================================
+btree       :class:`~repro.db.BPlusTree`, per-probe root-to-leaf descent
+trie        :class:`~repro.db.MlpTrie`, independent per-level fetches
+wormhole    :class:`~repro.db.WormholeIndex`, MetaTrieHash + leaf chain
+batched     the same B+-tree, probed level-wise in batches
+==========  ==========================================================
+
+``btree`` and ``batched`` probe the *same* tree — the traversal strategy,
+not the layout, is the variable.  Sizes are scaled like the hash kernel's
+(locality class preserved, key counts shrunk): Small stays LLC-friendly,
+Medium is LLC-resident, Large spills to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..db.btree import BPlusTree
+from ..db.column import Column
+from ..db.datagen import make_rng, probe_keys, unique_keys
+from ..db.trie import MlpTrie
+from ..db.wormhole import WormholeIndex
+from ..db.types import DataType
+from ..errors import WorkloadError
+from ..mem.layout import AddressSpace
+
+OrderedIndex = Union[BPlusTree, MlpTrie, WormholeIndex]
+
+#: The traversal classes the fig-indexes sweep compares.
+ORDERED_CLASSES = ("btree", "trie", "wormhole", "batched")
+
+
+@dataclass(frozen=True)
+class OrderedSpec:
+    """One ordered-kernel configuration."""
+
+    name: str
+    tuples: int
+    key_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tuples < 1:
+            raise WorkloadError("ordered kernel needs at least one tuple")
+
+
+ORDERED_SIZES: Dict[str, OrderedSpec] = {
+    "Small": OrderedSpec("Small", tuples=4_096),
+    "Medium": OrderedSpec("Medium", tuples=65_536),
+    "Large": OrderedSpec("Large", tuples=262_144),
+}
+
+
+def build_ordered_workload(index_class: str, size: str, probe_count: int, *,
+                           seed: int = 42,
+                           space: AddressSpace = None,
+                           match_fraction: float = 1.0,
+                           ) -> Tuple[OrderedIndex, Column]:
+    """Build an ordered index and its probe stream.
+
+    Returns ``(index, probe_column)`` with the probe column materialized
+    in the same simulated address space as the index.  The ``batched``
+    class returns a plain :class:`BPlusTree` — batching happens at
+    traversal time, so the structure is shared with ``btree`` and the
+    comparison isolates the traversal strategy.
+    """
+    if index_class not in ORDERED_CLASSES:
+        raise WorkloadError(
+            f"unknown ordered index class {index_class!r}; choose from "
+            f"{ORDERED_CLASSES}")
+    try:
+        spec = ORDERED_SIZES[size]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown ordered size {size!r}; choose from "
+            f"{sorted(ORDERED_SIZES)}") from None
+    if space is None:
+        space = AddressSpace()
+    rng = make_rng(seed)
+    # Spread the dense surrogate keys across the 31-bit space (a fixed
+    # stride keeps them unique).  Ordered structures index the key VALUE
+    # distribution, not just its cardinality: dense keys would collapse
+    # every high nibble to zero, starving the trie/wormhole prefix levels
+    # and sending out-of-range probes on whole-chain walks — a pathology
+    # of the data recipe, not of the structures under comparison.
+    raw = unique_keys(spec.tuples, spec.key_bytes, rng).astype("int64")
+    stride = ((1 << 31) - 1) // (4 * spec.tuples + 2)
+    keys = (raw * stride).astype(
+        DataType.for_key_bytes(spec.key_bytes).numpy_dtype)
+    build_payloads = [int(k) % 1_000_003 + 1 for k in keys]
+    name = f"ordered-{index_class}-{spec.name}"
+    if index_class in ("btree", "batched"):
+        index: OrderedIndex = BPlusTree(space, [int(k) for k in keys],
+                                        build_payloads, name=name)
+    elif index_class == "trie":
+        index = MlpTrie(space, [int(k) for k in keys], build_payloads,
+                        name=name)
+    else:
+        index = WormholeIndex(space, [int(k) for k in keys], build_payloads,
+                              name=name)
+    probes = probe_keys(keys, probe_count, match_fraction,
+                        spec.key_bytes, rng)
+    column = Column("probe_keys", DataType.for_key_bytes(spec.key_bytes),
+                    probes)
+    column.materialize(space)
+    return index, column

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.db.btree import BPlusTree, FANOUT, KEY_PAD, NODE_BYTES
+from repro.db.btree import (BPlusTree, FANOUT, KEY_PAD, NODE_BYTES,
+                            batched_search)
 from repro.db.datagen import make_rng, unique_keys
 from repro.errors import PlanError
 from repro.mem.layout import AddressSpace
@@ -94,6 +95,100 @@ class TestRangeScan:
         tree, keys, truth = make_tree(space, n=100)
         key = keys[10]
         assert tree.range_scan(key, key) == [(key, truth[key])]
+
+
+class TestRangeScanEdgeCases:
+    """Regression coverage surfaced while building the batched traversal:
+    the original suite only scanned multi-level trees with interior
+    bounds, leaving the degenerate shapes (single leaf, padded tail) and
+    the leaf-boundary crossings — exactly the places the level-wise
+    walker shares node fetches — unpinned."""
+
+    def test_empty_tree_cannot_exist_to_be_scanned(self, space):
+        """The scan-an-empty-tree edge is excluded by construction: bulk
+        load rejects the empty key set, so every scannable tree has at
+        least one leaf and ``range_scan`` never sees a NULL root."""
+        with pytest.raises(PlanError, match="empty"):
+            BPlusTree(space, [], [])
+
+    def test_single_leaf_full_range(self, space):
+        tree = BPlusTree(space, [10, 20, 30], [1, 2, 3])
+        assert tree.stats().leaves == 1
+        assert tree.range_scan(0, KEY_PAD - 1) == [(10, 1), (20, 2), (30, 3)]
+
+    def test_single_leaf_interior_and_empty_windows(self, space):
+        tree = BPlusTree(space, [10, 20, 30], [1, 2, 3])
+        assert tree.range_scan(15, 25) == [(20, 2)]
+        assert tree.range_scan(11, 19) == []
+        assert tree.range_scan(31, 99) == []
+
+    def test_single_leaf_padded_slots_never_leak(self, space):
+        """A partial leaf pads unused slots with KEY_PAD; a scan whose
+        high bound sorts above every real key must stop at the padding,
+        not emit it."""
+        tree = BPlusTree(space, [5], [9])
+        scan = tree.range_scan(0, KEY_PAD - 1)
+        assert scan == [(5, 9)]
+        assert all(k != KEY_PAD for k, _ in scan)
+
+    def test_scan_spanning_one_leaf_boundary(self, space):
+        """Bounds that straddle exactly one leaf seam: the scan must
+        follow the next-leaf pointer mid-range."""
+        keys = list(range(10, 10 + 10 * FANOUT * 2, 10))
+        tree = BPlusTree(space, keys, list(range(len(keys))))
+        low, high = keys[FANOUT - 1], keys[FANOUT]  # last of leaf 0, first of leaf 1
+        assert tree.range_scan(low, high) == [(low, FANOUT - 1),
+                                              (high, FANOUT)]
+
+    def test_scan_spanning_many_leaves(self, space):
+        keys = list(range(10, 10 + 10 * FANOUT * 5, 10))
+        tree = BPlusTree(space, keys, list(range(len(keys))))
+        low, high = keys[1], keys[-2]
+        scan = tree.range_scan(low, high)
+        assert [k for k, _ in scan] == keys[1:-1]
+
+    def test_scan_starting_in_the_gap_between_leaves(self, space):
+        """A low bound strictly between the last key of one leaf and the
+        first of the next descends into the earlier leaf; the scan must
+        skip past it without emitting anything below the bound."""
+        keys = list(range(10, 10 + 10 * FANOUT * 3, 10))
+        tree = BPlusTree(space, keys, list(range(len(keys))))
+        low = keys[FANOUT - 1] + 1  # in the seam
+        scan = tree.range_scan(low, keys[-1])
+        assert [k for k, _ in scan] == keys[FANOUT:]
+
+    def test_scan_into_the_padded_tail_leaf(self, space):
+        """A key count that is not a multiple of FANOUT leaves the last
+        leaf partial; a scan running past the last key must stop at its
+        padding after crossing into it."""
+        count = FANOUT * 2 + 1  # last leaf holds a single key
+        keys = list(range(10, 10 + 10 * count, 10))
+        tree = BPlusTree(space, keys, list(range(count)))
+        scan = tree.range_scan(keys[-2], KEY_PAD - 1)
+        assert [k for k, _ in scan] == keys[-2:]
+
+
+class TestBatchedSearchEdgeCases:
+    """The batched traversal's own degenerate shapes."""
+
+    def test_empty_batch_returns_empty(self, space):
+        tree, _keys, _truth = make_tree(space, n=20)
+        assert batched_search(tree, []) == []
+
+    def test_single_leaf_tree_batch(self, space):
+        tree = BPlusTree(space, [10, 20, 30], [1, 2, 3])
+        visits = []
+        assert batched_search(tree, [30, 10, 99], visit_log=visits) \
+            == [3, 1, None]
+        assert visits == [tree.root]  # one node, fetched once
+
+    def test_batch_of_identical_keys_shares_the_whole_path(self, space):
+        tree, keys, truth = make_tree(space, n=200)
+        probe = keys[17]
+        visits = []
+        results = batched_search(tree, [probe] * 8, visit_log=visits)
+        assert results == [truth[probe]] * 8
+        assert len(visits) == tree.stats().height  # one fetch per level
 
 
 class TestDescent:

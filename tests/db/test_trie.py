@@ -1,0 +1,160 @@
+"""Tests for the Cuckoo-Trie-style MLP-friendly hashed trie."""
+
+import pytest
+
+from repro.db.trie import (BUCKET_BYTES, KEY_LIMIT, MAX_DEPTH,
+                           SLOTS_PER_BUCKET, MlpTrie, probe_value,
+                           tag_value, _shared_nibbles, _terminal_depths)
+from repro.db.datagen import make_rng, unique_keys
+from repro.errors import PlanError
+from repro.mem.physmem import NULL_PTR
+
+
+def make_trie(space, n=400, seed=3):
+    keys = unique_keys(n, 4, make_rng(seed)).tolist()
+    payloads = list(range(1, n + 1))
+    trie = MlpTrie(space, keys, payloads)
+    return trie, sorted(keys), dict(zip(keys, payloads))
+
+
+class TestProbeValues:
+    def test_probe_value_prefixes_nest(self):
+        key = 0xDEADBEEF
+        for depth in range(1, MAX_DEPTH):
+            shallow = probe_value(key, depth) - (1 << (32 + depth))
+            deeper = probe_value(key, depth + 1) - (1 << (33 + depth))
+            assert deeper >> 4 == shallow
+
+    def test_probe_values_distinct_across_depths(self):
+        """The depth tag keeps an all-zero prefix at depth d distinct
+        from one at depth d+1 — aliasing here would merge trie levels."""
+        values = {probe_value(0, d) for d in range(1, MAX_DEPTH + 1)}
+        assert len(values) == MAX_DEPTH
+
+    def test_tag_value_recovers_key(self):
+        for depth in (1, 4, 8):
+            assert tag_value(0xCAFE, depth) & 0xFFFFFFFF == 0xCAFE
+
+
+class TestTerminalDepths:
+    def test_distinct_prefixes_terminate_at_depth_one(self):
+        assert _terminal_depths([0x10000000, 0x20000000, 0x30000000]) \
+            == [1, 1, 1]
+
+    def test_shared_prefixes_push_terminals_deeper(self):
+        # 0x1234ABCD and 0x1234ABCE share 7 nibbles -> both at depth 8.
+        depths = _terminal_depths([0x1234ABCD, 0x1234ABCE])
+        assert depths == [8, 8]
+
+    def test_depth_capped_at_max(self):
+        assert all(d <= MAX_DEPTH
+                   for d in _terminal_depths([1, 2, 3, 4]))
+
+    def test_shared_nibbles(self):
+        assert _shared_nibbles(0x12345678, 0x12345679) == 7
+        assert _shared_nibbles(0x10000000, 0x20000000) == 0
+        assert _shared_nibbles(5, 5) == MAX_DEPTH
+
+
+class TestConstruction:
+    def test_every_key_searchable(self, space):
+        trie, _keys, truth = make_trie(space)
+        for key, payload in truth.items():
+            assert trie.search(key) == payload
+
+    def test_missing_keys_return_none(self, space):
+        trie, keys, truth = make_trie(space)
+        assert trie.search(keys[-1] + 1) is None
+
+    def test_single_key_trie(self, space):
+        trie = MlpTrie(space, [42], [7])
+        assert trie.search(42) == 7
+        assert trie.search(41) is None
+        assert trie.stats().max_depth == 1
+
+    def test_buckets_are_cache_block_sized_and_power_of_two(self, space):
+        trie, _keys, _truth = make_trie(space, n=300)
+        assert trie.num_buckets & (trie.num_buckets - 1) == 0
+        assert trie.buckets.size == trie.num_buckets * BUCKET_BYTES
+
+    def test_stats_shape(self, space):
+        trie, keys, _truth = make_trie(space, n=300)
+        stats = trie.stats()
+        assert stats.num_keys == 300
+        assert 1 <= stats.mean_depth <= stats.max_depth <= MAX_DEPTH
+
+    def test_footprint_covers_buckets_and_overflow(self, space):
+        trie, _keys, _truth = make_trie(space, n=300)
+        expected = trie.buckets.size
+        if trie.overflow is not None:
+            expected += trie.overflow.size
+        assert trie.footprint_bytes == expected
+
+    def test_duplicate_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            MlpTrie(space, [1, 1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self, space):
+        with pytest.raises(PlanError):
+            MlpTrie(space, [], [])
+
+    def test_out_of_range_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            MlpTrie(space, [KEY_LIMIT], [1])
+        with pytest.raises(PlanError):
+            MlpTrie(space, [-1], [1])
+
+    def test_mismatched_lengths_rejected(self, space):
+        with pytest.raises(PlanError):
+            MlpTrie(space, [1, 2], [1])
+
+
+class TestBucketLayout:
+    def test_search_reads_only_precomputable_buckets(self, space):
+        """Every terminal is found in a bucket whose address is a pure
+        function of (key, depth) — the MLP contract."""
+        trie, keys, truth = make_trie(space, n=200)
+        for key in keys[:50]:
+            found = False
+            for depth in range(1, MAX_DEPTH + 1):
+                expect = tag_value(key, depth)
+                for block in trie.chain_blocks(trie.bucket_addr(key, depth)):
+                    for index in range(SLOTS_PER_BUCKET):
+                        slot = block + 16 + index * 24
+                        if trie.slot_tag(slot) == expect:
+                            assert trie.slot_payload(slot) == truth[key]
+                            found = True
+            assert found
+
+    def test_overflow_chains_terminate(self, space):
+        trie, _keys, _truth = make_trie(space, n=500)
+        for index in range(trie.num_buckets):
+            bucket = trie.buckets.base + index * BUCKET_BYTES
+            blocks = list(trie.chain_blocks(bucket))
+            assert len(blocks) == len(set(blocks))  # no cycles
+
+
+class TestOrderedSemantics:
+    def test_terminal_chain_is_sorted_and_complete(self, space):
+        trie, keys, truth = make_trie(space, n=250)
+        items = list(trie.items())
+        assert [k for k, _ in items] == keys
+        assert all(truth[k] == p for k, p in items)
+
+    def test_search_start_finds_first_at_or_above(self, space):
+        trie, keys, _truth = make_trie(space, n=100)
+        slot = trie.search_start(keys[10])
+        assert trie.slot_tag(slot) & 0xFFFFFFFF == keys[10]
+        slot = trie.search_start(keys[10] + 1)
+        assert trie.slot_tag(slot) & 0xFFFFFFFF == keys[11]
+        assert trie.search_start(keys[-1] + 1) == NULL_PTR
+
+    def test_range_scan_equals_sorted_filter(self, space):
+        trie, keys, truth = make_trie(space, n=250)
+        low, high = keys[40], keys[120]
+        assert trie.range_scan(low, high) \
+            == [(k, truth[k]) for k in keys[40:121]]
+
+    def test_inverted_range_is_empty(self, space):
+        trie, _keys, _truth = make_trie(space, n=50)
+        assert trie.range_scan(10, 5) == []

@@ -1,0 +1,139 @@
+"""Tests for the Wormhole-style hash-accelerated ordered index."""
+
+import pytest
+
+from repro.db.btree import FANOUT, KEY_PAD
+from repro.db.datagen import make_rng, unique_keys
+from repro.db.trie import MAX_DEPTH, probe_value
+from repro.db.wormhole import WormholeIndex
+from repro.errors import PlanError
+from repro.mem.layout import AddressSpace
+
+
+def make_wormhole(space, n=400, seed=3):
+    keys = unique_keys(n, 4, make_rng(seed)).tolist()
+    payloads = list(range(1, n + 1))
+    index = WormholeIndex(space, keys, payloads)
+    return index, sorted(keys), dict(zip(keys, payloads))
+
+
+class TestConstruction:
+    def test_every_key_searchable(self, space):
+        index, _keys, truth = make_wormhole(space)
+        for key, payload in truth.items():
+            assert index.search(key) == payload
+
+    def test_missing_keys_return_none(self, space):
+        index, keys, _truth = make_wormhole(space)
+        assert index.search(keys[-1] + 1) is None
+
+    def test_single_key_index(self, space):
+        index = WormholeIndex(space, [42], [7])
+        assert index.search(42) == 7
+        assert index.search(43) is None
+        assert index.stats().leaves == 1
+
+    def test_leaf_count_matches_btree_packing(self, space):
+        index, _keys, _truth = make_wormhole(space, n=401)
+        assert index.stats().leaves == (401 + FANOUT - 1) // FANOUT
+
+    def test_duplicate_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            WormholeIndex(space, [1, 1, 2], [1, 2, 3])
+
+    def test_empty_rejected(self, space):
+        with pytest.raises(PlanError):
+            WormholeIndex(space, [], [])
+
+    def test_pad_value_keys_rejected(self, space):
+        with pytest.raises(PlanError):
+            WormholeIndex(space, [KEY_PAD], [1])
+
+
+class TestMetaTrieHash:
+    def test_every_anchor_prefix_is_present(self, space):
+        """Prefix-closure: the meta table answers every (anchor, depth)
+        probe, which is what makes the binary search sound."""
+        index, _keys, _truth = make_wormhole(space, n=200)
+        for anchor in index._anchors:
+            for depth in range(1, MAX_DEPTH + 1):
+                assert index.meta_lookup(probe_value(anchor, depth)) \
+                    is not None
+
+    def test_meta_entry_count_matches_distinct_prefixes(self, space):
+        index, _keys, _truth = make_wormhole(space, n=200)
+        distinct = {probe_value(anchor, depth)
+                    for anchor in index._anchors
+                    for depth in range(1, MAX_DEPTH + 1)}
+        assert index.stats().meta_entries == len(distinct)
+
+    def test_leaf_lo_is_a_valid_predecessor(self, space):
+        """Every meta entry's leaf_lo lands at or before the first leaf
+        whose anchor carries that prefix — the walk only moves forward."""
+        index, _keys, _truth = make_wormhole(space, n=300)
+        base = index.leaves.base
+        for position, anchor in enumerate(index._anchors):
+            for depth in range(1, MAX_DEPTH + 1):
+                leaf_lo = index.meta_lookup(probe_value(anchor, depth))
+                assert (leaf_lo - base) // 64 <= position
+
+    def test_absent_prefix_returns_none(self, space):
+        index = WormholeIndex(space, [0x10000000], [1])
+        assert index.meta_lookup(probe_value(0x20000000, 1)) is None
+
+
+class TestLocateLeaf:
+    def test_locates_the_true_leaf_for_every_key(self, space):
+        index, keys, _truth = make_wormhole(space, n=200)
+        base = index.leaves.base
+        for position, key in enumerate(keys):
+            leaf, _probed = index.locate_leaf(key)
+            assert (leaf - base) // 64 == position // FANOUT
+
+    def test_binary_search_probes_at_most_log_depths(self, space):
+        index, keys, _truth = make_wormhole(space, n=200)
+        for key in keys[:50]:
+            _leaf, probed = index.locate_leaf(key)
+            assert len(probed) <= MAX_DEPTH.bit_length() + 1
+            assert probed == sorted(set(probed), key=probed.index)
+
+    def test_key_below_all_anchors_lands_on_first_leaf(self, space):
+        index, keys, _truth = make_wormhole(space, n=100)
+        if keys[0] > 0:
+            leaf, _probed = index.locate_leaf(keys[0] - 1)
+            assert leaf == index.first_leaf
+
+
+class TestOrderedSemantics:
+    def test_leaf_chain_is_sorted_and_complete(self, space):
+        index, keys, truth = make_wormhole(space, n=250)
+        items = list(index.items())
+        assert [k for k, _ in items] == keys
+        assert all(truth[k] == p for k, p in items)
+
+    def test_range_scan_equals_sorted_filter(self, space):
+        index, keys, truth = make_wormhole(space, n=250)
+        low, high = keys[40], keys[120]
+        assert index.range_scan(low, high) \
+            == [(k, truth[k]) for k in keys[40:121]]
+
+    def test_range_scan_spanning_leaf_boundary(self, space):
+        index, keys, _truth = make_wormhole(space, n=100)
+        low, high = keys[FANOUT - 1], keys[FANOUT]
+        scan = index.range_scan(low, high)
+        assert [k for k, _ in scan] == [low, high]
+
+    def test_inverted_range_is_empty(self, space):
+        index, _keys, _truth = make_wormhole(space, n=50)
+        assert index.range_scan(10, 5) == []
+
+    def test_agrees_with_an_independent_build_order(self, space):
+        """Loading the same pairs in a different order builds the same
+        logical index (layout is a function of the sorted key set)."""
+        keys = unique_keys(64, 4, make_rng(9)).tolist()
+        payloads = list(range(64))
+        forward = WormholeIndex(space, keys, payloads, name="fwd")
+        other_space = AddressSpace()
+        backward = WormholeIndex(other_space, keys[::-1], payloads[::-1],
+                                 name="bwd")
+        assert list(forward.items()) == list(backward.items())

@@ -69,7 +69,7 @@ def test_simulated_figure_with_tiny_settings():
 def test_experiment_registry_covers_every_paper_artifact():
     expected = {"2a", "2b", "4a", "4b", "4c", "5", "8a", "8b", "9a", "9b",
                 "10", "11", "query-level", "area", "serve", "resilience",
-                "pim"}
+                "pim", "indexes"}
     assert set(EXPERIMENTS) == expected
 
 
@@ -129,6 +129,13 @@ def test_fig_pim_token_resolves():
     assert resolve_figures(["fig-pim"]) == ["pim"]
     assert resolve_figures(["pim"]) == ["pim"]
     assert resolve_figures(["FIG-PIM"]) == ["pim"]
+
+
+def test_fig_indexes_token_resolves():
+    from repro.harness.cli import resolve_figures
+    assert resolve_figures(["fig-indexes"]) == ["indexes"]
+    assert resolve_figures(["indexes"]) == ["indexes"]
+    assert resolve_figures(["FIG-INDEXES"]) == ["indexes"]
 
 
 def test_bare_figure_numbers_still_expand_to_panels():

@@ -1,0 +1,144 @@
+"""Property-based tests for the ordered-index zoo.
+
+Three invariant families:
+
+* **Ordering**: the trie and wormhole are *ordered* indexes — loading
+  any key set and iterating yields globally sorted items, range scans
+  equal the sorted filter, and point lookups agree with the classic
+  bisect-into-a-sorted-list oracle, hit or miss.
+* **Batched descent**: the level-wise batched B+-tree traversal fetches
+  each node at most once per batch (the amortization it exists for) and
+  its results are exactly the per-probe results, key for key.
+* **Structural**: wormhole's MetaTrieHash always lands the descent on a
+  leaf at or before the probe's true leaf, so the chain walk never has
+  to move backwards.
+"""
+
+import bisect
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.btree import BPlusTree, KEY_PAD, batched_search
+from repro.db.trie import MlpTrie
+from repro.db.wormhole import WormholeIndex
+from repro.mem.layout import AddressSpace
+
+ordered_keys = st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                        min_size=1, max_size=120, unique=True)
+
+
+def build(cls, keys):
+    space = AddressSpace()
+    payloads = list(range(1, len(keys) + 1))
+    return cls(space, keys, payloads), dict(zip(keys, payloads))
+
+
+# ---------------------------------------------------------------------------
+# ordering invariants: trie and wormhole are ordered indexes
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys, cls=st.sampled_from([MlpTrie, WormholeIndex]))
+def test_insert_then_iterate_is_sorted(keys, cls):
+    index, truth = build(cls, keys)
+    items = list(index.items())
+    assert [k for k, _ in items] == sorted(keys)
+    assert all(truth[k] == p for k, p in items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                       min_size=1, max_size=60),
+       cls=st.sampled_from([MlpTrie, WormholeIndex]))
+def test_search_matches_sorted_list_oracle(keys, probes, cls):
+    """search() against the classic oracle: bisect into the sorted key
+    list, hit iff present — over arbitrary probe keys, hit or miss."""
+    index, _truth = build(cls, keys)
+    pairs = sorted(zip(keys, range(1, len(keys) + 1)))
+    sorted_keys = [k for k, _ in pairs]
+    for probe in probes:
+        slot = bisect.bisect_left(sorted_keys, probe)
+        if slot < len(sorted_keys) and sorted_keys[slot] == probe:
+            assert index.search(probe) == pairs[slot][1]
+        else:
+            assert index.search(probe) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys,
+       bounds=st.tuples(st.integers(0, 2**31 - 1),
+                        st.integers(0, 2**31 - 1)),
+       cls=st.sampled_from([MlpTrie, WormholeIndex]))
+def test_range_scan_equals_sorted_filter(keys, bounds, cls):
+    low, high = min(bounds), max(bounds)
+    index, truth = build(cls, keys)
+    expected = [(k, truth[k]) for k in sorted(keys) if low <= k <= high]
+    assert index.range_scan(low, high) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys, cls=st.sampled_from([MlpTrie, WormholeIndex]))
+def test_all_three_indexes_agree_item_for_item(keys, cls):
+    """The zoo's structures are different layouts of the same map: each
+    ordered index's items equal the B+-tree's on the same load."""
+    index, _truth = build(cls, keys)
+    tree, _ = build(BPlusTree, keys)
+    assert list(index.items()) == tree.range_scan(0, KEY_PAD - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                       min_size=1, max_size=40))
+def test_wormhole_locate_leaf_never_overshoots(keys, probes):
+    """The MetaTrieHash descent must land at or before the probe's true
+    leaf: the subsequent chain walk only moves forward."""
+    index, _truth = build(WormholeIndex, keys)
+    for probe in probes:
+        leaf, _probed = index.locate_leaf(probe)
+        assert index.leaf_key(leaf, 0) <= max(probe, min(keys))
+
+
+# ---------------------------------------------------------------------------
+# batched descent: node sharing and permutation-equality
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                       min_size=1, max_size=60))
+def test_batched_search_visits_each_node_at_most_once(keys, probes):
+    tree, _truth = build(BPlusTree, keys)
+    visits = []
+    batched_search(tree, probes, visit_log=visits)
+    assert len(visits) == len(set(visits))
+    # And never more fetches than one full per-probe descent would pay.
+    assert len(visits) <= len(probes) * tree.stats().height
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=ordered_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                       min_size=1, max_size=60))
+def test_batched_search_equals_per_probe_search(keys, probes):
+    """The batched traversal is an amortization, not a semantic change:
+    results align with per-probe search() key for key, misses included."""
+    tree, _truth = build(BPlusTree, keys)
+    assert batched_search(tree, probes) == [tree.search(p) for p in probes]
+
+
+@settings(max_examples=25, deadline=None)
+@given(keys=ordered_keys,
+       probes=st.lists(st.integers(min_value=1, max_value=2**31 - 1),
+                       min_size=2, max_size=40),
+       split=st.integers(min_value=1, max_value=39))
+def test_batched_search_is_batch_size_invariant(keys, probes, split):
+    """Splitting one batch into two sub-batches changes the node sharing
+    but never the results."""
+    split = min(split, len(probes) - 1)
+    tree, _truth = build(BPlusTree, keys)
+    whole = batched_search(tree, probes)
+    parts = (batched_search(tree, probes[:split])
+             + batched_search(tree, probes[split:]))
+    assert whole == parts
